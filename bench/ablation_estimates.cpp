@@ -1,0 +1,70 @@
+// Ablation D7 — walltime-estimate quality.
+//
+// The authors' companion work (their ref [20], IPDPS 2010) showed that
+// adjusting user runtime estimates materially changes backfilling quality
+// on the Blue Gene/P. This ablation regenerates the workload under three
+// estimate models — exact (perfect information), uniform-factor, and the
+// default bucketed over-estimates — and re-runs the base and metric-aware
+// policies, quantifying how much of each policy's behaviour depends on
+// estimate quality.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace amjs::bench {
+namespace {
+
+const char* kind_name(EstimateKind kind) {
+  switch (kind) {
+    case EstimateKind::kExact: return "exact";
+    case EstimateKind::kUniformFactor: return "uniform<=3x";
+    case EstimateKind::kBucketed: return "bucketed<=3x";
+  }
+  return "?";
+}
+
+int run(int argc, const char** argv) {
+  Flags flags;
+  flags.define("horizon-days", "7", "trace length in days");
+  flags.define("seed", "2012", "workload seed");
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("ablation_estimates").c_str());
+    return 1;
+  }
+
+  std::printf("=== Ablation D7: walltime-estimate quality ===\n\n");
+  TextTable t({"estimates", "policy", "avg wait (min)", "LoC (%)", "util (%)",
+               "avg BSLD"});
+  for (const EstimateKind kind :
+       {EstimateKind::kExact, EstimateKind::kUniformFactor,
+        EstimateKind::kBucketed}) {
+    auto workload = intrepid_workload(days(flags.get_i64("horizon-days")),
+                                      static_cast<std::uint64_t>(flags.get_i64("seed")));
+    workload.estimate_kind = kind;
+    const auto trace = SyntheticTraceBuilder(workload).build();
+    for (const auto& spec :
+         {BalancerSpec::fixed(1.0, 1), BalancerSpec::fixed(0.5, 4)}) {
+      const auto result = run_spec(spec, trace);
+      t.add_row({kind_name(kind), spec.display_name(),
+                 TextTable::num(avg_wait_minutes(result), 1),
+                 TextTable::num(loss_of_capacity(result) * 100, 2),
+                 TextTable::num(utilization(result) * 100, 1),
+                 TextTable::num(avg_bounded_slowdown(result, trace), 2)});
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nreading: perfect estimates tighten backfill planning (lower wait at\n"
+      "BF=1) and shrink the SJF ordering signal's noise; the bucketed model\n"
+      "is the production-realistic default used by every other bench.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace amjs::bench
+
+int main(int argc, const char** argv) { return amjs::bench::run(argc, argv); }

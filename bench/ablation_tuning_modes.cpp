@@ -1,0 +1,77 @@
+// Ablation D8 — two-level switching vs the Table I incremental Δ-walk.
+//
+// The paper's Table I specifies ±Δ adjustments (Δ=0.5 for BF, 1 for W),
+// but its experiments use two-level switching ("when the queue depth is
+// under 1000 minutes, the BF is set to 1; otherwise ... 0.5"). This
+// ablation runs both modes of our AdaptiveScheduler on the same workload
+// to show how much the distinction matters.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace amjs::bench {
+namespace {
+
+int run(int argc, const char** argv) {
+  Flags flags;
+  flags.define("horizon-days", "14", "trace length in days");
+  flags.define("seed", "2012", "workload seed");
+  flags.define("threshold", "250", "QD threshold (minutes)");
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("ablation_tuning_modes").c_str());
+    return 1;
+  }
+  const auto trace = intrepid_trace(days(flags.get_i64("horizon-days")),
+                                    static_cast<std::uint64_t>(flags.get_i64("seed")));
+  const double threshold = flags.get_f64("threshold");
+
+  std::printf("=== Ablation D8: two-level vs incremental adaptive tuning ===\n");
+  std::printf("trace: %zu jobs, offered load %.2f; threshold %.0f min\n\n",
+              trace.size(), trace.stats().offered_load(kIntrepidNodes), threshold);
+
+  TextTable t({"scheme", "mode", "avg wait (min)", "peak QD (min)",
+               "LoC (%)", "adjustments"});
+  struct Case {
+    const char* scheme;
+    TuningKind kind;
+  };
+  for (const Case c : {Case{"BF", TuningKind::kBalance},
+                       Case{"W", TuningKind::kWindow},
+                       Case{"2D", TuningKind::kTwoD}}) {
+    for (const bool incremental : {false, true}) {
+      BalancerSpec spec;
+      spec.policy = MetricAwarePolicy{1.0, 1};
+      spec.tuning = c.kind;
+      spec.qd_threshold_minutes = threshold;
+      spec.incremental = incremental;
+
+      auto machine = intrepid_machine();
+      const auto scheduler = MetricsBalancer::make(spec);
+      Simulator sim(*machine, *scheduler);
+      const auto result = sim.run(trace);
+      const auto* adaptive =
+          dynamic_cast<const AdaptiveScheduler*>(scheduler.get());
+      t.add_row({c.scheme, incremental ? "incremental" : "two-level",
+                 TextTable::num(avg_wait_minutes(result), 1),
+                 TextTable::num(result.queue_depth.max_value(), 0),
+                 TextTable::num(loss_of_capacity(result) * 100, 2),
+                 TextTable::num(static_cast<std::int64_t>(
+                     adaptive ? adaptive->adjustments() : 0))});
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nreading: the Δ-walk reacts a checkpoint slower entering and leaving\n"
+      "the stressed regime but visits intermediate policies (BF=0.75); the\n"
+      "paper's own experiments use the two-level switch, our default.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace amjs::bench
+
+int main(int argc, const char** argv) { return amjs::bench::run(argc, argv); }

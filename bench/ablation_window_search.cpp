@@ -1,0 +1,66 @@
+// Ablation D1 — exhaustive window permutation search vs greedy
+// priority-order placement (same window grouping, no reordering freedom).
+//
+// Question: how much of the W > 1 benefit comes from *searching
+// permutations* (paper step 5's "select one schedule with the least
+// makespan") versus merely planning a group of jobs at once?
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace amjs::bench {
+namespace {
+
+SimResult run_with_search(const JobTrace& trace, double bf, int w, bool exhaustive) {
+  auto machine = intrepid_machine();
+  MetricAwareConfig config;
+  config.policy = MetricAwarePolicy{bf, w};
+  config.exhaustive_window_search = exhaustive;
+  MetricAwareScheduler scheduler(config);
+  Simulator sim(*machine, scheduler);
+  return sim.run(trace);
+}
+
+int run(int argc, const char** argv) {
+  Flags flags;
+  flags.define("horizon-days", "7", "trace length in days");
+  flags.define("seed", "2012", "workload seed");
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("ablation_window_search").c_str());
+    return 1;
+  }
+  const auto trace = intrepid_trace(days(flags.get_i64("horizon-days")),
+                                    static_cast<std::uint64_t>(flags.get_i64("seed")));
+
+  std::printf("=== Ablation D1: permutation search vs greedy window placement ===\n");
+  std::printf("trace: %zu jobs, offered load %.2f\n\n", trace.size(),
+              trace.stats().offered_load(kIntrepidNodes));
+
+  TextTable t({"config", "avg wait (min)", "LoC (%)", "util (%)"});
+  for (const double bf : {1.0, 0.5}) {
+    for (const int w : {2, 4}) {
+      for (const bool exhaustive : {true, false}) {
+        const auto result = run_with_search(trace, bf, w, exhaustive);
+        t.add_row({MetricAwarePolicy{bf, w}.label() +
+                       (exhaustive ? " search" : " greedy"),
+                   TextTable::num(avg_wait_minutes(result), 1),
+                   TextTable::num(loss_of_capacity(result) * 100, 2),
+                   TextTable::num(utilization(result) * 100, 1)});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nreading: if 'search' rows beat their 'greedy' twins on LoC/wait,\n"
+              "the paper's least-makespan permutation choice (not just grouped\n"
+              "planning) is doing real work.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace amjs::bench
+
+int main(int argc, const char** argv) { return amjs::bench::run(argc, argv); }

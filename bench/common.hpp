@@ -1,0 +1,63 @@
+// Shared calibration for the paper-reproduction benches.
+//
+// Machine: the Intrepid-like PartitionMachine (40,960 nodes, 512-node
+// midplanes). Workload: the Intrepid-calibrated synthetic generator with a
+// submission burst near hour 100 (driving Fig. 4's queue-depth story).
+// Offered load stays below saturation (§IV-C2); the burst pushes the queue
+// deep without permanently backlogging the machine.
+//
+// Fairness calibration (documented deviation, see EXPERIMENTS.md): a job
+// counts as unfair when it starts more than kUnfairTolerance past its
+// fair start. EASY backfilling inflicts minutes-scale start jitter under
+// every queue order on a bursty synthetic workload; the paper's
+// policy-induced unfairness (overtaken jobs starving) lives at the hours
+// scale, so the tolerance is set there to keep counts at paper scale.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "metrics/fairness.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "platform/partition.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace amjs::bench {
+
+inline constexpr Duration kUnfairTolerance = hours(4);
+
+/// Workload horizons: fairness-heavy experiments (Fig. 3, Table II) use
+/// the shorter trace (the oracle is O(n) simulations); the time-series
+/// figures (4-6) use the longer one and plot its first 200 hours.
+inline constexpr Duration kShortHorizon = days(7);
+inline constexpr Duration kLongHorizon = days(14);
+
+/// The Intrepid-like workload. One burst at hour ~96 (Fig. 4's deep-queue
+/// event); a second, milder burst in week 2 for the long trace.
+[[nodiscard]] SyntheticConfig intrepid_workload(Duration horizon,
+                                                std::uint64_t seed = 2012);
+
+[[nodiscard]] JobTrace intrepid_trace(Duration horizon, std::uint64_t seed = 2012);
+
+/// Fresh Intrepid machine (40,960 nodes).
+[[nodiscard]] std::unique_ptr<Machine> intrepid_machine();
+
+/// Run one configuration over a trace on a fresh Intrepid machine.
+[[nodiscard]] SimResult run_spec(const BalancerSpec& spec, const JobTrace& trace,
+                                 const SimConfig& sim_config = {});
+
+/// Full metrics report (fairness included) for one configuration.
+[[nodiscard]] MetricsReport full_report(const BalancerSpec& spec,
+                                        const JobTrace& trace,
+                                        std::size_t fairness_stride = 1);
+
+/// Print a time series as aligned "hour value..." rows, limited to the
+/// first `limit` hours (the paper plots the first 200 h for clarity).
+void print_series_header(const std::vector<std::string>& columns);
+void print_series_row(double hour, const std::vector<double>& values);
+
+}  // namespace amjs::bench

@@ -1,0 +1,88 @@
+// resilience_energy: the paper's §V future-work metrics in action.
+//
+// Runs the Intrepid-class workload under the base and 2D-adaptive policies
+// while injecting Poisson node failures, then reports the two "system
+// cost" metrics the paper names as the next balancing targets: energy per
+// delivered node-hour and reliability (failures / restarts / wasted work).
+// Ends with an ASCII occupancy chart of the burst region.
+//
+//   $ ./resilience_energy [--days 7] [--mtbf-node-hours 50000]
+#include <cstdio>
+#include <iostream>
+
+#include "core/balancer.hpp"
+#include "metrics/energy.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/partition.hpp"
+#include "sim/gantt.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace amjs;
+
+int main(int argc, const char** argv) {
+  Flags flags;
+  flags.define("days", "7", "workload horizon in days");
+  flags.define("seed", "2012", "workload seed");
+  flags.define("mtbf-node-hours", "50000",
+               "mean node-hours between failures (0 disables injection)");
+  flags.define("max-restarts", "2", "restarts before a job is abandoned");
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("resilience_energy").c_str());
+    return 1;
+  }
+
+  SyntheticConfig workload;
+  workload.seed = static_cast<std::uint64_t>(flags.get_i64("seed"));
+  workload.horizon = days(flags.get_i64("days"));
+  workload.base_rate_per_hour = 8.0;
+  workload.runtime_log_sigma = 1.3;
+  workload.bursts = {{96.0, 12.0, 4.5}};
+  const auto trace = SyntheticTraceBuilder(workload).build();
+
+  SimConfig sim_config;
+  const double mtbf = flags.get_f64("mtbf-node-hours");
+  if (mtbf > 0.0) {
+    sim_config.failures.rate_per_node_hour = 1.0 / mtbf;
+    sim_config.failures.max_restarts =
+        static_cast<int>(flags.get_i64("max-restarts"));
+  }
+
+  std::printf("workload: %zu jobs, %.0f h horizon; node MTBF %.0f node-hours\n\n",
+              trace.size(), to_hours(workload.horizon), mtbf);
+
+  TextTable table({"configuration", "avg wait (min)", "util (%)",
+                   "Wh / delivered node-h", "useful energy (%)", "failures",
+                   "restarts", "abandoned", "wasted node-h"});
+  SimResult last_result;
+  for (const auto& spec : {BalancerSpec::fixed(1.0, 1), BalancerSpec::two_d(250.0)}) {
+    PartitionMachine machine;
+    const auto scheduler = MetricsBalancer::make(spec);
+    Simulator sim(machine, *scheduler, sim_config);
+    auto result = sim.run(trace);
+
+    const auto energy = energy_report(result);
+    const auto& failures = result.failure_stats;
+    table.add_row({spec.display_name(),
+                   TextTable::num(avg_wait_minutes(result), 1),
+                   TextTable::num(utilization(result) * 100, 1),
+                   TextTable::num(energy.watthours_per_delivered_nodehour(), 3),
+                   TextTable::num(energy.useful_fraction() * 100, 1),
+                   TextTable::num(static_cast<std::int64_t>(failures.failures)),
+                   TextTable::num(static_cast<std::int64_t>(failures.restarts)),
+                   TextTable::num(static_cast<std::int64_t>(failures.abandoned)),
+                   TextTable::num(failures.wasted_node_seconds / 3600.0, 0)});
+    last_result = std::move(result);
+  }
+  table.print(std::cout);
+
+  std::printf("\noccupancy during the burst window (2D adaptive):\n");
+  GanttOptions gantt;
+  gantt.from = hours(90);
+  gantt.to = hours(150);
+  std::printf("%s", render_occupancy(last_result, gantt).c_str());
+  return 0;
+}

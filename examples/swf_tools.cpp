@@ -1,0 +1,111 @@
+// swf_tools: inspect, validate, generate, and convert SWF workload files.
+//
+//   $ ./swf_tools inspect trace.swf [--procs-per-node 4]
+//   $ ./swf_tools generate out.swf [--days 7] [--seed 2012] [--rate 8]
+//   $ ./swf_tools head trace.swf [--n 10]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace amjs;
+
+namespace {
+
+int cmd_inspect(const JobTrace& trace) {
+  const auto stats = trace.stats();
+  std::printf("jobs:              %zu\n", stats.job_count);
+  std::printf("submit horizon:    %s\n", format_duration(stats.last_submit).c_str());
+  std::printf("runtime:           min %s / mean %s / max %s\n",
+              format_duration(stats.min_runtime).c_str(),
+              format_duration(static_cast<Duration>(stats.mean_runtime)).c_str(),
+              format_duration(stats.max_runtime).c_str());
+  std::printf("nodes:             min %lld / mean %.0f / max %lld\n",
+              static_cast<long long>(stats.min_nodes), stats.mean_nodes,
+              static_cast<long long>(stats.max_nodes));
+  std::printf("total node-hours:  %.0f\n", stats.total_node_seconds / 3600.0);
+  std::printf("offered load @max: %.2f (against a machine of max job size)\n",
+              stats.offered_load(stats.max_nodes));
+
+  std::printf("\njob size distribution (nodes):\n");
+  Histogram sizes(0.0, static_cast<double>(stats.max_nodes) + 1.0, 8);
+  for (const Job& j : trace.jobs()) sizes.add(static_cast<double>(j.nodes));
+  std::printf("%s", sizes.render(40).c_str());
+
+  std::printf("\nwalltime accuracy (runtime / requested):\n");
+  Histogram accuracy(0.0, 1.0001, 10);
+  for (const Job& j : trace.jobs()) {
+    accuracy.add(estimate_accuracy(j.runtime, j.walltime));
+  }
+  std::printf("%s", accuracy.render(40).c_str());
+  return 0;
+}
+
+int cmd_head(const JobTrace& trace, std::int64_t n) {
+  TextTable t({"job", "submit", "runtime", "walltime", "nodes", "user"});
+  for (const Job& j : trace.jobs()) {
+    if (j.id >= n) break;
+    t.add_row({std::to_string(j.id), format_duration(j.submit),
+               format_duration(j.runtime), format_duration(j.walltime),
+               std::to_string(j.nodes), j.user});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  Flags flags;
+  flags.define("procs-per-node", "1", "SWF processor -> node divisor");
+  flags.define("days", "7", "generate: horizon in days");
+  flags.define("seed", "2012", "generate: RNG seed");
+  flags.define("rate", "8", "generate: base jobs/hour");
+  flags.define("n", "10", "head: rows to print");
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("swf_tools").c_str());
+    return 1;
+  }
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: swf_tools <inspect|head|generate> <file.swf> [flags]\n");
+    return 1;
+  }
+  const std::string& command = flags.positional()[0];
+  const std::string& path = flags.positional()[1];
+
+  if (command == "generate") {
+    SyntheticConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(flags.get_i64("seed"));
+    cfg.horizon = days(flags.get_i64("days"));
+    cfg.base_rate_per_hour = flags.get_f64("rate");
+    const auto trace = SyntheticTraceBuilder(cfg).build();
+    const auto status = write_swf_file(
+        path, trace, "synthetic Intrepid-like workload (amjs swf_tools)");
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu jobs to %s\n", trace.size(), path.c_str());
+    return 0;
+  }
+
+  SwfReadOptions options;
+  options.procs_per_node = static_cast<int>(flags.get_i64("procs-per-node"));
+  auto trace = read_swf_file(path, options);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.error().to_string().c_str());
+    return 1;
+  }
+  if (command == "inspect") return cmd_inspect(trace.value());
+  if (command == "head") return cmd_head(trace.value(), flags.get_i64("n"));
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}

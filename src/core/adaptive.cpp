@@ -1,0 +1,150 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+AdaptiveScheme AdaptiveScheme::bf_queue_depth(double threshold_minutes,
+                                              double relaxed, double stressed) {
+  AdaptiveScheme s;
+  s.tunable = Tunable::kBalanceFactor;
+  s.monitor = MonitorSignal::kQueueDepth;
+  s.mode = TuningMode::kTwoLevel;
+  s.relaxed_value = relaxed;
+  s.stressed_value = stressed;
+  s.qd_threshold = threshold_minutes;
+  return s;
+}
+
+AdaptiveScheme AdaptiveScheme::w_utilization(int base, int enlarged) {
+  AdaptiveScheme s;
+  s.tunable = Tunable::kWindowSize;
+  s.monitor = MonitorSignal::kUtilizationTrend;
+  s.mode = TuningMode::kTwoLevel;
+  s.relaxed_value = base;
+  s.stressed_value = enlarged;
+  return s;
+}
+
+AdaptiveScheme AdaptiveScheme::bf_incremental(double threshold_minutes, double delta,
+                                              double min_bf, double max_bf) {
+  AdaptiveScheme s;
+  s.tunable = Tunable::kBalanceFactor;
+  s.monitor = MonitorSignal::kQueueDepth;
+  s.mode = TuningMode::kIncremental;
+  s.initial = max_bf;
+  s.delta = delta;
+  s.min_value = min_bf;
+  s.max_value = max_bf;
+  s.stressed_sign = -1.0;  // deep queue -> favor efficiency
+  s.qd_threshold = threshold_minutes;
+  return s;
+}
+
+AdaptiveScheme AdaptiveScheme::w_incremental(int delta, int min_w, int max_w) {
+  AdaptiveScheme s;
+  s.tunable = Tunable::kWindowSize;
+  s.monitor = MonitorSignal::kUtilizationTrend;
+  s.mode = TuningMode::kIncremental;
+  s.initial = min_w;
+  s.delta = delta;
+  s.min_value = min_w;
+  s.max_value = max_w;
+  s.stressed_sign = +1.0;  // sagging utilization -> enlarge the window
+  return s;
+}
+
+AdaptiveScheduler::AdaptiveScheduler(MetricAwareConfig base,
+                                     std::vector<AdaptiveScheme> schemes,
+                                     std::string label)
+    : inner_(base),
+      initial_policy_(base.policy),
+      schemes_(std::move(schemes)),
+      label_(std::move(label)) {
+  assert(!schemes_.empty());
+}
+
+void AdaptiveScheduler::schedule(SchedContext& ctx) { inner_.schedule(ctx); }
+
+std::string AdaptiveScheduler::name() const {
+  if (!label_.empty()) return label_;
+  std::string dims;
+  for (const auto& s : schemes_) {
+    dims += s.tunable == Tunable::kBalanceFactor ? "BF" : "W";
+  }
+  return amjs::format("Adaptive[{}]", dims);
+}
+
+void AdaptiveScheduler::reset() {
+  inner_.reset();
+  MetricAwarePolicy policy = initial_policy_;
+  // Incremental schemes restart from T_i.
+  for (const auto& s : schemes_) {
+    if (s.mode != TuningMode::kIncremental) continue;
+    if (s.tunable == Tunable::kBalanceFactor) policy.balance_factor = s.initial;
+    else policy.window_size = static_cast<int>(s.initial);
+  }
+  inner_.set_policy(policy);
+  bf_history_ = SampledSeries{};
+  w_history_ = SampledSeries{};
+  adjustments_ = 0;
+}
+
+bool AdaptiveScheduler::stressed(const AdaptiveScheme& scheme, const SchedContext& ctx,
+                                 double queue_depth_minutes) const {
+  switch (scheme.monitor) {
+    case MonitorSignal::kQueueDepth:
+      return queue_depth_minutes >= scheme.qd_threshold;
+    case MonitorSignal::kUtilizationTrend: {
+      const auto& busy = ctx.busy_series();
+      const SimTime now = ctx.now();
+      // Raw busy-node means compare identically to utilization (the
+      // machine-size divisor cancels).
+      const double short_avg = busy.trailing_mean(now, scheme.short_window);
+      const double long_avg = busy.trailing_mean(now, scheme.long_window);
+      return short_avg < long_avg;
+    }
+  }
+  return false;
+}
+
+double AdaptiveScheduler::retune(const AdaptiveScheme& scheme, bool is_stressed,
+                                 double current) const {
+  switch (scheme.mode) {
+    case TuningMode::kTwoLevel:
+      return is_stressed ? scheme.stressed_value : scheme.relaxed_value;
+    case TuningMode::kIncremental: {
+      const double sign = is_stressed ? scheme.stressed_sign : -scheme.stressed_sign;
+      return std::clamp(current + sign * scheme.delta, scheme.min_value,
+                        scheme.max_value);
+    }
+  }
+  return current;
+}
+
+void AdaptiveScheduler::on_metric_check(SchedContext& ctx,
+                                        double queue_depth_minutes) {
+  MetricAwarePolicy policy = inner_.policy();
+  for (const auto& scheme : schemes_) {
+    const bool is_stressed = stressed(scheme, ctx, queue_depth_minutes);
+    if (scheme.tunable == Tunable::kBalanceFactor) {
+      policy.balance_factor = retune(scheme, is_stressed, policy.balance_factor);
+    } else {
+      policy.window_size = static_cast<int>(
+          std::lround(retune(scheme, is_stressed, policy.window_size)));
+    }
+  }
+  assert(policy.valid());
+  if (policy.balance_factor != inner_.policy().balance_factor ||
+      policy.window_size != inner_.policy().window_size) {
+    ++adjustments_;
+  }
+  inner_.set_policy(policy);
+  bf_history_.add(ctx.now(), policy.balance_factor);
+  w_history_.add(ctx.now(), policy.window_size);
+}
+
+}  // namespace amjs

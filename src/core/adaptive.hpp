@@ -1,0 +1,122 @@
+// Adaptive policy tuning — §III-C, Table I, and Algorithm 1.
+//
+// A tuning scheme is the paper's tuple <T, T_i, Δ, M, Th, E_p, E_m, C_i>:
+// a tunable T (BF or W) is adjusted whenever a monitored metric M crosses
+// its threshold Th, checked every C_i (the simulator's metric-check
+// interval). Two monitors are implemented, matching the paper's
+// experiments:
+//
+//   * queue depth (sum of current waits, minutes) against a fixed
+//     threshold — drives BF (Fig. 4);
+//   * utilization trend: trailing short-window mean vs long-window mean
+//     (the "stock price" 10H/24H crossover) — drives W (Fig. 5).
+//
+// Two tuning modes:
+//   * two-level — the exact behaviour of the paper's experiments ("when
+//     the queue depth is under 1000 minutes, the BF is set to 1;
+//     otherwise, the BF is set to 0.5");
+//   * incremental — the ±Δ walk of Table I, clamped to [min, max].
+//
+// Attaching both a BF scheme and a W scheme gives the paper's
+// "two-dimensional policy tuning" (Fig. 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+#include "util/timeseries.hpp"
+
+namespace amjs {
+
+enum class Tunable { kBalanceFactor, kWindowSize };
+enum class MonitorSignal { kQueueDepth, kUtilizationTrend };
+enum class TuningMode { kTwoLevel, kIncremental };
+
+struct AdaptiveScheme {
+  Tunable tunable = Tunable::kBalanceFactor;
+  MonitorSignal monitor = MonitorSignal::kQueueDepth;
+  TuningMode mode = TuningMode::kTwoLevel;
+
+  // --- two-level mode: target values per monitor state.
+  double relaxed_value = 1.0;   // metric satisfied
+  double stressed_value = 0.5;  // threshold crossed
+
+  // --- incremental mode (Table I): T_i, Δ, and clamp bounds.
+  double initial = 1.0;
+  double delta = 0.5;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  /// Direction the tunable moves when the monitor is stressed: BF moves
+  /// *down* (favor efficiency when the queue is deep), W moves *up*
+  /// (enlarge the window when utilization sags).
+  double stressed_sign = -1.0;
+
+  // --- monitor parameters.
+  /// Queue-depth threshold Th, minutes (paper: 1000, "set based on the
+  /// whole month's average").
+  double qd_threshold = 1000.0;
+  /// Utilization-trend windows (paper: 10H vs 24H).
+  Duration short_window = hours(10);
+  Duration long_window = hours(24);
+
+  /// The paper's BF scheme: QD >= threshold -> BF = stressed, else relaxed.
+  [[nodiscard]] static AdaptiveScheme bf_queue_depth(double threshold_minutes = 1000.0,
+                                                     double relaxed = 1.0,
+                                                     double stressed = 0.5);
+
+  /// The paper's W scheme: short-window utilization below long-window ->
+  /// W = enlarged, else base.
+  [[nodiscard]] static AdaptiveScheme w_utilization(int base = 1, int enlarged = 4);
+
+  /// Incremental variants (Table I's Δ walk).
+  [[nodiscard]] static AdaptiveScheme bf_incremental(double threshold_minutes = 1000.0,
+                                                     double delta = 0.5,
+                                                     double min_bf = 0.5,
+                                                     double max_bf = 1.0);
+  [[nodiscard]] static AdaptiveScheme w_incremental(int delta = 1, int min_w = 1,
+                                                    int max_w = 5);
+};
+
+/// Wraps a MetricAwareScheduler and retunes it at every metric check
+/// (Algorithm 1: initialize tunables; at each checkpoint compare monitored
+/// metrics with thresholds and adjust, then run the scheduling pass).
+class AdaptiveScheduler final : public Scheduler {
+ public:
+  AdaptiveScheduler(MetricAwareConfig base, std::vector<AdaptiveScheme> schemes,
+                    std::string label = "");
+
+  void schedule(SchedContext& ctx) override;
+  void on_metric_check(SchedContext& ctx, double queue_depth_minutes) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+  [[nodiscard]] const MetricAwarePolicy& policy() const { return inner_.policy(); }
+  [[nodiscard]] const MetricAwareScheduler& inner() const { return inner_; }
+
+  /// Tunable histories (sampled at each check) for the Fig. 4-6 plots.
+  [[nodiscard]] const SampledSeries& bf_history() const { return bf_history_; }
+  [[nodiscard]] const SampledSeries& w_history() const { return w_history_; }
+
+  /// Number of checks at which any tunable actually changed.
+  [[nodiscard]] std::size_t adjustments() const { return adjustments_; }
+
+ private:
+  /// Is the scheme's monitored metric past its threshold?
+  [[nodiscard]] bool stressed(const AdaptiveScheme& scheme, const SchedContext& ctx,
+                              double queue_depth_minutes) const;
+
+  /// New value for one tunable given monitor state and current value.
+  [[nodiscard]] double retune(const AdaptiveScheme& scheme, bool is_stressed,
+                              double current) const;
+
+  MetricAwareScheduler inner_;
+  MetricAwarePolicy initial_policy_;
+  std::vector<AdaptiveScheme> schemes_;
+  std::string label_;
+  SampledSeries bf_history_;
+  SampledSeries w_history_;
+  std::size_t adjustments_ = 0;
+};
+
+}  // namespace amjs

@@ -1,0 +1,99 @@
+#include "core/balancer.hpp"
+
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+std::string BalancerSpec::display_name() const {
+  if (!label.empty()) return label;
+  switch (tuning) {
+    case TuningKind::kNone: return policy.label();
+    case TuningKind::kBalance: return "BF Adapt.";
+    case TuningKind::kWindow: return "W Adapt.";
+    case TuningKind::kTwoD: return "2D Adapt.";
+  }
+  return policy.label();
+}
+
+BalancerSpec BalancerSpec::fixed(double bf, int w, BackfillMode mode) {
+  BalancerSpec spec;
+  spec.policy = MetricAwarePolicy{bf, w};
+  spec.backfill = mode;
+  spec.tuning = TuningKind::kNone;
+  return spec;
+}
+
+BalancerSpec BalancerSpec::bf_adaptive(double threshold_minutes) {
+  BalancerSpec spec;
+  spec.policy = MetricAwarePolicy{1.0, 1};  // T_i = 1 (Table I)
+  spec.tuning = TuningKind::kBalance;
+  spec.qd_threshold_minutes = threshold_minutes;
+  return spec;
+}
+
+BalancerSpec BalancerSpec::w_adaptive(int base, int enlarged) {
+  BalancerSpec spec;
+  spec.policy = MetricAwarePolicy{1.0, base};
+  spec.tuning = TuningKind::kWindow;
+  spec.w_base = base;
+  spec.w_enlarged = enlarged;
+  return spec;
+}
+
+BalancerSpec BalancerSpec::two_d(double threshold_minutes, int base, int enlarged) {
+  BalancerSpec spec;
+  spec.policy = MetricAwarePolicy{1.0, base};
+  spec.tuning = TuningKind::kTwoD;
+  spec.qd_threshold_minutes = threshold_minutes;
+  spec.w_base = base;
+  spec.w_enlarged = enlarged;
+  return spec;
+}
+
+std::unique_ptr<Scheduler> MetricsBalancer::make(const BalancerSpec& spec) {
+  MetricAwareConfig config;
+  config.policy = spec.policy;
+  config.backfill = spec.backfill;
+
+  if (spec.tuning == TuningKind::kNone) {
+    return std::make_unique<MetricAwareScheduler>(config);
+  }
+
+  std::vector<AdaptiveScheme> schemes;
+  if (spec.tuning == TuningKind::kBalance || spec.tuning == TuningKind::kTwoD) {
+    schemes.push_back(
+        spec.incremental
+            ? AdaptiveScheme::bf_incremental(spec.qd_threshold_minutes,
+                                             /*delta=*/0.5, spec.bf_stressed,
+                                             spec.bf_relaxed)
+            : AdaptiveScheme::bf_queue_depth(spec.qd_threshold_minutes,
+                                             spec.bf_relaxed, spec.bf_stressed));
+  }
+  if (spec.tuning == TuningKind::kWindow || spec.tuning == TuningKind::kTwoD) {
+    schemes.push_back(
+        spec.incremental
+            ? AdaptiveScheme::w_incremental(/*delta=*/1, spec.w_base, spec.w_enlarged)
+            : AdaptiveScheme::w_utilization(spec.w_base, spec.w_enlarged));
+  }
+  return std::make_unique<AdaptiveScheduler>(config, std::move(schemes),
+                                             spec.display_name());
+}
+
+std::function<std::unique_ptr<Scheduler>()> MetricsBalancer::factory(
+    BalancerSpec spec) {
+  return [spec] { return make(spec); };
+}
+
+std::vector<BalancerSpec> MetricsBalancer::table2_specs() {
+  return {
+      BalancerSpec::fixed(1.0, 1),  // base: FCFS + backfilling
+      BalancerSpec::fixed(1.0, 4),
+      BalancerSpec::fixed(0.5, 1),
+      BalancerSpec::fixed(0.5, 4),
+      BalancerSpec::bf_adaptive(),
+      BalancerSpec::w_adaptive(),
+      BalancerSpec::two_d(),
+  };
+}
+
+}  // namespace amjs

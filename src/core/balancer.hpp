@@ -1,0 +1,74 @@
+// MetricsBalancer — the front door of the framework (Fig. 1 of the paper).
+//
+// Builds ready-to-run Scheduler instances for every configuration the
+// paper evaluates, from one declarative spec. The experiment harnesses and
+// the fair-start oracle both construct schedulers through this facade so a
+// configuration always means the same policy everywhere.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/metric_aware.hpp"
+
+namespace amjs {
+
+/// Which adaptive schemes (if any) a configuration enables.
+enum class TuningKind {
+  kNone,       // static BF/W
+  kBalance,    // adaptive BF, QD monitor            (paper §IV-C1)
+  kWindow,     // adaptive W, utilization monitor    (paper §IV-C2)
+  kTwoD        // both                               (paper §IV-C3)
+};
+
+struct BalancerSpec {
+  /// Static policy, and the starting point when tuning is enabled.
+  MetricAwarePolicy policy;
+  BackfillMode backfill = BackfillMode::kEasy;
+  TuningKind tuning = TuningKind::kNone;
+
+  /// BF scheme parameters (Fig. 4's configuration by default).
+  double qd_threshold_minutes = 1000.0;
+  double bf_relaxed = 1.0;
+  double bf_stressed = 0.5;
+
+  /// W scheme parameters (Fig. 5's configuration by default).
+  int w_base = 1;
+  int w_enlarged = 4;
+
+  /// Incremental (Table I Δ-walk) instead of two-level switching.
+  bool incremental = false;
+
+  /// Optional display label; defaults to a Table-II-style name.
+  std::string label;
+
+  [[nodiscard]] std::string display_name() const;
+
+  // Named constructors for the seven Table II rows.
+  [[nodiscard]] static BalancerSpec fixed(double bf, int w,
+                                          BackfillMode mode = BackfillMode::kEasy);
+  [[nodiscard]] static BalancerSpec bf_adaptive(double threshold_minutes = 1000.0);
+  [[nodiscard]] static BalancerSpec w_adaptive(int base = 1, int enlarged = 4);
+  [[nodiscard]] static BalancerSpec two_d(double threshold_minutes = 1000.0,
+                                          int base = 1, int enlarged = 4);
+};
+
+class MetricsBalancer {
+ public:
+  /// Build a fresh scheduler for `spec`. Each call returns an independent
+  /// instance (schedulers are stateful).
+  [[nodiscard]] static std::unique_ptr<Scheduler> make(const BalancerSpec& spec);
+
+  /// A factory closure over `spec` — what the fair-start oracle needs to
+  /// replay the policy from scratch per probe.
+  [[nodiscard]] static std::function<std::unique_ptr<Scheduler>()> factory(
+      BalancerSpec spec);
+
+  /// The paper's Table II configuration set, in row order.
+  [[nodiscard]] static std::vector<BalancerSpec> table2_specs();
+};
+
+}  // namespace amjs

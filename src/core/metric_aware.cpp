@@ -1,0 +1,190 @@
+#include "core/metric_aware.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+std::string MetricAwarePolicy::label() const {
+  // Match the paper's Table II row labels ("BF=0.5/W=4").
+  const bool integral = balance_factor == static_cast<int>(balance_factor);
+  return integral ? amjs::format("BF={}/W={}", static_cast<int>(balance_factor),
+                                window_size)
+                  : amjs::format("BF={}/W={}", balance_factor, window_size);
+}
+
+MetricAwareScheduler::MetricAwareScheduler(MetricAwareConfig config)
+    : config_(std::move(config)), allocator_(config_.max_window) {
+  assert(config_.policy.valid());
+  allocator_.set_exhaustive(config_.exhaustive_window_search);
+}
+
+std::string MetricAwareScheduler::name() const {
+  return amjs::format("MetricAware({}, {})", config_.policy.label(),
+                     config_.backfill == BackfillMode::kEasy ? "EASY" : "conservative");
+}
+
+void MetricAwareScheduler::reset() { stats_ = MetricAwareStats{}; }
+
+void MetricAwareScheduler::set_policy(const MetricAwarePolicy& policy) {
+  assert(policy.valid());
+  config_.policy = policy;
+}
+
+std::vector<JobId> MetricAwareScheduler::ranked_queue(const SchedContext& ctx) const {
+  std::vector<QueuedJob> queued;
+  queued.reserve(ctx.queue().size());
+  for (const JobId id : ctx.queue()) {
+    const Job& j = ctx.job(id);
+    queued.push_back(QueuedJob{id, ctx.waited(id), j.walltime, j.submit});
+  }
+  ScoreParams params;
+  params.balance_factor = config_.policy.balance_factor;
+  params.literal_eq1 = config_.literal_eq1;
+  std::vector<JobId> ids;
+  ids.reserve(queued.size());
+  for (const auto& s : rank_jobs(queued, params)) ids.push_back(s.id);
+  return ids;
+}
+
+std::size_t MetricAwareScheduler::apply_window(
+    SchedContext& ctx, Plan& plan, const std::vector<const Job*>& window,
+    bool pin_all_reservations) {
+  const SimTime now = ctx.now();
+  const WindowDecision decision = allocator_.decide(plan, window, now);
+  stats_.permutations_tried += decision.permutations_tried;
+
+  // Realize the decision with EASY's protection structure (the window
+  // variant of phases 1-3, see sched/easy.cpp):
+  //
+  //   A. In PRIORITY order, start window jobs until the first one that
+  //      cannot start — exactly classical phase 1, so higher-priority
+  //      jobs are never gated by lower-priority plans.
+  //   B. Pin that first blocked job's reservation at its earliest
+  //      feasible time, computed against running jobs and phase-A starts
+  //      only. Lower-priority window work can never delay it; without
+  //      this, full-machine jobs starve for days (long-walltime window
+  //      peers keep landing inside their partitions).
+  //   C. Walk the remaining placements in the DECISION's permutation
+  //      order: start those that still fit *now* without disturbing the
+  //      reservation; the rest become reservations too — capacity
+  //      shadows under EASY, hard commitments under conservative
+  //      (`pin_all_reservations`).
+  std::size_t started = 0;
+  std::vector<JobId> handled;
+  auto mark_handled = [&handled](JobId id) { handled.push_back(id); };
+  auto is_handled = [&handled](JobId id) {
+    return std::find(handled.begin(), handled.end(), id) != handled.end();
+  };
+
+  // Phase A.
+  JobId pin_job = kInvalidJob;
+  for (const Job* j : window) {
+    if (!plan.fits_at(*j, now)) {
+      pin_job = j->id;
+      break;
+    }
+    plan.commit(*j, now);
+    mark_handled(j->id);
+    const bool ok = ctx.start_job(j->id, plan.last_placement());
+    assert(ok && "plan admitted a window start the machine refused");
+    if (ok) {
+      ++started;
+      ++stats_.jobs_started;
+    }
+  }
+
+  // Phase B.
+  if (pin_job != kInvalidJob) {
+    const Job& j = ctx.job(pin_job);
+    plan.commit(j, plan.find_start(j, now));
+    mark_handled(pin_job);
+  }
+
+  // Phase C.
+  for (const auto& placement : decision.placements) {
+    if (is_handled(placement.id)) continue;
+    const Job& j = ctx.job(placement.id);
+    if (plan.fits_at(j, now)) {
+      plan.commit(j, now);
+      const bool ok = ctx.start_job(placement.id, plan.last_placement());
+      assert(ok && "plan admitted a window start the machine refused");
+      if (ok) {
+        ++started;
+        ++stats_.jobs_started;
+        continue;
+      }
+    }
+    // Step 5: every window job that cannot run now is reserved at its
+    // earliest time. Under conservative semantics the reservation pins a
+    // partition; under EASY it is a capacity shadow (a specific partition
+    // cannot be promised hours ahead — see DESIGN.md D5) that backfill
+    // plans around until the next pass re-derives it.
+    const SimTime slot = plan.find_start(j, std::max(placement.start, now));
+    if (pin_all_reservations) plan.commit(j, slot);
+    else plan.commit_soft(j, slot);
+  }
+  return started;
+}
+
+void MetricAwareScheduler::schedule(SchedContext& ctx) {
+  ++stats_.schedule_calls;
+  if (ctx.queue().empty()) return;
+
+  const auto ranked = ranked_queue(ctx);
+  if (config_.backfill == BackfillMode::kEasy) {
+    schedule_easy(ctx, ranked);
+  } else {
+    schedule_conservative(ctx, ranked);
+  }
+}
+
+void MetricAwareScheduler::schedule_easy(SchedContext& ctx,
+                                         const std::vector<JobId>& ranked) {
+  const SimTime now = ctx.now();
+  auto plan = ctx.machine().make_plan(now);
+
+  // Step 5 on the first window only: its placements (including future
+  // reservations) are the protected set.
+  const auto window_len = std::min<std::size_t>(
+      ranked.size(), static_cast<std::size_t>(config_.policy.window_size));
+  std::vector<const Job*> window;
+  window.reserve(window_len);
+  for (std::size_t i = 0; i < window_len; ++i) window.push_back(&ctx.job(ranked[i]));
+  apply_window(ctx, *plan, window, /*pin_all_reservations=*/false);
+
+  // Step 6: EASY-style backfill of the remaining queue in priority order —
+  // start only where the plan (which carries the window's reservations)
+  // has room right now.
+  for (std::size_t i = window_len; i < ranked.size(); ++i) {
+    const Job& j = ctx.job(ranked[i]);
+    if (!ctx.machine().can_start(j)) continue;
+    if (!plan->fits_at(j, now)) continue;
+    plan->commit(j, now);
+    const bool ok = ctx.start_job(ranked[i], plan->last_placement());
+    assert(ok && "plan admitted a backfill the machine refused");
+    if (!ok) continue;
+    ++stats_.jobs_started;
+    ++stats_.jobs_backfilled;
+  }
+}
+
+void MetricAwareScheduler::schedule_conservative(SchedContext& ctx,
+                                                 const std::vector<JobId>& ranked) {
+  const SimTime now = ctx.now();
+  auto plan = ctx.machine().make_plan(now);
+
+  // Step 5 window-by-window over the whole queue; every placement is
+  // committed, so no reservation can be delayed (conservative semantics).
+  const auto w = static_cast<std::size_t>(config_.policy.window_size);
+  for (std::size_t begin = 0; begin < ranked.size(); begin += w) {
+    const std::size_t end = std::min(begin + w, ranked.size());
+    std::vector<const Job*> window;
+    window.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) window.push_back(&ctx.job(ranked[i]));
+    apply_window(ctx, *plan, window, /*pin_all_reservations=*/true);
+  }
+}
+
+}  // namespace amjs

@@ -1,0 +1,98 @@
+// MetricAwareScheduler — the paper's §III-B algorithm, steps 1-6.
+//
+//   1-4. Score and rank the queue by S_p (core/score.hpp).
+//   5.   Take the first W jobs as the allocation window; permutation-search
+//        the least-makespan placement (core/window_alloc.hpp). Jobs placed
+//        at "now" start; later placements become reservations.
+//   6.   Backfill the remaining queue against those reservations:
+//        EASY mode        — only the first window's reservations are
+//                           protected; the rest of the queue backfills
+//                           greedily in priority order.
+//        Conservative mode — the queue is processed window-by-window and
+//                           *every* job gets a protected reservation.
+//
+// BF = 1 and W = 1 reduce exactly to FCFS + backfilling, the baseline of
+// the paper's Table II.
+#pragma once
+
+#include <string>
+
+#include "core/score.hpp"
+#include "core/window_alloc.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+
+/// The two tunables of a metric-aware policy.
+struct MetricAwarePolicy {
+  double balance_factor = 1.0;  // BF in [0, 1]
+  int window_size = 1;          // W >= 1
+
+  [[nodiscard]] bool valid() const {
+    return balance_factor >= 0.0 && balance_factor <= 1.0 && window_size >= 1;
+  }
+  [[nodiscard]] std::string label() const;
+};
+
+enum class BackfillMode { kEasy, kConservative };
+
+struct MetricAwareConfig {
+  MetricAwarePolicy policy;
+  BackfillMode backfill = BackfillMode::kEasy;
+
+  /// Use eq. (1) as printed (ablation; see core/score.hpp erratum note).
+  bool literal_eq1 = false;
+
+  /// Disable the permutation search, keeping greedy priority-order window
+  /// placement (ablation D1 in DESIGN.md).
+  bool exhaustive_window_search = true;
+
+  /// Hard cap on the permutation search (W! growth).
+  int max_window = 8;
+};
+
+/// Counters for the Table III overhead study and for tests.
+struct MetricAwareStats {
+  std::size_t schedule_calls = 0;
+  std::size_t jobs_started = 0;
+  std::size_t jobs_backfilled = 0;  // subset of jobs_started
+  std::size_t permutations_tried = 0;
+};
+
+class MetricAwareScheduler : public Scheduler {
+ public:
+  explicit MetricAwareScheduler(MetricAwareConfig config = {});
+
+  void schedule(SchedContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+  [[nodiscard]] const MetricAwarePolicy& policy() const { return config_.policy; }
+
+  /// Live policy update — the adaptive tuner's hook. Takes effect on the
+  /// next schedule() pass.
+  void set_policy(const MetricAwarePolicy& policy);
+
+  [[nodiscard]] const MetricAwareStats& stats() const { return stats_; }
+
+ private:
+  /// Rank the whole queue by balanced priority (steps 1-4).
+  [[nodiscard]] std::vector<JobId> ranked_queue(const SchedContext& ctx) const;
+
+  void schedule_easy(SchedContext& ctx, const std::vector<JobId>& ranked);
+  void schedule_conservative(SchedContext& ctx, const std::vector<JobId>& ranked);
+
+  /// Apply one window decision: start now-placements, commit the rest as
+  /// reservations into `plan` (hard for the highest-priority blocked job,
+  /// capacity-soft for the rest unless `pin_all_reservations`). Returns
+  /// jobs actually started.
+  std::size_t apply_window(SchedContext& ctx, Plan& plan,
+                           const std::vector<const Job*>& window,
+                           bool pin_all_reservations);
+
+  MetricAwareConfig config_;
+  WindowAllocator allocator_;
+  MetricAwareStats stats_;
+};
+
+}  // namespace amjs

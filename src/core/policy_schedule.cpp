@@ -1,0 +1,56 @@
+#include "core/policy_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+ScheduledPolicyDriver::ScheduledPolicyDriver(MetricAwareConfig base,
+                                             std::vector<PolicyChange> changes,
+                                             std::string label)
+    : inner_(base),
+      initial_policy_(base.policy),
+      changes_(std::move(changes)),
+      label_(std::move(label)) {
+  std::stable_sort(changes_.begin(), changes_.end(),
+                   [](const PolicyChange& a, const PolicyChange& b) {
+                     return a.at < b.at;
+                   });
+  for (const auto& c : changes_) {
+    assert(c.policy.valid());
+    (void)c;
+  }
+}
+
+std::string ScheduledPolicyDriver::name() const {
+  if (!label_.empty()) return label_;
+  return format("ScheduledPolicy[{} changes]", changes_.size());
+}
+
+void ScheduledPolicyDriver::reset() {
+  inner_.reset();
+  inner_.set_policy(initial_policy_);
+  next_ = 0;
+  applied_ = 0;
+}
+
+void ScheduledPolicyDriver::on_metric_check(SchedContext& ctx,
+                                            double /*queue_depth_minutes*/) {
+  // Apply every change whose time has arrived; the last one wins. Changes
+  // land at checkpoints (not mid-interval), mirroring Algorithm 1's
+  // check-then-schedule cadence for the automatic tuner.
+  bool changed = false;
+  while (next_ < changes_.size() && changes_[next_].at <= ctx.now()) {
+    inner_.set_policy(changes_[next_].policy);
+    ++next_;
+    ++applied_;
+    changed = true;
+  }
+  (void)changed;
+}
+
+void ScheduledPolicyDriver::schedule(SchedContext& ctx) { inner_.schedule(ctx); }
+
+}  // namespace amjs

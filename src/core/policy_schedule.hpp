@@ -1,0 +1,50 @@
+// Manual policy tuning — Fig. 1 of the paper notes the feedback from the
+// metrics monitor to the metrics balancer "can be conducted manually or
+// automatically". AdaptiveScheduler is the automatic path; this driver is
+// the manual one: an operator's pre-planned, time-indexed list of policy
+// changes (e.g. "weekday days run BF=1, drain windows run BF=0.5/W=4"),
+// applied at metric checkpoints exactly like the automatic tuner so the
+// two are directly comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+
+namespace amjs {
+
+/// One operator instruction: from `at` onward, run `policy`.
+struct PolicyChange {
+  SimTime at = 0;
+  MetricAwarePolicy policy;
+};
+
+class ScheduledPolicyDriver final : public Scheduler {
+ public:
+  /// `changes` are sorted by time internally; the base config's policy
+  /// applies before the first change. Duplicate timestamps keep the
+  /// later-listed entry (operator's last word wins).
+  ScheduledPolicyDriver(MetricAwareConfig base, std::vector<PolicyChange> changes,
+                        std::string label = "");
+
+  void schedule(SchedContext& ctx) override;
+  void on_metric_check(SchedContext& ctx, double queue_depth_minutes) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+  [[nodiscard]] const MetricAwarePolicy& policy() const { return inner_.policy(); }
+
+  /// Changes actually applied so far (for reports/tests).
+  [[nodiscard]] std::size_t applied() const { return applied_; }
+
+ private:
+  MetricAwareScheduler inner_;
+  MetricAwarePolicy initial_policy_;
+  std::vector<PolicyChange> changes_;
+  std::size_t next_ = 0;
+  std::size_t applied_ = 0;
+  std::string label_;
+};
+
+}  // namespace amjs

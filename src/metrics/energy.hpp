@@ -1,0 +1,61 @@
+// Energy accounting — the paper's §V names energy efficiency as the first
+// "system cost" metric to fold into the balancing framework; this module
+// implements that extension.
+//
+// Model: every node draws `busy_watts` while allocated and `idle_watts`
+// while idle; nodes idle longer than `powerdown_after` drop to
+// `sleep_watts` until next used (coarse model of BG/P power management —
+// transitions are charged at the *fleet* level from the busy-node series,
+// not per node, which is exact for energy as long as allocation churn is
+// slower than the power-down delay).
+//
+// The derived figure of merit is energy per delivered node-hour: a
+// scheduler that keeps utilization high and stable wastes less idle
+// power per unit of useful work — exactly the coupling the paper's
+// adaptive W-tuning exploits.
+#pragma once
+
+#include "sim/result.hpp"
+#include "util/types.hpp"
+
+namespace amjs {
+
+struct PowerModel {
+  double busy_watts = 40.0;   // BG/P-class: ~13 kW/rack over 1024 nodes + I/O
+  double idle_watts = 20.0;   // clock-gated idle
+  double sleep_watts = 4.0;   // powered-down midplane amortized
+  Duration powerdown_after = minutes(30);
+
+  [[nodiscard]] bool valid() const {
+    return busy_watts >= idle_watts && idle_watts >= sleep_watts &&
+           sleep_watts >= 0.0 && powerdown_after >= 0;
+  }
+};
+
+struct EnergyReport {
+  /// Total energy over the run, joules (watt-seconds).
+  double total_joules = 0.0;
+  /// Energy consumed by allocated (busy) nodes.
+  double busy_joules = 0.0;
+  /// Energy consumed by idle nodes (awake + asleep).
+  double idle_joules = 0.0;
+  /// Delivered node-seconds (busy integral).
+  double delivered_node_seconds = 0.0;
+
+  /// Watt-hours per delivered node-hour — the efficiency headline.
+  [[nodiscard]] double watthours_per_delivered_nodehour() const {
+    return delivered_node_seconds > 0.0 ? total_joules / delivered_node_seconds
+                                        : 0.0;
+  }
+
+  /// Fraction of total energy that did useful work.
+  [[nodiscard]] double useful_fraction() const {
+    return total_joules > 0.0 ? busy_joules / total_joules : 0.0;
+  }
+};
+
+/// Integrate the power model over a run's busy-node series.
+[[nodiscard]] EnergyReport energy_report(const SimResult& result,
+                                         const PowerModel& model = {});
+
+}  // namespace amjs

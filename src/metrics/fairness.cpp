@@ -1,0 +1,58 @@
+#include "metrics/fairness.hpp"
+
+#include <cassert>
+
+namespace amjs {
+
+FairStartEvaluator::FairStartEvaluator(MachineFactory machine_factory,
+                                       SchedulerFactory scheduler_factory,
+                                       SimConfig sim_config)
+    : machine_factory_(std::move(machine_factory)),
+      scheduler_factory_(std::move(scheduler_factory)),
+      sim_config_(sim_config) {
+  assert(machine_factory_ && scheduler_factory_);
+}
+
+SimTime FairStartEvaluator::fair_start_of(const JobTrace& trace, JobId id) const {
+  const JobTrace truncated = trace.truncated_at(trace.job(id).submit);
+  auto machine = machine_factory_();
+  auto scheduler = scheduler_factory_();
+
+  SimConfig config = sim_config_;
+  config.record_events = false;  // probe runs need no LoC log
+  config.stop_once_started = id;
+  Simulator sim(*machine, *scheduler, config);
+  const SimResult probe = sim.run(truncated);
+  return probe.schedule[static_cast<std::size_t>(id)].start;
+}
+
+FairnessResult FairStartEvaluator::evaluate(const JobTrace& trace,
+                                            const SimResult& actual,
+                                            Duration tolerance,
+                                            std::size_t stride) const {
+  assert(stride >= 1);
+  assert(actual.schedule.size() == trace.size());
+  FairnessResult result;
+  result.fair_start.assign(trace.size(), kNever);
+
+  for (std::size_t i = 0; i < trace.size(); i += stride) {
+    const auto& entry = actual.schedule[i];
+    if (entry.skipped || !entry.started()) continue;
+    const auto id = static_cast<JobId>(i);
+    if (entry.start == entry.submit) {
+      // Started instantly: fair start cannot be earlier than submission,
+      // so the job is fair by construction — skip the probe simulation.
+      result.fair_start[i] = entry.submit;
+      continue;
+    }
+    const SimTime fair = fair_start_of(trace, id);
+    result.fair_start[i] = fair;
+    if (fair == kNever) continue;  // probe could not place the job
+    if (entry.start > fair + tolerance) {
+      result.unfair_jobs.push_back(id);
+    }
+  }
+  return result;
+}
+
+}  // namespace amjs

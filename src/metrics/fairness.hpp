@@ -1,0 +1,62 @@
+// Fair-start fairness (§IV-A, after Sabin et al., ICPP 2004).
+//
+// Each job's "fair start time" is the start it would get if *no job
+// arrived after it*, under the same scheduling policy. A job that actually
+// started later than that was pushed back by later arrivals — it was
+// treated unfairly. The oracle re-simulates the truncated workload once
+// per evaluated job (the inner run stops as soon as the probe job starts),
+// so evaluation is O(n) simulations — the dominant cost of the Fig. 3(b)
+// and Table II benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "platform/machine.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+struct FairnessResult {
+  /// Per-job fair start time (kNever where not evaluated/skipped).
+  std::vector<SimTime> fair_start;
+
+  /// Jobs whose actual start exceeded fair start by more than the
+  /// tolerance.
+  std::vector<JobId> unfair_jobs;
+
+  [[nodiscard]] std::size_t unfair_count() const { return unfair_jobs.size(); }
+};
+
+class FairStartEvaluator {
+ public:
+  using MachineFactory = std::function<std::unique_ptr<Machine>()>;
+  using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+  /// Factories must reproduce the machine/policy of the run being judged;
+  /// fresh instances are built per probe job.
+  FairStartEvaluator(MachineFactory machine_factory,
+                     SchedulerFactory scheduler_factory,
+                     SimConfig sim_config = {});
+
+  /// Compare `actual` (the full-trace run) against per-job fair starts.
+  /// `tolerance`: slack before a late start counts as unfair (the paper
+  /// counts any delay; 0 by default).
+  /// `stride`: evaluate every job (1) or a systematic sample (>1) — the
+  /// sampled unfair count is scaled by the stride in reports, not here.
+  [[nodiscard]] FairnessResult evaluate(const JobTrace& trace, const SimResult& actual,
+                                        Duration tolerance = 0,
+                                        std::size_t stride = 1) const;
+
+  /// Fair start of a single job (exposed for tests).
+  [[nodiscard]] SimTime fair_start_of(const JobTrace& trace, JobId id) const;
+
+ private:
+  MachineFactory machine_factory_;
+  SchedulerFactory scheduler_factory_;
+  SimConfig sim_config_;
+};
+
+}  // namespace amjs

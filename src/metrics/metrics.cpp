@@ -1,0 +1,96 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amjs {
+
+double avg_wait_minutes(const SimResult& result) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& e : result.schedule) {
+    if (!e.started()) continue;
+    total += to_minutes(e.wait());
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double max_wait_minutes(const SimResult& result) {
+  Duration longest = 0;
+  for (const auto& e : result.schedule) {
+    if (e.started()) longest = std::max(longest, e.wait());
+  }
+  return to_minutes(longest);
+}
+
+double avg_bounded_slowdown(const SimResult& result, const JobTrace& trace) {
+  constexpr double kBound = 10.0;  // seconds; the standard BSLD floor
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& e : result.schedule) {
+    if (!e.started() || e.end == kNever) continue;
+    const auto runtime = static_cast<double>(trace.job(e.job).runtime);
+    const auto wait = static_cast<double>(e.wait());
+    total += (wait + runtime) / std::max(runtime, kBound);
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double utilization(const SimResult& result, SimTime from, SimTime to) {
+  assert(to > from);
+  const double busy_integral = result.busy_nodes.integrate(from, to);
+  const double capacity = static_cast<double>(result.machine_nodes) *
+                          static_cast<double>(to - from);
+  return capacity > 0.0 ? busy_integral / capacity : 0.0;
+}
+
+double utilization(const SimResult& result) {
+  if (result.busy_nodes.empty()) return 0.0;
+  const SimTime from = result.busy_nodes.points().front().time;
+  const SimTime to = result.end_time;
+  if (to <= from) return 0.0;
+  return utilization(result, from, to);
+}
+
+double loss_of_capacity(const SimResult& result) {
+  // Eq. (4): sum over scheduling events i of n_i * (t_{i+1} - t_i) * δ_i,
+  // normalized by N * (t_m - t_1). δ_i = 1 iff after event i some job
+  // waits whose (partition-rounded) footprint is no larger than the idle
+  // node count n_i.
+  const auto& events = result.events;
+  if (events.size() < 2) return 0.0;
+  double lost = 0.0;
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    const auto& e = events[i];
+    if (!e.any_waiting) continue;
+    if (e.min_waiting_occupancy > e.idle) continue;
+    lost += static_cast<double>(e.idle) *
+            static_cast<double>(events[i + 1].time - e.time);
+  }
+  const double denom = static_cast<double>(result.machine_nodes) *
+                       static_cast<double>(events.back().time - events.front().time);
+  return denom > 0.0 ? lost / denom : 0.0;
+}
+
+std::vector<UtilizationSample> utilization_samples(const SimResult& result,
+                                                   Duration interval) {
+  assert(interval > 0);
+  std::vector<UtilizationSample> samples;
+  if (result.busy_nodes.empty()) return samples;
+  const SimTime begin = result.busy_nodes.points().front().time;
+  const auto nodes = static_cast<double>(result.machine_nodes);
+  for (SimTime t = begin + interval; t <= result.end_time; t += interval) {
+    UtilizationSample s;
+    s.time = t;
+    s.instant = result.busy_nodes.at(t) / nodes;
+    s.h1 = result.busy_nodes.trailing_mean(t, hours(1)) / nodes;
+    s.h10 = result.busy_nodes.trailing_mean(t, hours(10)) / nodes;
+    s.h24 = result.busy_nodes.trailing_mean(t, hours(24)) / nodes;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+}  // namespace amjs

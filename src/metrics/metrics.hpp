@@ -1,0 +1,48 @@
+// The paper's evaluation metrics (§IV-A) computed from a SimResult.
+#pragma once
+
+#include <vector>
+
+#include "sim/result.hpp"
+#include "util/timeseries.hpp"
+
+namespace amjs {
+
+/// Average waiting time over all started jobs, in minutes (the paper's
+/// headline "wait" metric).
+[[nodiscard]] double avg_wait_minutes(const SimResult& result);
+
+/// Maximum waiting time over all started jobs, in minutes.
+[[nodiscard]] double max_wait_minutes(const SimResult& result);
+
+/// Average *bounded slowdown* ((wait + runtime) / max(runtime, 10s)) —
+/// a standard companion metric, reported in the extended tables.
+[[nodiscard]] double avg_bounded_slowdown(const SimResult& result,
+                                          const JobTrace& trace);
+
+/// Delivered node-hours / available node-hours over [from, to]
+/// (system utilization rate, §IV-A).
+[[nodiscard]] double utilization(const SimResult& result, SimTime from, SimTime to);
+
+/// Utilization over the whole run (first event to last).
+[[nodiscard]] double utilization(const SimResult& result);
+
+/// Loss of Capacity, eq. (4): the fraction of node-time left idle while
+/// jobs small enough to use it were waiting — fragmentation cost.
+[[nodiscard]] double loss_of_capacity(const SimResult& result);
+
+/// One checkpointed utilization observation (Fig. 5's four lines).
+struct UtilizationSample {
+  SimTime time = 0;
+  double instant = 0.0;
+  double h1 = 0.0;   // trailing 1-hour mean
+  double h10 = 0.0;  // trailing 10-hour mean
+  double h24 = 0.0;  // trailing 24-hour mean
+};
+
+/// Sample instant + trailing-window utilization every `interval` across
+/// the run (paper checks every 30 minutes).
+[[nodiscard]] std::vector<UtilizationSample> utilization_samples(
+    const SimResult& result, Duration interval = minutes(30));
+
+}  // namespace amjs

@@ -1,0 +1,57 @@
+#include "metrics/report.hpp"
+
+#include "util/fmt.hpp"
+
+#include "util/table.hpp"
+
+namespace amjs {
+
+const std::vector<std::string>& MetricsReport::table2_headers() {
+  static const std::vector<std::string> headers = {
+      "configuration", "avg. wait (min)", "unfair #", "LoC (%)"};
+  return headers;
+}
+
+const std::vector<std::string>& MetricsReport::extended_headers() {
+  static const std::vector<std::string> headers = {
+      "configuration", "avg. wait (min)", "max wait (min)", "unfair #",
+      "LoC (%)",       "util (%)",        "avg BSLD",       "makespan (h)"};
+  return headers;
+}
+
+std::vector<std::string> MetricsReport::table2_row() const {
+  return {configuration, TextTable::num(avg_wait_min, 1),
+          unfair_jobs ? TextTable::num(static_cast<std::int64_t>(*unfair_jobs))
+                      : std::string("-"),
+          TextTable::num(loss_of_capacity * 100.0, 1)};
+}
+
+std::vector<std::string> MetricsReport::extended_row() const {
+  return {configuration,
+          TextTable::num(avg_wait_min, 1),
+          TextTable::num(max_wait_min, 1),
+          unfair_jobs ? TextTable::num(static_cast<std::int64_t>(*unfair_jobs))
+                      : std::string("-"),
+          TextTable::num(loss_of_capacity * 100.0, 1),
+          TextTable::num(utilization * 100.0, 1),
+          TextTable::num(avg_bounded_slowdown, 2),
+          TextTable::num(to_hours(makespan), 1)};
+}
+
+MetricsReport make_report(const std::string& configuration, const JobTrace& trace,
+                          const SimResult& result, const FairnessResult* fairness) {
+  MetricsReport report;
+  report.configuration = configuration;
+  report.avg_wait_min = avg_wait_minutes(result);
+  report.max_wait_min = max_wait_minutes(result);
+  report.avg_bounded_slowdown = avg_bounded_slowdown(result, trace);
+  report.utilization = utilization(result);
+  report.loss_of_capacity = loss_of_capacity(result);
+  if (fairness != nullptr) report.unfair_jobs = fairness->unfair_count();
+  report.jobs_finished = result.finished_count();
+  report.jobs_skipped = result.skipped_jobs;
+  report.makespan = result.end_time;
+  return report;
+}
+
+}  // namespace amjs

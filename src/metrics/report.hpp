@@ -1,0 +1,46 @@
+// Aggregated per-run report: the row format of the paper's Table II plus
+// the companion metrics our extended tables print.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/fairness.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/result.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+struct MetricsReport {
+  std::string configuration;
+
+  double avg_wait_min = 0.0;
+  double max_wait_min = 0.0;
+  double avg_bounded_slowdown = 0.0;
+  double utilization = 0.0;
+  double loss_of_capacity = 0.0;  // fraction, 0..1
+  std::optional<std::size_t> unfair_jobs;
+
+  std::size_t jobs_finished = 0;
+  std::size_t jobs_skipped = 0;
+  SimTime makespan = 0;
+
+  /// Table-II-style row: {configuration, avg wait, unfair #, LoC %}.
+  [[nodiscard]] std::vector<std::string> table2_row() const;
+
+  /// Extended row adding slowdown / utilization / makespan.
+  [[nodiscard]] std::vector<std::string> extended_row() const;
+
+  static const std::vector<std::string>& table2_headers();
+  static const std::vector<std::string>& extended_headers();
+};
+
+/// Compute everything derivable from the run itself; fairness is optional
+/// because the oracle is expensive.
+[[nodiscard]] MetricsReport make_report(const std::string& configuration,
+                                        const JobTrace& trace, const SimResult& result,
+                                        const FairnessResult* fairness = nullptr);
+
+}  // namespace amjs

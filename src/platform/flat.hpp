@@ -1,0 +1,64 @@
+// FlatMachine: N interchangeable nodes, no placement constraints.
+//
+// This is the machine model of generic-cluster scheduling studies (and of
+// most SWF archive logs). Backfill planning is exact: a job can start
+// whenever enough node capacity is free for its full walltime.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "platform/machine.hpp"
+
+namespace amjs {
+
+class FlatMachine final : public Machine {
+ public:
+  explicit FlatMachine(NodeCount total);
+
+  [[nodiscard]] NodeCount total_nodes() const override { return total_; }
+  [[nodiscard]] NodeCount busy_nodes() const override { return busy_; }
+  [[nodiscard]] bool fits(const Job& job) const override { return job.nodes <= total_; }
+  [[nodiscard]] NodeCount occupancy(const Job& job) const override { return job.nodes; }
+  [[nodiscard]] bool can_start(const Job& job) const override;
+  [[nodiscard]] bool start(const Job& job, SimTime now, int placement = -1) override;
+  void finish(JobId job, SimTime now) override;
+  [[nodiscard]] std::vector<RunningAlloc> running() const override;
+  [[nodiscard]] std::unique_ptr<Plan> make_plan(SimTime now) const override;
+  void reset() override;
+
+ private:
+  NodeCount total_;
+  NodeCount busy_ = 0;
+  std::map<JobId, RunningAlloc> allocs_;
+};
+
+/// Plan over a flat node pool: a free-capacity step profile.
+class FlatPlan final : public Plan {
+ public:
+  FlatPlan(NodeCount total, SimTime now, const std::vector<RunningAlloc>& running);
+
+  [[nodiscard]] std::unique_ptr<Plan> clone() const override;
+  [[nodiscard]] SimTime find_start(const Job& job, SimTime earliest) const override;
+  [[nodiscard]] bool fits_at(const Job& job, SimTime t) const override;
+  void commit(const Job& job, SimTime start) override;
+
+  /// Free capacity at time t (for tests).
+  [[nodiscard]] NodeCount free_at(SimTime t) const;
+
+ private:
+  void occupy(SimTime from, SimTime to, NodeCount nodes);
+
+  NodeCount total_;
+  SimTime origin_;
+  /// Breakpoints of the free-capacity step function; points_[i].free holds
+  /// on [points_[i].time, points_[i+1].time). Last segment extends forever.
+  struct Step {
+    SimTime time;
+    NodeCount free;
+  };
+  std::vector<Step> steps_;
+};
+
+}  // namespace amjs

@@ -1,0 +1,6 @@
+#include "platform/machine.hpp"
+
+// Interface-only translation unit: anchors the vtables of Plan and Machine
+// so the key functions are emitted once.
+
+namespace amjs {}  // namespace amjs

@@ -1,0 +1,120 @@
+// Machine abstraction: live allocation state plus a cloneable *Plan* that
+// schedulers use to reason about future availability.
+//
+// Two implementations:
+//   * FlatMachine      — a simple pool of interchangeable nodes (generic
+//                        cluster; exact backfill planning).
+//   * PartitionMachine — Blue Gene/P-style contiguous partitions, the
+//                        source of the fragmentation the paper's Loss of
+//                        Capacity metric measures.
+//
+// Separation of truth: the live machine knows jobs' *predicted* ends
+// (start + walltime) only. Actual completion is the simulator's business —
+// it calls finish() when the trace says the job really ended.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace amjs {
+
+/// A live allocation entry.
+struct RunningAlloc {
+  JobId job = kInvalidJob;
+  /// Nodes actually occupied (>= job.nodes on a partition machine).
+  NodeCount occupied = 0;
+  SimTime start = 0;
+  /// start + walltime: when the scheduler must assume the nodes free up.
+  SimTime predicted_end = 0;
+};
+
+/// A what-if model of future occupancy, seeded from the live machine's
+/// running set. Schedulers commit hypothetical placements into a plan to
+/// build reservations and to evaluate window permutations; plans never
+/// touch the live machine. clone() is cheap by design (the window
+/// allocator's branch-and-bound copies plans at every tree level).
+class Plan {
+ public:
+  virtual ~Plan() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<Plan> clone() const = 0;
+
+  /// Earliest t >= earliest at which `job` could run for its full walltime
+  /// given running jobs and prior commitments. Always succeeds for a job
+  /// that fits the machine (the far future is empty).
+  [[nodiscard]] virtual SimTime find_start(const Job& job, SimTime earliest) const = 0;
+
+  /// Could `job` run for its full walltime starting exactly at `t`?
+  /// Equivalent to find_start(job, t) == t but O(one feasibility check) —
+  /// backfill admission tests sit in the scheduler's innermost loop and
+  /// must not pay find_start's full forward scan on every rejection.
+  [[nodiscard]] virtual bool fits_at(const Job& job, SimTime t) const = 0;
+
+  /// Record `job` as occupying the machine on [start, start + walltime).
+  /// `start` must come from find_start (asserted feasible in debug builds).
+  ///
+  /// A hard commit claims concrete resources (on a partition machine: a
+  /// specific partition), guaranteeing contiguity at `start`. Use it for
+  /// immediate starts and for reservations the policy must never delay
+  /// (EASY's head, conservative backfilling's reservations).
+  virtual void commit(const Job& job, SimTime start) = 0;
+
+  /// Capacity-only commitment: reserves the job's node count over the
+  /// window but no specific placement. On machines with placement
+  /// constraints the realized start may slip slightly (re-planned every
+  /// scheduling event); machines without placement constraints treat it
+  /// as commit(). Use for lower-priority window reservations, where hard
+  /// pinning would throttle backfill far more than the real system does.
+  virtual void commit_soft(const Job& job, SimTime start) { commit(job, start); }
+
+  /// Opaque placement token of the most recent commit (-1 when the
+  /// machine model has no placement choice, e.g. a flat node pool).
+  ///
+  /// Schedulers MUST pass this to Machine::start() when starting a job
+  /// they just committed at "now": on a partition machine the plan and the
+  /// live machine would otherwise make independent placement choices, and
+  /// a backfilled job physically landing on a partition the plan reserved
+  /// for someone else silently breaks the reservation.
+  [[nodiscard]] virtual int last_placement() const { return -1; }
+};
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  [[nodiscard]] virtual NodeCount total_nodes() const = 0;
+  [[nodiscard]] virtual NodeCount busy_nodes() const = 0;
+  [[nodiscard]] NodeCount idle_nodes() const { return total_nodes() - busy_nodes(); }
+
+  /// Can this job ever run on this machine?
+  [[nodiscard]] virtual bool fits(const Job& job) const = 0;
+
+  /// Nodes the job will actually occupy (partition rounding included).
+  [[nodiscard]] virtual NodeCount occupancy(const Job& job) const = 0;
+
+  /// Could the job start right now?
+  [[nodiscard]] virtual bool can_start(const Job& job) const = 0;
+
+  /// Allocate and start the job now. Returns false (no state change) if it
+  /// cannot start. `placement` pins the allocation to a Plan's choice
+  /// (Plan::last_placement()); -1 lets the machine choose.
+  [[nodiscard]] virtual bool start(const Job& job, SimTime now,
+                                   int placement = -1) = 0;
+
+  /// Release the job's allocation (the simulator observed its real end).
+  virtual void finish(JobId job, SimTime now) = 0;
+
+  /// Snapshot of running allocations (unspecified order).
+  [[nodiscard]] virtual std::vector<RunningAlloc> running() const = 0;
+
+  /// Build a planning model of the future as of `now`.
+  [[nodiscard]] virtual std::unique_ptr<Plan> make_plan(SimTime now) const = 0;
+
+  /// Drop all allocations (fresh simulation run).
+  virtual void reset() = 0;
+};
+
+}  // namespace amjs

@@ -1,0 +1,278 @@
+#include "platform/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+std::string PartitionDef::name() const {
+  return amjs::format("P[{}..{}]x{}", first_leaf, first_leaf + leaf_count - 1, size);
+}
+
+PartitionMachine::PartitionMachine(PartitionConfig config) : config_(config) {
+  assert(config_.leaf_nodes > 0);
+  assert(config_.row_leaves > 0);
+  assert((config_.row_leaves & (config_.row_leaves - 1)) == 0 &&
+         "row_leaves must be a power of two");
+  assert(config_.rows > 0);
+  assert(config_.row_leaves * config_.rows <= kMaxLeaves);
+  build_partitions();
+}
+
+void PartitionMachine::build_partitions() {
+  const int total_leaves = config_.row_leaves * config_.rows;
+
+  auto add_partition = [&](int first_leaf, int leaf_count) {
+    PartitionDef def;
+    def.first_leaf = first_leaf;
+    def.leaf_count = leaf_count;
+    def.size = static_cast<NodeCount>(leaf_count) * config_.leaf_nodes;
+    LeafMask mask;
+    for (int l = first_leaf; l < first_leaf + leaf_count; ++l) mask.set(static_cast<std::size_t>(l));
+    parts_.push_back(def);
+    part_masks_.push_back(mask);
+  };
+
+  // Within-row partitions: aligned power-of-two groups of midplanes.
+  for (int row = 0; row < config_.rows; ++row) {
+    const int row_base = row * config_.row_leaves;
+    for (int group = 1; group <= config_.row_leaves; group *= 2) {
+      for (int off = 0; off + group <= config_.row_leaves; off += group) {
+        add_partition(row_base + off, group);
+      }
+    }
+  }
+  // Cross-row partitions: aligned power-of-two groups of whole rows
+  // (excluding a single row — that tier already exists within rows).
+  for (int group = 2; group <= config_.rows; group *= 2) {
+    for (int off = 0; off + group <= config_.rows; off += group) {
+      add_partition(off * config_.row_leaves, group * config_.row_leaves);
+    }
+  }
+  // Full machine, if the row count is not itself a power of two.
+  bool have_full = false;
+  for (const auto& p : parts_) {
+    if (p.leaf_count == total_leaves) have_full = true;
+  }
+  if (!have_full) add_partition(0, total_leaves);
+
+  // Index partitions by size tier.
+  for (int i = 0; i < static_cast<int>(parts_.size()); ++i) {
+    tier_index_[parts_[static_cast<std::size_t>(i)].size].push_back(i);
+  }
+  for (const auto& entry : tier_index_) tiers_.push_back(entry.first);
+}
+
+bool PartitionMachine::fits(const Job& job) const {
+  return job.nodes <= total_nodes();
+}
+
+NodeCount PartitionMachine::occupancy(const Job& job) const {
+  assert(fits(job));
+  const auto it = std::lower_bound(tiers_.begin(), tiers_.end(), job.nodes);
+  assert(it != tiers_.end());
+  return *it;
+}
+
+const std::vector<int>& PartitionMachine::tier_partitions(const Job& job) const {
+  const auto it = tier_index_.find(occupancy(job));
+  assert(it != tier_index_.end());
+  return it->second;
+}
+
+int PartitionMachine::pick_partition(const Job& job) const {
+  if (!fits(job)) return -1;
+  const auto& candidates = tier_partitions(job);
+  int best = -1;
+  std::size_t best_busy_neighbors = 0;
+  for (int idx : candidates) {
+    const auto& mask = part_masks_[static_cast<std::size_t>(idx)];
+    if ((mask & busy_mask_).any()) continue;
+    // Prefer the candidate whose enclosing double-size block is most
+    // occupied (buddy heuristic: pack into already-fragmented regions).
+    const auto& def = parts_[static_cast<std::size_t>(idx)];
+    const int buddy_first = (def.first_leaf / (def.leaf_count * 2)) * def.leaf_count * 2;
+    LeafMask enclosing;
+    for (int l = buddy_first;
+         l < buddy_first + def.leaf_count * 2 && l < kMaxLeaves; ++l) {
+      enclosing.set(static_cast<std::size_t>(l));
+    }
+    const std::size_t busy_neighbors = (enclosing & busy_mask_).count();
+    if (best == -1 || busy_neighbors > best_busy_neighbors) {
+      best = idx;
+      best_busy_neighbors = busy_neighbors;
+    }
+  }
+  return best;
+}
+
+bool PartitionMachine::can_start(const Job& job) const {
+  return pick_partition(job) >= 0;
+}
+
+bool PartitionMachine::start(const Job& job, SimTime now, int placement) {
+  int idx = -1;
+  if (placement >= 0) {
+    // Pinned by a Plan: honor it iff it is a valid, free partition of the
+    // job's tier (a stale hint falls back to the machine's own choice).
+    const auto& tier = tier_partitions(job);
+    const bool in_tier =
+        std::find(tier.begin(), tier.end(), placement) != tier.end();
+    if (in_tier &&
+        !(part_masks_[static_cast<std::size_t>(placement)] & busy_mask_).any()) {
+      idx = placement;
+    }
+  }
+  if (idx < 0) idx = pick_partition(job);
+  if (idx < 0) return false;
+  assert(!allocs_.contains(job.id));
+  const auto& mask = part_masks_[static_cast<std::size_t>(idx)];
+  busy_mask_ |= mask;
+  const NodeCount occ = parts_[static_cast<std::size_t>(idx)].size;
+  busy_nodes_ += occ;
+  allocs_[job.id] = LiveAlloc{
+      RunningAlloc{job.id, occ, now, now + job.walltime}, idx};
+  return true;
+}
+
+void PartitionMachine::finish(JobId job, SimTime /*now*/) {
+  const auto it = allocs_.find(job);
+  assert(it != allocs_.end());
+  const auto& mask = part_masks_[static_cast<std::size_t>(it->second.partition)];
+  busy_mask_ &= ~mask;
+  busy_nodes_ -= it->second.alloc.occupied;
+  assert(busy_nodes_ >= 0);
+  allocs_.erase(it);
+}
+
+std::vector<RunningAlloc> PartitionMachine::running() const {
+  std::vector<RunningAlloc> out;
+  out.reserve(allocs_.size());
+  for (const auto& [id, live] : allocs_) out.push_back(live.alloc);
+  return out;
+}
+
+std::unique_ptr<Plan> PartitionMachine::make_plan(SimTime now) const {
+  return std::make_unique<PartitionPlan>(*this, now);
+}
+
+void PartitionMachine::reset() {
+  busy_mask_.reset();
+  busy_nodes_ = 0;
+  allocs_.clear();
+}
+
+PartitionPlan::PartitionPlan(const PartitionMachine& machine, SimTime now)
+    : machine_(&machine), origin_(now) {
+  for (const auto& [id, live] : machine.running_allocs()) {
+    (void)id;
+    const SimTime end = std::max(live.alloc.predicted_end, now);
+    if (end > now) {
+      pinned_.push_back({now, end, machine.partition_mask(live.partition)});
+      committed_.push_back({now, end, live.alloc.occupied});
+    }
+  }
+}
+
+std::unique_ptr<Plan> PartitionPlan::clone() const {
+  return std::make_unique<PartitionPlan>(*this);
+}
+
+int PartitionPlan::free_partition_during(const Job& job, SimTime t) const {
+  const SimTime end = t + job.walltime;
+  for (int idx : machine_->tier_partitions(job)) {
+    const auto& mask = machine_->partition_mask(idx);
+    bool conflict = false;
+    for (const auto& iv : pinned_) {
+      if (iv.end > t && iv.start < end && (iv.mask & mask).any()) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) return idx;
+  }
+  return -1;
+}
+
+NodeCount PartitionPlan::peak_usage(SimTime t, Duration duration) const {
+  // Sweep the +occ/-occ boundaries of the commitments overlapping
+  // [t, t + duration): O(k log k) in the overlap count rather than
+  // O(|committed|^2) — this sits inside every feasibility check.
+  const SimTime end = t + duration;
+  NodeCount at_t = 0;
+  // Small stack buffer: overlap counts are typically a few dozen.
+  std::vector<std::pair<SimTime, NodeCount>> deltas;
+  deltas.reserve(committed_.size());
+  for (const auto& c : committed_) {
+    if (c.end <= t || c.start >= end) continue;
+    if (c.start <= t) {
+      at_t += c.occupied;
+    } else {
+      deltas.emplace_back(c.start, c.occupied);
+    }
+    if (c.end < end) deltas.emplace_back(c.end, -c.occupied);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  NodeCount peak = at_t;
+  NodeCount current = at_t;
+  for (const auto& [time, delta] : deltas) {
+    current += delta;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
+bool PartitionPlan::feasible_at(const Job& job, SimTime t, NodeCount occ) const {
+  if (free_partition_during(job, t) < 0) return false;
+  return peak_usage(t, job.walltime) + occ <= machine_->total_nodes();
+}
+
+bool PartitionPlan::fits_at(const Job& job, SimTime t) const {
+  return feasible_at(job, t, machine_->occupancy(job));
+}
+
+SimTime PartitionPlan::find_start(const Job& job, SimTime earliest) const {
+  assert(machine_->fits(job));
+  earliest = std::max(earliest, origin_);
+  const NodeCount occ = machine_->occupancy(job);
+  // Candidate starts: `earliest` plus every time capacity or a partition
+  // frees up (running ends and commitment ends).
+  std::vector<SimTime> candidates;
+  candidates.push_back(earliest);
+  for (const auto& iv : pinned_) {
+    if (iv.end > earliest) candidates.push_back(iv.end);
+  }
+  for (const auto& c : committed_) {
+    if (c.end > earliest) candidates.push_back(c.end);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (const SimTime t : candidates) {
+    if (feasible_at(job, t, occ)) return t;
+  }
+  // Past the last commitment the machine is empty.
+  assert(!candidates.empty());
+  return candidates.back();
+}
+
+void PartitionPlan::commit(const Job& job, SimTime start) {
+  const NodeCount occ = machine_->occupancy(job);
+  assert(feasible_at(job, start, occ) && "commit at an infeasible start");
+  const int idx = free_partition_during(job, start);
+  assert(idx >= 0);
+  pinned_.push_back(
+      {start, start + job.walltime, machine_->partition_mask(idx)});
+  committed_.push_back({start, start + job.walltime, occ});
+  last_placement_ = idx;
+}
+
+void PartitionPlan::commit_soft(const Job& job, SimTime start) {
+  const NodeCount occ = machine_->occupancy(job);
+  assert(feasible_at(job, start, occ) && "commit at an infeasible start");
+  committed_.push_back({start, start + job.walltime, occ});
+  last_placement_ = -1;
+}
+
+}  // namespace amjs

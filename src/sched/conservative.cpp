@@ -1,0 +1,36 @@
+#include "sched/conservative.hpp"
+
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+ConservativeBackfillScheduler::ConservativeBackfillScheduler(QueueOrder order)
+    : order_(order) {}
+
+std::string ConservativeBackfillScheduler::name() const {
+  return amjs::format("Conservative({})", to_string(order_));
+}
+
+void ConservativeBackfillScheduler::schedule(SchedContext& ctx) {
+  reservations_.clear();
+  const SimTime now = ctx.now();
+  auto plan = ctx.machine().make_plan(now);
+
+  // One pass in priority order. Each job is placed at its earliest start
+  // given *all* earlier placements; jobs whose slot is "now" start
+  // immediately. Later jobs plan around every earlier reservation, so no
+  // reservation is ever delayed by a backfill.
+  for (const JobId id : sorted_queue(ctx, order_)) {
+    const Job& j = ctx.job(id);
+    const SimTime start = plan->fits_at(j, now) ? now : plan->find_start(j, now);
+    plan->commit(j, start);
+    if (start == now) {
+      const bool ok = ctx.start_job(id, plan->last_placement());
+      assert(ok && "plan admitted a start the machine refused");
+      if (ok) continue;
+    }
+    reservations_[id] = start;
+  }
+}
+
+}  // namespace amjs

@@ -1,0 +1,35 @@
+// Conservative backfilling: every queued job holds a reservation, and a
+// job may move ahead only if it delays no earlier reservation (paper
+// ref [12], the stricter of the two classic schemes).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sched/queue_policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+
+class ConservativeBackfillScheduler : public Scheduler {
+ public:
+  explicit ConservativeBackfillScheduler(QueueOrder order = QueueOrder::kFcfs);
+
+  void schedule(SchedContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] QueueOrder order() const { return order_; }
+
+  /// Reservations assigned during the last pass (job -> planned start).
+  /// Reservations are rebuilt each pass, but property tests assert that a
+  /// job's planned start never moves later across passes.
+  [[nodiscard]] const std::map<JobId, SimTime>& reservations() const {
+    return reservations_;
+  }
+
+ private:
+  QueueOrder order_;
+  std::map<JobId, SimTime> reservations_;
+};
+
+}  // namespace amjs

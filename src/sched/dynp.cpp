@@ -1,0 +1,31 @@
+#include "sched/dynp.hpp"
+
+#include <cassert>
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+DynPScheduler::DynPScheduler(DynPConfig config) : config_(config) {
+  assert(config_.fcfs_below <= config_.ljf_at_least);
+}
+
+std::string DynPScheduler::name() const {
+  return amjs::format("dynP(<{}:FCFS,<{}:SJF,else LJF)", config_.fcfs_below,
+                     config_.ljf_at_least);
+}
+
+void DynPScheduler::reset() { easy_.set_order(QueueOrder::kFcfs); }
+
+void DynPScheduler::schedule(SchedContext& ctx) {
+  const std::size_t depth = ctx.queue().size();
+  if (depth < config_.fcfs_below) {
+    easy_.set_order(QueueOrder::kFcfs);
+  } else if (depth < config_.ljf_at_least) {
+    easy_.set_order(QueueOrder::kSjf);
+  } else {
+    easy_.set_order(QueueOrder::kLjf);
+  }
+  easy_.schedule(ctx);
+}
+
+}  // namespace amjs

@@ -1,0 +1,39 @@
+// dynP-style self-tuning baseline (Streit, JSSPP 2002 — the paper's
+// refs [18][19]): switches the queue ordering among FCFS / SJF / LJF based
+// on the number of waiting jobs, on top of EASY backfilling.
+//
+// This is the related-work adaptive scheduler the paper contrasts with:
+// coarse *policy switching* driven by queue length, versus the paper's
+// fine-grained *parameter tuning* driven by monitored metrics.
+#pragma once
+
+#include <string>
+
+#include "sched/easy.hpp"
+
+namespace amjs {
+
+struct DynPConfig {
+  /// queue length < fcfs_below           -> FCFS
+  /// fcfs_below <= length < ljf_at_least -> SJF
+  /// length >= ljf_at_least              -> LJF
+  std::size_t fcfs_below = 5;
+  std::size_t ljf_at_least = 40;
+};
+
+class DynPScheduler final : public Scheduler {
+ public:
+  explicit DynPScheduler(DynPConfig config = {});
+
+  void schedule(SchedContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+  [[nodiscard]] QueueOrder current_order() const { return easy_.order(); }
+
+ private:
+  DynPConfig config_;
+  EasyBackfillScheduler easy_;
+};
+
+}  // namespace amjs

@@ -1,0 +1,54 @@
+#include "sched/easy.hpp"
+
+#include "util/fmt.hpp"
+#include <memory>
+
+namespace amjs {
+
+EasyBackfillScheduler::EasyBackfillScheduler(QueueOrder order) : order_(order) {}
+
+std::string EasyBackfillScheduler::name() const {
+  return amjs::format("EASY({})", to_string(order_));
+}
+
+void EasyBackfillScheduler::schedule(SchedContext& ctx) {
+  last_reservation_ = kNever;
+  last_reserved_job_ = kInvalidJob;
+
+  // Phase 1: start jobs in priority order until one does not fit now.
+  auto ids = sorted_queue(ctx, order_);
+  std::size_t head = 0;
+  while (head < ids.size()) {
+    const Job& j = ctx.job(ids[head]);
+    if (!ctx.machine().can_start(j)) break;
+    const bool ok = ctx.start_job(ids[head]);
+    (void)ok;  // can_start() was true; Machine guarantees start succeeds
+    ++head;
+  }
+  if (head >= ids.size()) return;  // queue drained
+
+  // Phase 2: reserve the blocked head at its earliest feasible start.
+  const SimTime now = ctx.now();
+  auto plan = ctx.machine().make_plan(now);
+  const Job& blocked = ctx.job(ids[head]);
+  const SimTime reservation = plan->find_start(blocked, now);
+  plan->commit(blocked, reservation);
+  last_reservation_ = reservation;
+  last_reserved_job_ = blocked.id;
+
+  // Phase 3: backfill the rest, in priority order, wherever the plan says
+  // they can run *now* without disturbing the head reservation. The plan
+  // chooses the placement and the live start is pinned to it, so the
+  // reservation can never be physically violated.
+  for (std::size_t i = head + 1; i < ids.size(); ++i) {
+    const Job& j = ctx.job(ids[i]);
+    if (!ctx.machine().can_start(j)) continue;
+    if (!plan->fits_at(j, now)) continue;
+    plan->commit(j, now);
+    const bool ok = ctx.start_job(ids[i], plan->last_placement());
+    assert(ok && "plan admitted a backfill the machine refused");
+    (void)ok;
+  }
+}
+
+}  // namespace amjs

@@ -1,0 +1,38 @@
+// EASY backfilling (Lifka / Mu'alem & Feitelson, the paper's ref [12]) with
+// a pluggable queue ordering.
+//
+// Invariant: the highest-priority waiting job gets a reservation at its
+// earliest feasible start, and backfilled jobs are admitted only if the
+// planning model says that reservation is not delayed.
+#pragma once
+
+#include <string>
+
+#include "sched/queue_policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+
+class EasyBackfillScheduler : public Scheduler {
+ public:
+  explicit EasyBackfillScheduler(QueueOrder order = QueueOrder::kFcfs);
+
+  void schedule(SchedContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] QueueOrder order() const { return order_; }
+  void set_order(QueueOrder order) { order_ = order; }
+
+  /// Reservation made for the blocked head job during the last schedule()
+  /// pass (kNever if the pass emptied the queue). Exposed for tests of the
+  /// no-delay invariant.
+  [[nodiscard]] SimTime last_reservation() const { return last_reservation_; }
+  [[nodiscard]] JobId last_reserved_job() const { return last_reserved_job_; }
+
+ private:
+  QueueOrder order_;
+  SimTime last_reservation_ = kNever;
+  JobId last_reserved_job_ = kInvalidJob;
+};
+
+}  // namespace amjs

@@ -1,0 +1,61 @@
+#include "sched/queue_policies.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amjs {
+
+std::string to_string(QueueOrder order) {
+  switch (order) {
+    case QueueOrder::kFcfs: return "FCFS";
+    case QueueOrder::kSjf: return "SJF";
+    case QueueOrder::kLjf: return "LJF";
+    case QueueOrder::kSmallestFirst: return "SmallestFirst";
+    case QueueOrder::kLargestFirst: return "LargestFirst";
+  }
+  return "?";
+}
+
+std::function<bool(const Job&, const Job&)> comparator(QueueOrder order) {
+  const auto tie = [](const Job& a, const Job& b) {
+    if (a.submit != b.submit) return a.submit < b.submit;
+    return a.id < b.id;
+  };
+  switch (order) {
+    case QueueOrder::kFcfs:
+      return tie;
+    case QueueOrder::kSjf:
+      return [tie](const Job& a, const Job& b) {
+        if (a.walltime != b.walltime) return a.walltime < b.walltime;
+        return tie(a, b);
+      };
+    case QueueOrder::kLjf:
+      return [tie](const Job& a, const Job& b) {
+        if (a.walltime != b.walltime) return a.walltime > b.walltime;
+        return tie(a, b);
+      };
+    case QueueOrder::kSmallestFirst:
+      return [tie](const Job& a, const Job& b) {
+        if (a.nodes != b.nodes) return a.nodes < b.nodes;
+        return tie(a, b);
+      };
+    case QueueOrder::kLargestFirst:
+      return [tie](const Job& a, const Job& b) {
+        if (a.nodes != b.nodes) return a.nodes > b.nodes;
+        return tie(a, b);
+      };
+  }
+  assert(false && "unknown queue order");
+  return tie;
+}
+
+std::vector<JobId> sorted_queue(const SchedContext& ctx, QueueOrder order) {
+  std::vector<JobId> ids = ctx.queue();
+  const auto cmp = comparator(order);
+  std::stable_sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+    return cmp(ctx.job(a), ctx.job(b));
+  });
+  return ids;
+}
+
+}  // namespace amjs

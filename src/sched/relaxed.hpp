@@ -1,0 +1,40 @@
+// Relaxed backfilling (Ward, Mahood & West, JSSPP 2002 — the paper's
+// ref [23]): EASY backfilling whose admission test lets a backfilled job
+// delay the head reservation by up to a bounded slack, trading a little
+// head-job latency for more backfill throughput.
+//
+// With slack 0 this is exactly EASY; the paper's related-work section
+// positions metric-aware scheduling against this family of FCFS/EASY
+// refinements, so it doubles as a comparison baseline in the harness.
+#pragma once
+
+#include <string>
+
+#include "sched/queue_policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+
+struct RelaxedConfig {
+  /// Maximum tolerated delay of the head reservation, as a fraction of
+  /// the head job's walltime (Ward et al. studied factors around 0.5-2x;
+  /// 0 reproduces strict EASY).
+  double slack_factor = 0.5;
+
+  QueueOrder order = QueueOrder::kFcfs;
+};
+
+class RelaxedBackfillScheduler final : public Scheduler {
+ public:
+  explicit RelaxedBackfillScheduler(RelaxedConfig config = {});
+
+  void schedule(SchedContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const RelaxedConfig& config() const { return config_; }
+
+ private:
+  RelaxedConfig config_;
+};
+
+}  // namespace amjs

@@ -1,0 +1,18 @@
+#include "sim/events.hpp"
+
+#include <cassert>
+
+namespace amjs {
+
+void EventQueue::push(SimTime time, EventType type, JobId job) {
+  heap_.push(Event{time, type, next_seq_++, job});
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace amjs

@@ -1,0 +1,55 @@
+// Discrete-event machinery: event records and the priority queue.
+//
+// Determinism contract: ties are broken by (time, type, sequence number),
+// where lower type values run first. Job ends precede submits at the same
+// instant so resources freed at t are available to jobs arriving at t —
+// matching Cobalt's qsim, which processes releases before admissions.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace amjs {
+
+enum class EventType : std::uint8_t {
+  kJobEnd = 0,      // a running job completed
+  kJobSubmit = 1,   // a job entered the queue
+  kMetricCheck = 2  // periodic metrics / adaptive-tuning checkpoint
+};
+
+struct Event {
+  SimTime time = 0;
+  EventType type = EventType::kJobSubmit;
+  /// Monotone insertion counter: the final, total tie-breaker.
+  std::uint64_t seq = 0;
+  /// Job this event concerns (kInvalidJob for metric checks).
+  JobId job = kInvalidJob;
+};
+
+/// Min-heap over (time, type, seq).
+class EventQueue {
+ public:
+  void push(SimTime time, EventType type, JobId job);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  Event pop();
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.type != b.type) return a.type > b.type;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace amjs

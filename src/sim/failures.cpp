@@ -1,0 +1,31 @@
+#include "sim/failures.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace amjs {
+
+Duration FailureModel::time_to_failure(const Job& job, int attempt) const {
+  assert(attempt >= 0);
+  if (!enabled() || job.nodes <= 0) return kNever;
+
+  // Hash (seed, job, attempt) into an independent draw so the failure
+  // pattern is a property of the configuration, not of scheduling order.
+  SplitMix64 hasher(seed ^ (static_cast<std::uint64_t>(job.id) << 20) ^
+                    static_cast<std::uint64_t>(attempt));
+  const std::uint64_t bits = hasher.next();
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+
+  const double rate_per_second = rate_per_node_hour *
+                                 static_cast<double>(job.nodes) / 3600.0;
+  const double ttf = -std::log1p(-u) / rate_per_second;
+  const Duration run_for = std::min(job.runtime, job.walltime);
+  if (!(ttf < static_cast<double>(run_for))) return kNever;
+  // Fail strictly inside the attempt (never at instant 0: the allocation
+  // existed, so some work time elapses before the fault lands).
+  return std::max<Duration>(1, static_cast<Duration>(ttf));
+}
+
+}  // namespace amjs

@@ -1,0 +1,48 @@
+// Failure injection — the "reliability" system-cost extension the paper's
+// §V names as future work (and the subject of the authors' earlier
+// fault-aware Cobalt scheduling, their ref [21]).
+//
+// Model: node failures are a Poisson process per node; a running job on n
+// nodes therefore fails at rate n * lambda. When a failure strikes, the
+// job's allocation is released immediately and the work is lost; the job
+// is resubmitted for a full restart (up to `max_restarts`), after which it
+// is abandoned. Draws are hashed from (seed, job, attempt), so a given
+// configuration produces the identical failure pattern regardless of
+// scheduling order — policies can be compared on one failure history.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace amjs {
+
+struct FailureModel {
+  /// Node failures per node-hour. Production MPP MTBFs put this around
+  /// 1e-5..1e-4 per node-hour (Intrepid-era BG/P was on the reliable end).
+  double rate_per_node_hour = 0.0;
+
+  /// Full restarts granted after a failure before the job is abandoned.
+  int max_restarts = 2;
+
+  /// Seed for the failure stream (independent of the workload seed).
+  std::uint64_t seed = 0xFA11;
+
+  [[nodiscard]] bool enabled() const { return rate_per_node_hour > 0.0; }
+
+  /// Time-to-failure for `job`'s attempt number `attempt`, measured from
+  /// the attempt's start; kNever if the attempt outlives its runtime.
+  /// Deterministic in (seed, job.id, attempt).
+  [[nodiscard]] Duration time_to_failure(const Job& job, int attempt) const;
+};
+
+/// Aggregate failure accounting for a run.
+struct FailureStats {
+  std::size_t failures = 0;       // failure events observed
+  std::size_t restarts = 0;       // failed attempts that were requeued
+  std::size_t abandoned = 0;      // jobs that exhausted their restarts
+  double wasted_node_seconds = 0; // allocation time lost to failed attempts
+};
+
+}  // namespace amjs

@@ -1,0 +1,106 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/fmt.hpp"
+
+namespace amjs {
+namespace {
+
+char shade(double fraction) {
+  if (fraction <= 0.05) return ' ';
+  if (fraction <= 0.35) return '.';
+  if (fraction <= 0.70) return ':';
+  return '#';
+}
+
+std::pair<SimTime, SimTime> clip_range(const SimResult& result,
+                                       const GanttOptions& options) {
+  SimTime from = options.from;
+  SimTime to = options.to > 0 ? options.to : result.end_time;
+  if (to <= from) to = from + 1;
+  return {from, to};
+}
+
+}  // namespace
+
+std::string render_occupancy(const SimResult& result, const GanttOptions& options) {
+  assert(options.width > 0 && options.rows > 0);
+  const auto [from, to] = clip_range(result, options);
+  const auto span = static_cast<double>(to - from);
+  const auto total = static_cast<double>(result.machine_nodes);
+  if (total <= 0.0) return "(empty machine)\n";
+
+  // Column-wise mean utilization from the busy-node integral; the node
+  // axis is rendered as stacked bands filled bottom-up (node identity is
+  // not tracked, so bands depict aggregate occupancy, not placement).
+  std::string out;
+  std::vector<double> column_util(static_cast<std::size_t>(options.width));
+  for (int c = 0; c < options.width; ++c) {
+    const auto t0 = from + static_cast<SimTime>(span * c / options.width);
+    auto t1 = from + static_cast<SimTime>(span * (c + 1) / options.width);
+    if (t1 <= t0) t1 = t0 + 1;
+    column_util[static_cast<std::size_t>(c)] =
+        result.busy_nodes.mean(t0, t1) / total;
+  }
+
+  for (int r = options.rows - 1; r >= 0; --r) {
+    const double band_lo = static_cast<double>(r) / options.rows;
+    const double band_hi = static_cast<double>(r + 1) / options.rows;
+    std::string line;
+    for (int c = 0; c < options.width; ++c) {
+      const double u = column_util[static_cast<std::size_t>(c)];
+      // Fraction of this band filled when the machine is u-full bottom-up.
+      const double filled =
+          std::clamp((u - band_lo) / (band_hi - band_lo), 0.0, 1.0);
+      line += shade(filled);
+    }
+    out += format("{:>4.0f}% |{}|\n", band_hi * 100.0, line);
+  }
+  out += format("      +{}+\n", std::string(static_cast<std::size_t>(options.width), '-'));
+  out += format("      {:<10} .. {} (busy-node occupancy, bottom-up)\n",
+                format("{:.1f}h", static_cast<double>(from) / 3600.0),
+                format("{:.1f}h", static_cast<double>(to) / 3600.0));
+  return out;
+}
+
+std::string render_jobs(const SimResult& result, const JobTrace& trace,
+                        int max_jobs, const GanttOptions& options) {
+  const auto [from, to] = clip_range(result, options);
+  const auto span = static_cast<double>(to - from);
+  std::string out;
+  auto column_of = [&](SimTime t) {
+    const double pos = static_cast<double>(t - from) / span *
+                       static_cast<double>(options.width);
+    return std::clamp(static_cast<int>(pos), 0, options.width - 1);
+  };
+
+  int rendered = 0;
+  for (const auto& entry : result.schedule) {
+    if (!entry.started() || entry.end == kNever) continue;
+    if (entry.end < from || entry.start > to) continue;
+    if (rendered++ >= max_jobs) {
+      out += format("  ... ({} more jobs)\n",
+                    result.finished_count() - static_cast<std::size_t>(max_jobs));
+      break;
+    }
+    std::string line(static_cast<std::size_t>(options.width), ' ');
+    const int submit_col = column_of(std::max(entry.submit, from));
+    const int start_col = column_of(std::max(entry.start, from));
+    const int end_col = column_of(std::min(entry.end, to));
+    for (int c = submit_col; c < start_col; ++c) {
+      line[static_cast<std::size_t>(c)] = '-';  // waiting
+    }
+    for (int c = start_col; c <= end_col; ++c) {
+      line[static_cast<std::size_t>(c)] = '=';  // running
+    }
+    line[static_cast<std::size_t>(start_col)] = '[';
+    line[static_cast<std::size_t>(end_col)] = ']';
+    out += format("job {:>4} {:>6} nd |{}|\n", entry.job,
+                  trace.job(entry.job).nodes, line);
+  }
+  return out;
+}
+
+}  // namespace amjs

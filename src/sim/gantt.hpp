@@ -1,0 +1,34 @@
+// ASCII Gantt / occupancy rendering of a realized schedule — a quick
+// visual sanity check for examples and debugging sessions.
+#pragma once
+
+#include <string>
+
+#include "sim/result.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+struct GanttOptions {
+  /// Character columns for the time axis.
+  int width = 72;
+  /// Rows for the node axis (each row = total_nodes / rows nodes).
+  int rows = 12;
+  /// Clip the rendering to [from, to]; to = 0 means "end of run".
+  SimTime from = 0;
+  SimTime to = 0;
+};
+
+/// Render machine occupancy over time: each cell shows the fraction of
+/// that node-band busy during that time slice (' ' idle, '.', ':', '#'
+/// increasingly busy), with a utilization summary line per column.
+[[nodiscard]] std::string render_occupancy(const SimResult& result,
+                                           const GanttOptions& options = {});
+
+/// Render a per-job Gantt chart (one row per job, '[===]' bars) for small
+/// traces; jobs beyond `max_jobs` are elided.
+[[nodiscard]] std::string render_jobs(const SimResult& result, const JobTrace& trace,
+                                      int max_jobs = 24,
+                                      const GanttOptions& options = {});
+
+}  // namespace amjs

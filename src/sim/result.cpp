@@ -1,0 +1,21 @@
+#include "sim/result.hpp"
+
+namespace amjs {
+
+std::size_t SimResult::started_count() const {
+  std::size_t n = 0;
+  for (const auto& e : schedule) {
+    if (e.started()) ++n;
+  }
+  return n;
+}
+
+std::size_t SimResult::finished_count() const {
+  std::size_t n = 0;
+  for (const auto& e : schedule) {
+    if (e.end != kNever) ++n;
+  }
+  return n;
+}
+
+}  // namespace amjs

@@ -1,0 +1,75 @@
+// Simulation outputs: the realized schedule plus the monitoring series the
+// paper's metrics are computed from.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/failures.hpp"
+#include "util/timeseries.hpp"
+#include "util/types.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+/// What happened to one job.
+struct ScheduleEntry {
+  JobId job = kInvalidJob;
+  SimTime submit = 0;
+  SimTime start = kNever;  // kNever if it never started
+  SimTime end = kNever;    // kNever if it never finished
+  NodeCount requested = 0;
+  NodeCount occupied = 0;  // includes partition rounding
+  bool skipped = false;    // did not fit the machine at all
+  int attempts = 0;        // allocation attempts (>1 under failure injection)
+  bool abandoned = false;  // failed and exhausted its restarts
+
+  [[nodiscard]] bool started() const { return start != kNever; }
+  [[nodiscard]] Duration wait() const {
+    return started() ? start - submit : 0;
+  }
+};
+
+/// One scheduling-event snapshot (for the Loss of Capacity integral,
+/// eq. 4 of the paper): taken *after* the scheduler ran at this event.
+struct SchedEventRecord {
+  SimTime time = 0;
+  NodeCount idle = 0;
+  /// Smallest machine occupancy among still-waiting jobs (kNoWaiting if
+  /// the queue is empty).
+  NodeCount min_waiting_occupancy = 0;
+  bool any_waiting = false;
+};
+
+/// Everything a run produces. Metric computations live in src/metrics.
+struct SimResult {
+  /// Indexed by JobId (dense).
+  std::vector<ScheduleEntry> schedule;
+
+  /// Scheduling-event log (ends/submits), post-scheduler snapshots.
+  std::vector<SchedEventRecord> events;
+
+  /// Queue depth (sum of current waits, in *minutes* as the paper plots
+  /// it), sampled at every metric check.
+  SampledSeries queue_depth;
+
+  /// Busy-node count as a step function over the whole run.
+  StepSeries busy_nodes;
+
+  /// Machine size, for utilization normalization.
+  NodeCount machine_nodes = 0;
+
+  /// Time the last event was processed (end of simulation).
+  SimTime end_time = 0;
+
+  /// Number of jobs skipped because they never fit the machine.
+  std::size_t skipped_jobs = 0;
+
+  /// Failure-injection accounting (all zero when injection is off).
+  FailureStats failure_stats;
+
+  [[nodiscard]] std::size_t started_count() const;
+  [[nodiscard]] std::size_t finished_count() const;
+};
+
+}  // namespace amjs

@@ -1,0 +1,226 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace amjs {
+
+SimTime SchedContext::now() const { return sim_.now_; }
+
+Machine& SchedContext::machine() { return sim_.machine_; }
+const Machine& SchedContext::machine() const { return sim_.machine_; }
+
+const std::vector<JobId>& SchedContext::queue() const { return sim_.queue_; }
+
+const Job& SchedContext::job(JobId id) const { return sim_.trace_->job(id); }
+
+Duration SchedContext::waited(JobId id) const {
+  return sim_.now_ - sim_.trace_->job(id).submit;
+}
+
+const StepSeries& SchedContext::busy_series() const {
+  return sim_.result_.busy_nodes;
+}
+
+bool SchedContext::start_job(JobId id, int placement) {
+  auto& sim = sim_;
+  assert(sim.states_[static_cast<std::size_t>(id)] == Simulator::JobState::kQueued);
+  const Job& j = sim.trace_->job(id);
+  if (!sim.machine_.start(j, sim.now_, placement)) return false;
+
+  sim.states_[static_cast<std::size_t>(id)] = Simulator::JobState::kRunning;
+  auto& entry = sim.result_.schedule[static_cast<std::size_t>(id)];
+  if (entry.start == kNever) entry.start = sim.now_;  // keep the first attempt's start
+  entry.occupied = sim.machine_.occupancy(j);
+  ++entry.attempts;
+  sim.attempt_start_[static_cast<std::size_t>(id)] = sim.now_;
+
+  // Jobs are killed at their walltime limit; traces are normalized so
+  // runtime <= walltime, but stay robust to hostile inputs.
+  const Duration run_for = std::max<Duration>(std::min(j.runtime, j.walltime), 0);
+  // Failure injection: this attempt may die early (sim/failures.hpp).
+  const int attempt = sim.attempts_[static_cast<std::size_t>(id)]++;
+  const Duration ttf = sim.config_.failures.time_to_failure(j, attempt);
+  const bool fails = ttf != kNever && ttf < run_for;
+  sim.failure_pending_[static_cast<std::size_t>(id)] = fails;
+  sim.events_.push(sim.now_ + (fails ? ttf : run_for), EventType::kJobEnd, id);
+
+  const auto it = std::find(sim.queue_.begin(), sim.queue_.end(), id);
+  assert(it != sim.queue_.end());
+  sim.queue_.erase(it);
+
+  sim.result_.busy_nodes.set(sim.now_,
+                             static_cast<double>(sim.machine_.busy_nodes()));
+  return true;
+}
+
+void Scheduler::on_metric_check(SchedContext& /*ctx*/, double /*queue_depth_minutes*/) {}
+
+Simulator::Simulator(Machine& machine, Scheduler& scheduler, SimConfig config)
+    : machine_(machine), scheduler_(scheduler), config_(std::move(config)) {
+  assert(config_.metric_check_interval > 0);
+}
+
+double Simulator::queue_depth_minutes() const {
+  double total = 0.0;
+  for (const JobId id : queue_) {
+    total += to_minutes(now_ - trace_->job(id).submit);
+  }
+  return total;
+}
+
+void Simulator::handle_submit(JobId id) {
+  const Job& j = trace_->job(id);
+  if (!machine_.fits(j)) {
+    log::warn("job {} requests {} nodes; machine has {} — skipped", id, j.nodes,
+              machine_.total_nodes());
+    states_[static_cast<std::size_t>(id)] = JobState::kSkipped;
+    result_.schedule[static_cast<std::size_t>(id)].skipped = true;
+    ++result_.skipped_jobs;
+    --unfinished_;
+    return;
+  }
+  states_[static_cast<std::size_t>(id)] = JobState::kQueued;
+  queue_.push_back(id);
+}
+
+void Simulator::handle_end(JobId id) {
+  assert(states_[static_cast<std::size_t>(id)] == JobState::kRunning);
+  machine_.finish(id, now_);
+  result_.busy_nodes.set(now_, static_cast<double>(machine_.busy_nodes()));
+  auto& entry = result_.schedule[static_cast<std::size_t>(id)];
+
+  if (failure_pending_[static_cast<std::size_t>(id)]) {
+    failure_pending_[static_cast<std::size_t>(id)] = false;
+    auto& stats = result_.failure_stats;
+    ++stats.failures;
+    stats.wasted_node_seconds +=
+        static_cast<double>(entry.occupied) *
+        static_cast<double>(now_ - attempt_start_[static_cast<std::size_t>(id)]);
+    if (attempts_[static_cast<std::size_t>(id)] <=
+        config_.failures.max_restarts) {
+      // Requeue for a full restart; wait metrics keep the first start.
+      ++stats.restarts;
+      states_[static_cast<std::size_t>(id)] = JobState::kQueued;
+      queue_.push_back(id);
+      return;
+    }
+    ++stats.abandoned;
+    entry.abandoned = true;
+    states_[static_cast<std::size_t>(id)] = JobState::kDone;
+    entry.end = now_;
+    --unfinished_;
+    return;
+  }
+
+  states_[static_cast<std::size_t>(id)] = JobState::kDone;
+  entry.end = now_;
+  --unfinished_;
+}
+
+void Simulator::record_sched_event() {
+  if (!config_.record_events) return;
+  SchedEventRecord rec;
+  rec.time = now_;
+  rec.idle = machine_.idle_nodes();
+  rec.any_waiting = !queue_.empty();
+  NodeCount min_occ = 0;
+  bool first = true;
+  for (const JobId id : queue_) {
+    const NodeCount occ = machine_.occupancy(trace_->job(id));
+    if (first || occ < min_occ) {
+      min_occ = occ;
+      first = false;
+    }
+  }
+  rec.min_waiting_occupancy = min_occ;
+  result_.events.push_back(rec);
+}
+
+SimResult Simulator::run(const JobTrace& trace) {
+  trace_ = &trace;
+  machine_.reset();
+  scheduler_.reset();
+  events_ = EventQueue{};
+  queue_.clear();
+  now_ = 0;
+  result_ = SimResult{};
+  result_.machine_nodes = machine_.total_nodes();
+  result_.schedule.resize(trace.size());
+  states_.assign(trace.size(), JobState::kPending);
+  attempts_.assign(trace.size(), 0);
+  failure_pending_.assign(trace.size(), false);
+  attempt_start_.assign(trace.size(), kNever);
+  unfinished_ = trace.size();
+
+  for (const Job& j : trace.jobs()) {
+    result_.schedule[static_cast<std::size_t>(j.id)].job = j.id;
+    result_.schedule[static_cast<std::size_t>(j.id)].submit = j.submit;
+    result_.schedule[static_cast<std::size_t>(j.id)].requested = j.nodes;
+    events_.push(j.submit, EventType::kJobSubmit, j.id);
+  }
+  if (trace.empty()) return std::move(result_);
+
+  // First metric check one interval after the first submission.
+  events_.push(trace.jobs().front().submit + config_.metric_check_interval,
+               EventType::kMetricCheck, kInvalidJob);
+
+  SchedContext ctx(*this);
+  while (!events_.empty()) {
+    if (config_.stop_after_last_job && unfinished_ == 0) break;
+
+    const SimTime t = events_.top().time;
+    now_ = t;
+    bool state_changed = false;
+    bool metric_check = false;
+    while (!events_.empty() && events_.top().time == t) {
+      const Event e = events_.pop();
+      switch (e.type) {
+        case EventType::kJobEnd:
+          handle_end(e.job);
+          state_changed = true;
+          break;
+        case EventType::kJobSubmit:
+          handle_submit(e.job);
+          state_changed = true;
+          break;
+        case EventType::kMetricCheck:
+          metric_check = true;
+          break;
+      }
+    }
+
+    if (metric_check) {
+      // Algorithm 1: check metrics / adjust tunables, then run the
+      // (possibly retuned) scheduling pass below.
+      const double qd = queue_depth_minutes();
+      result_.queue_depth.add(now_, qd);
+      scheduler_.on_metric_check(ctx, qd);
+      if (unfinished_ > 0) {
+        events_.push(now_ + config_.metric_check_interval, EventType::kMetricCheck,
+                     kInvalidJob);
+      }
+    }
+
+    scheduler_.schedule(ctx);
+    if (state_changed) record_sched_event();
+    result_.end_time = now_;
+
+    if (config_.stop_once_started != kInvalidJob) {
+      const auto s = states_[static_cast<std::size_t>(config_.stop_once_started)];
+      if (s == JobState::kRunning || s == JobState::kDone || s == JobState::kSkipped) {
+        break;
+      }
+    }
+  }
+
+  if (!queue_.empty() && config_.stop_once_started == kInvalidJob) {
+    log::warn("simulation drained events with {} jobs still queued", queue_.size());
+  }
+  trace_ = nullptr;
+  return std::move(result_);
+}
+
+}  // namespace amjs

@@ -1,0 +1,137 @@
+// The event-driven scheduling simulator (a C++ re-implementation of the
+// role Cobalt's qsim plays in the paper).
+//
+// Flow: jobs submit per the trace; the Scheduler is invoked after every
+// batch of simultaneous submit/end events and at every periodic metric
+// check (Algorithm 1 inserts the tuning logic *before* the scheduling
+// call, which is exactly the Scheduler::on_metric_check -> schedule order
+// used here). The scheduler starts jobs through SchedContext; the
+// simulator converts starts into end events at start + actual runtime.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/machine.hpp"
+#include "sim/events.hpp"
+#include "sim/failures.hpp"
+#include "sim/result.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+class Simulator;
+
+/// The scheduler's window onto the simulation. Queue order is submission
+/// order; schedulers impose their own priority ordering on top.
+class SchedContext {
+ public:
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] Machine& machine();
+  [[nodiscard]] const Machine& machine() const;
+
+  /// Waiting jobs in submission order.
+  [[nodiscard]] const std::vector<JobId>& queue() const;
+
+  [[nodiscard]] const Job& job(JobId id) const;
+
+  /// Time the job has been waiting so far.
+  [[nodiscard]] Duration waited(JobId id) const;
+
+  /// Busy-node history of the run so far (step function; divide by
+  /// machine().total_nodes() for utilization). Adaptive policies read
+  /// their moving averages from this.
+  [[nodiscard]] const StepSeries& busy_series() const;
+
+  /// Start a waiting job now. Returns false if the machine refuses (the
+  /// job stays queued). On success the job leaves the queue and its end
+  /// event is scheduled. `placement` pins the machine allocation to a
+  /// Plan's placement choice (Plan::last_placement()); schedulers that
+  /// plan placements MUST pass it so live allocation matches the plan.
+  bool start_job(JobId id, int placement = -1);
+
+ private:
+  friend class Simulator;
+  explicit SchedContext(Simulator& sim) : sim_(sim) {}
+  Simulator& sim_;
+};
+
+/// Scheduling policy interface (implementations in src/sched and
+/// src/core).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Invoked after every batch of simultaneous arrival/completion events
+  /// and after every metric check. Start as many jobs as the policy wants.
+  virtual void schedule(SchedContext& ctx) = 0;
+
+  /// Periodic checkpoint (every SimConfig::metric_check_interval); adaptive
+  /// policies adjust their tunables here. Runs before the schedule() call
+  /// of the same instant. `queue_depth_minutes` is the paper's QD metric.
+  virtual void on_metric_check(SchedContext& ctx, double queue_depth_minutes);
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Return to the initial policy state (fresh simulation).
+  virtual void reset() {}
+};
+
+struct SimConfig {
+  /// Paper's C_i: interval between metric checks (30 minutes).
+  Duration metric_check_interval = minutes(30);
+
+  /// Keep per-event records (needed for Loss of Capacity). Large sweeps
+  /// can disable to save memory.
+  bool record_events = true;
+
+  /// Stop processing metric checks after the last job finishes (events
+  /// naturally drain). No effect on correctness; bounds the check count.
+  bool stop_after_last_job = true;
+
+  /// If set, end the run as soon as this job has started — the fair-start
+  /// oracle only needs one job's start time, so it truncates here.
+  JobId stop_once_started = kInvalidJob;
+
+  /// Failure injection (disabled by default; see sim/failures.hpp).
+  FailureModel failures;
+};
+
+class Simulator {
+ public:
+  /// `machine` and `scheduler` are borrowed for the duration of run();
+  /// both are reset() at the start of every run.
+  Simulator(Machine& machine, Scheduler& scheduler, SimConfig config = {});
+
+  /// Simulate the full trace and return the realized schedule + series.
+  [[nodiscard]] SimResult run(const JobTrace& trace);
+
+ private:
+  friend class SchedContext;
+
+  enum class JobState : std::uint8_t { kPending, kQueued, kRunning, kDone, kSkipped };
+
+  void handle_submit(JobId id);
+  void handle_end(JobId id);
+  void record_sched_event();
+  [[nodiscard]] double queue_depth_minutes() const;
+
+  Machine& machine_;
+  Scheduler& scheduler_;
+  SimConfig config_;
+
+  // Per-run state.
+  const JobTrace* trace_ = nullptr;
+  EventQueue events_;
+  std::vector<JobState> states_;
+  std::vector<JobId> queue_;  // submission order
+  std::vector<int> attempts_;            // allocation attempts so far
+  std::vector<bool> failure_pending_;    // current run ends in a failure
+  std::vector<SimTime> attempt_start_;   // start of the current attempt
+  SimTime now_ = 0;
+  std::size_t unfinished_ = 0;
+  SimResult result_;
+};
+
+}  // namespace amjs

@@ -1,0 +1,87 @@
+#include "util/flags.hpp"
+
+#include <cassert>
+#include "util/fmt.hpp"
+
+#include "util/strings.hpp"
+
+namespace amjs {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  specs_[name] = Spec{default_value, help, /*is_bool=*/false};
+}
+
+void Flags::define_bool(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{"false", help, /*is_bool=*/true};
+}
+
+Status Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      return Error{amjs::format("unknown flag --{}", name)};
+    }
+    if (it->second.is_bool) {
+      values_[name] = has_value ? value : "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) return Error{amjs::format("flag --{} needs a value", name)};
+      value = argv[++i];
+    }
+    values_[name] = value;
+  }
+  return Status::success();
+}
+
+std::string Flags::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  const auto spec = specs_.find(name);
+  assert(spec != specs_.end() && "flag not defined");
+  return spec->second.default_value;
+}
+
+std::int64_t Flags::get_i64(const std::string& name) const {
+  const auto parsed = parse_i64(get(name));
+  assert(parsed && "flag is not an integer");
+  return *parsed;
+}
+
+double Flags::get_f64(const std::string& name) const {
+  const auto parsed = parse_f64(get(name));
+  assert(parsed && "flag is not a number");
+  return *parsed;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const auto v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::string out = amjs::format("usage: {} [flags]\n", program);
+  for (const auto& [name, spec] : specs_) {
+    out += amjs::format("  --{:<24} {} (default: {})\n", name, spec.help,
+                       spec.default_value);
+  }
+  return out;
+}
+
+}  // namespace amjs

@@ -1,0 +1,50 @@
+// Tiny CLI flag parser for the examples and experiment binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Positional
+// arguments are collected in order. Unknown flags are an error so typos in
+// sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace amjs {
+
+class Flags {
+ public:
+  /// Declare flags before parse(); `help` is shown by usage().
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+  void define_bool(const std::string& name, const std::string& help);
+
+  /// Parse argv (argv[0] skipped). Fails on unknown flags / missing values.
+  [[nodiscard]] Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_i64(const std::string& name) const;
+  [[nodiscard]] double get_f64(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+  };
+
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace amjs

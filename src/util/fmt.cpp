@@ -1,0 +1,176 @@
+#include "util/fmt.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+namespace amjs::fmt_detail {
+namespace {
+
+bool parse_int(std::string_view& text, int& out) {
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+  if (i == 0) return false;
+  int value = 0;
+  std::from_chars(text.data(), text.data() + i, value);
+  text.remove_prefix(i);
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parse_spec(std::string_view text, Spec& spec) {
+  // [[fill]align]
+  if (text.size() >= 2 &&
+      (text[1] == '<' || text[1] == '>' || text[1] == '^')) {
+    spec.fill = text[0];
+    spec.align = text[1];
+    text.remove_prefix(2);
+  } else if (!text.empty() &&
+             (text[0] == '<' || text[0] == '>' || text[0] == '^')) {
+    spec.align = text[0];
+    text.remove_prefix(1);
+  }
+  // [0]
+  if (!text.empty() && text[0] == '0') {
+    spec.zero = true;
+    text.remove_prefix(1);
+  }
+  // [width]
+  if (!text.empty() && text[0] >= '0' && text[0] <= '9') {
+    if (!parse_int(text, spec.width)) return false;
+  }
+  // [.precision]
+  if (!text.empty() && text[0] == '.') {
+    text.remove_prefix(1);
+    if (!parse_int(text, spec.precision)) return false;
+  }
+  // [type]
+  if (!text.empty()) {
+    spec.type = text[0];
+    text.remove_prefix(1);
+  }
+  return text.empty();
+}
+
+std::string apply_padding(std::string body, const Spec& spec, bool numeric) {
+  const auto width = static_cast<std::size_t>(spec.width);
+  if (body.size() >= width) return body;
+  const std::size_t pad = width - body.size();
+  char align = spec.align;
+  if (align == 0) align = numeric ? '>' : '<';
+
+  if (numeric && spec.zero && spec.align == 0) {
+    // Zero padding goes after any sign.
+    std::size_t sign = (!body.empty() && (body[0] == '-' || body[0] == '+')) ? 1 : 0;
+    body.insert(sign, pad, '0');
+    return body;
+  }
+  switch (align) {
+    case '<': return body + std::string(pad, spec.fill);
+    case '>': return std::string(pad, spec.fill) + body;
+    case '^': {
+      const std::size_t left = pad / 2;
+      return std::string(left, spec.fill) + body + std::string(pad - left, spec.fill);
+    }
+    default: return body;
+  }
+}
+
+std::string format_int(std::int64_t value, const Spec& spec) {
+  char buf[32];
+  const char* fmt = (spec.type == 'x') ? "%llx" : "%lld";
+  std::snprintf(buf, sizeof buf, fmt, static_cast<long long>(value));
+  return apply_padding(buf, spec, /*numeric=*/true);
+}
+
+std::string format_uint(std::uint64_t value, const Spec& spec) {
+  char buf[32];
+  const char* fmt = (spec.type == 'x') ? "%llx" : "%llu";
+  std::snprintf(buf, sizeof buf, fmt, static_cast<unsigned long long>(value));
+  return apply_padding(buf, spec, /*numeric=*/true);
+}
+
+std::string format_double(double value, const Spec& spec) {
+  char buf[64];
+  const int precision = spec.precision >= 0 ? spec.precision : 6;
+  switch (spec.type) {
+    case 'e':
+      std::snprintf(buf, sizeof buf, "%.*e", precision, value);
+      break;
+    case 'f':
+      std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+      break;
+    case 'g':
+      std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+      break;
+    default:
+      // std::format's default prints the shortest representation; %g with
+      // enough digits is the closest portable approximation.
+      if (spec.precision >= 0) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+      } else if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.1f", value);  // "3.0" like std::format
+      } else {
+        std::snprintf(buf, sizeof buf, "%g", value);
+      }
+      break;
+  }
+  return apply_padding(buf, spec, /*numeric=*/true);
+}
+
+std::string format_string(std::string_view value, const Spec& spec) {
+  if (spec.precision >= 0 &&
+      value.size() > static_cast<std::size_t>(spec.precision)) {
+    value = value.substr(0, static_cast<std::size_t>(spec.precision));
+  }
+  return apply_padding(std::string(value), spec, /*numeric=*/false);
+}
+
+std::string vformat(std::string_view fmt, const Arg* args, std::size_t count) {
+  std::string out;
+  out.reserve(fmt.size() + count * 8);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      const auto close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        out += "[format: unmatched '{']";
+        return out;
+      }
+      std::string_view field = fmt.substr(i + 1, close - i - 1);
+      Spec spec;
+      if (!field.empty()) {
+        if (field[0] != ':' || !parse_spec(field.substr(1), spec)) {
+          out += "[format: bad spec '";
+          out += field;
+          out += "']";
+          i = close;
+          continue;
+        }
+      }
+      if (next_arg >= count) {
+        out += "[format: missing argument]";
+      } else {
+        const Arg& arg = args[next_arg++];
+        out += arg.render(arg.data, spec);
+      }
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out += '}';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace amjs::fmt_detail

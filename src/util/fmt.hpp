@@ -1,0 +1,111 @@
+// amjs::format — a small std::format work-alike.
+//
+// The toolchain baseline (GCC 12 / libstdc++) predates <format>, so the
+// library carries its own implementation of the subset it uses:
+//
+//   {}                     default formatting
+//   {:<spec>}  with spec = [[fill]align][0][width][.precision][type]
+//     align:  '<' left, '>' right, '^' center
+//     type:   d/x for integers, f/e/g for floating point, s for strings
+//   {{ and }}              literal braces
+//
+// Positional arguments and nested (dynamic) width/precision are not
+// supported. Errors (too few args, bad spec) surface as a bracketed
+// message in the output rather than an exception: formatting is used in
+// logging paths where throwing would mask the original problem.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace amjs {
+namespace fmt_detail {
+
+struct Spec {
+  char fill = ' ';
+  char align = 0;  // 0 = type default
+  bool zero = false;
+  int width = 0;
+  int precision = -1;
+  char type = 0;
+};
+
+/// Parse the text between ':' and '}'. Returns false on malformed input.
+bool parse_spec(std::string_view text, Spec& spec);
+
+/// Pad/align `body` per the spec; `numeric` picks the default alignment.
+std::string apply_padding(std::string body, const Spec& spec, bool numeric);
+
+std::string format_int(std::int64_t value, const Spec& spec);
+std::string format_uint(std::uint64_t value, const Spec& spec);
+std::string format_double(double value, const Spec& spec);
+std::string format_string(std::string_view value, const Spec& spec);
+
+/// One type-erased argument: a pointer plus a formatter thunk.
+struct Arg {
+  const void* data = nullptr;
+  std::string (*render)(const void* data, const Spec& spec) = nullptr;
+};
+
+template <typename T>
+Arg make_arg(const T& value) {
+  using Decayed = std::remove_cvref_t<T>;
+  if constexpr (std::is_same_v<Decayed, bool>) {
+    return {&value, [](const void* p, const Spec& s) {
+              return format_string(*static_cast<const bool*>(p) ? "true" : "false", s);
+            }};
+  } else if constexpr (std::is_same_v<Decayed, char>) {
+    return {&value, [](const void* p, const Spec& s) {
+              return format_string(std::string_view(static_cast<const char*>(p), 1), s);
+            }};
+  } else if constexpr (std::is_integral_v<Decayed> && std::is_signed_v<Decayed>) {
+    return {&value, [](const void* p, const Spec& s) {
+              return format_int(static_cast<std::int64_t>(*static_cast<const Decayed*>(p)), s);
+            }};
+  } else if constexpr (std::is_integral_v<Decayed>) {
+    return {&value, [](const void* p, const Spec& s) {
+              return format_uint(static_cast<std::uint64_t>(*static_cast<const Decayed*>(p)), s);
+            }};
+  } else if constexpr (std::is_enum_v<Decayed>) {
+    return {&value, [](const void* p, const Spec& s) {
+              return format_int(
+                  static_cast<std::int64_t>(*static_cast<const Decayed*>(p)), s);
+            }};
+  } else if constexpr (std::is_floating_point_v<Decayed>) {
+    return {&value, [](const void* p, const Spec& s) {
+              return format_double(static_cast<double>(*static_cast<const Decayed*>(p)), s);
+            }};
+  } else if constexpr (std::is_convertible_v<const Decayed&, std::string_view>) {
+    return {&value, [](const void* p, const Spec& s) {
+              return format_string(std::string_view(*static_cast<const Decayed*>(p)), s);
+            }};
+  } else if constexpr (std::is_pointer_v<Decayed>) {
+    return {&value, [](const void* p, const Spec& s) {
+              char buf[32];
+              std::snprintf(buf, sizeof buf, "%p", *static_cast<void* const*>(p));
+              return format_string(buf, s);
+            }};
+  } else {
+    static_assert(std::is_arithmetic_v<Decayed>, "amjs::format: unsupported type");
+    return {};
+  }
+}
+
+std::string vformat(std::string_view fmt, const Arg* args, std::size_t count);
+
+}  // namespace fmt_detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return fmt_detail::vformat(fmt, nullptr, 0);
+  } else {
+    const fmt_detail::Arg arg_array[] = {fmt_detail::make_arg(args)...};
+    return fmt_detail::vformat(fmt, arg_array, sizeof...(Args));
+  }
+}
+
+}  // namespace amjs

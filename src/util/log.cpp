@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace amjs::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr const char* level_tag(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info ";
+    case Level::kWarn: return "warn ";
+    case Level::kError: return "error";
+    case Level::kOff: return "off  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, std::string_view message) {
+  if (lvl < level()) return;
+  std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[amjs %s] %.*s\n", level_tag(lvl),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace amjs::log

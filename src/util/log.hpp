@@ -1,0 +1,41 @@
+// Small leveled logger.
+//
+// The simulator is single-threaded by design, but experiment harnesses run
+// parameter sweeps on std::thread pools, so emission is serialized.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/fmt.hpp"
+
+namespace amjs::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library users are not spammed; harnesses raise verbosity explicitly.
+void set_level(Level level);
+Level level();
+
+/// Emit one line ("[level] message") to stderr if `lvl` passes the threshold.
+void emit(Level lvl, std::string_view message);
+
+template <typename... Args>
+void debug(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kDebug) emit(Level::kDebug, ::amjs::format(fmt, args...));
+}
+template <typename... Args>
+void info(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kInfo) emit(Level::kInfo, ::amjs::format(fmt, args...));
+}
+template <typename... Args>
+void warn(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kWarn) emit(Level::kWarn, ::amjs::format(fmt, args...));
+}
+template <typename... Args>
+void error(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kError) emit(Level::kError, ::amjs::format(fmt, args...));
+}
+
+}  // namespace amjs::log

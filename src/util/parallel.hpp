@@ -1,0 +1,61 @@
+// Minimal parallel-for for experiment sweeps.
+//
+// The simulator itself is strictly single-threaded (deterministic event
+// ordering), but a parameter sweep runs many *independent* simulations —
+// each with its own Machine, Scheduler, and result — which parallelize
+// trivially. This helper fans a loop body out over a small thread pool
+// with a work-stealing counter; results are written into pre-sized slots,
+// so no synchronization beyond the index counter is needed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace amjs {
+
+/// Invoke `body(i)` for every i in [0, count), distributing indices over
+/// up to `threads` workers (0 = hardware_concurrency, min 1). `body` must
+/// be safe to call concurrently for distinct indices; indices are claimed
+/// atomically, so any imbalance in per-index cost self-levels.
+inline void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                         unsigned threads = 0) {
+  if (count == 0) return;
+  unsigned worker_count = threads ? threads : std::thread::hardware_concurrency();
+  if (worker_count == 0) worker_count = 1;
+  if (worker_count > count) worker_count = static_cast<unsigned>(count);
+
+  if (worker_count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count);
+  for (unsigned t = 0; t < worker_count; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+/// Map [0, count) -> results vector through `body`, in parallel. Each
+/// slot is written exactly once by the worker that claimed its index.
+template <typename T>
+[[nodiscard]] std::vector<T> parallel_map(
+    std::size_t count, const std::function<T(std::size_t)>& body,
+    unsigned threads = 0) {
+  std::vector<T> results(count);
+  parallel_for(
+      count, [&](std::size_t i) { results[i] = body(i); }, threads);
+  return results;
+}
+
+}  // namespace amjs

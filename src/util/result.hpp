@@ -1,0 +1,88 @@
+// Minimal expected-like result type (std::expected is C++23; we target C++20).
+//
+// Used at library boundaries that can fail for data-dependent reasons
+// (parsing a workload file, constructing a machine from a bad description).
+// Internal logic errors use assertions instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace amjs {
+
+/// Error payload: a human-readable message plus an optional source location
+/// hint (e.g. "trace.swf:42").
+struct Error {
+  std::string message;
+  std::string context;
+
+  Error() = default;
+  explicit Error(std::string msg, std::string ctx = {})
+      : message(std::move(msg)), context(std::move(ctx)) {}
+
+  [[nodiscard]] std::string to_string() const {
+    return context.empty() ? message : context + ": " + message;
+  }
+};
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value or a fallback, for callers with a sensible default.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  static Status success() { return {}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace amjs

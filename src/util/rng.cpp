@@ -1,0 +1,21 @@
+#include "util/rng.hpp"
+
+namespace amjs {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double draw = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: draw landed exactly on total
+}
+
+}  // namespace amjs

@@ -1,0 +1,77 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](unsigned char ch) { return std::isspace(ch) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(s.substr(start));
+      break;
+    }
+    fields.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  const auto is_space = [](char ch) {
+    return std::isspace(static_cast<unsigned char>(ch)) != 0;
+  };
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    const auto start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) fields.push_back(s.substr(start, i - start));
+  }
+  return fields;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  s = trim(s);
+  std::int64_t value = 0;
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  s = trim(s);
+  double value = 0.0;
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string format_duration(Duration d) {
+  const bool negative = d < 0;
+  if (negative) d = -d;
+  const auto h = d / 3600;
+  const auto m = (d % 3600) / 60;
+  const auto s = d % 60;
+  return amjs::format("{}{}h {:02}m {:02}s", negative ? "-" : "", h, m, s);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace amjs

@@ -1,0 +1,32 @@
+// String helpers for the SWF parser and CLI tooling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace amjs {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a delimiter; empty fields preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; empty fields dropped (SWF field layout).
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Locale-independent numeric parsing; nullopt on any trailing garbage.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view s);
+[[nodiscard]] std::optional<double> parse_f64(std::string_view s);
+
+/// Render a duration as "Hh MMm SSs" for human-facing reports.
+[[nodiscard]] std::string format_duration(Duration d);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace amjs

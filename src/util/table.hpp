@@ -1,0 +1,50 @@
+// Console table and CSV emitters used by the benchmark harnesses to print
+// paper-style tables (Table II, Table III) and figure series (Figs. 3-6).
+#pragma once
+
+#include "util/fmt.hpp"
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amjs {
+
+/// Fixed-column ASCII table with right-aligned numeric cells, rendered like:
+///
+///   configuration | avg. wait (min) | unfair # | LoC (%)
+///   --------------+-----------------+----------+--------
+///   BF=1/W=1      |           245.2 |       10 |    15.7
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for the common cell types.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quote a cell if it contains a comma, quote, or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace amjs

@@ -1,0 +1,79 @@
+#include "util/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amjs {
+
+void StepSeries::set(SimTime time, double value) {
+  assert(points_.empty() || time >= points_.back().time);
+  if (!points_.empty() && points_.back().time == time) {
+    points_.back().value = value;
+    return;
+  }
+  // Skip no-op transitions to keep the series compact.
+  const double current = points_.empty() ? initial_ : points_.back().value;
+  if (current == value && !points_.empty()) return;
+  points_.push_back({time, value});
+}
+
+double StepSeries::at(SimTime time) const {
+  if (points_.empty() || time < points_.front().time) return initial_;
+  // Last point with point.time <= time.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), time,
+      [](SimTime t, const TimePoint& p) { return t < p.time; });
+  return std::prev(it)->value;
+}
+
+double StepSeries::integrate(SimTime from, SimTime to) const {
+  assert(from <= to);
+  if (from == to) return 0.0;
+  double total = 0.0;
+  SimTime cursor = from;
+  // First segment: value in effect at `from` until the next change.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), from,
+      [](SimTime t, const TimePoint& p) { return t < p.time; });
+  double value = (it == points_.begin()) ? initial_ : std::prev(it)->value;
+  while (cursor < to) {
+    const SimTime segment_end = (it == points_.end()) ? to : std::min(it->time, to);
+    total += value * static_cast<double>(segment_end - cursor);
+    cursor = segment_end;
+    if (it != points_.end() && cursor == it->time) {
+      value = it->value;
+      ++it;
+    }
+  }
+  return total;
+}
+
+double StepSeries::mean(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  return integrate(from, to) / static_cast<double>(to - from);
+}
+
+double StepSeries::trailing_mean(SimTime now, Duration window) const {
+  assert(window > 0);
+  return mean(now - window, now);
+}
+
+void SampledSeries::add(SimTime time, double value) {
+  assert(points_.empty() || time >= points_.back().time);
+  points_.push_back({time, value});
+}
+
+double SampledSeries::max_value() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+double SampledSeries::mean_value() const {
+  if (points_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& p : points_) total += p.value;
+  return total / static_cast<double>(points_.size());
+}
+
+}  // namespace amjs

@@ -1,0 +1,74 @@
+// Time-series containers for metric monitoring.
+//
+// StepSeries models a piecewise-constant signal (e.g. the number of busy
+// nodes: it changes only at scheduling events). Window averages — the 1H /
+// 10H / 24H utilization lines of Figs. 5-6 — are exact integrals of the
+// step function, not sample means, so the check interval does not bias them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace amjs {
+
+/// One (time, value) observation.
+struct TimePoint {
+  SimTime time = 0;
+  double value = 0.0;
+};
+
+/// Piecewise-constant, append-only time series. The value set at time t
+/// holds on [t, t_next). Appends must be non-decreasing in time; setting a
+/// new value at the same timestamp overwrites (last writer wins), matching
+/// simultaneous scheduling events.
+class StepSeries {
+ public:
+  StepSeries() = default;
+
+  /// `initial` is the value before the first explicit set.
+  explicit StepSeries(double initial) : initial_(initial) {}
+
+  void set(SimTime time, double value);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<TimePoint>& points() const { return points_; }
+
+  /// Value in effect at `time` (initial value before the first set).
+  [[nodiscard]] double at(SimTime time) const;
+
+  /// Exact integral of the step function over [from, to].
+  [[nodiscard]] double integrate(SimTime from, SimTime to) const;
+
+  /// Time-weighted mean over [from, to]; 0 for an empty window.
+  [[nodiscard]] double mean(SimTime from, SimTime to) const;
+
+  /// Mean over the trailing window [now - window, now] — the paper's
+  /// "1H/10H/24H" lines. Windows reaching before the first observation use
+  /// the initial value for the uncovered prefix.
+  [[nodiscard]] double trailing_mean(SimTime now, Duration window) const;
+
+ private:
+  double initial_ = 0.0;
+  std::vector<TimePoint> points_;
+};
+
+/// Plain sampled series (for queue-depth plots etc.): append-only,
+/// non-decreasing times, duplicates allowed.
+class SampledSeries {
+ public:
+  void add(SimTime time, double value);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<TimePoint>& points() const { return points_; }
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double mean_value() const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace amjs

@@ -1,0 +1,41 @@
+// Core scalar types shared across the library.
+//
+// All simulated time is integral seconds since the trace epoch (the submit
+// time of the first job, or the SWF "UnixStartTime" when replaying a log).
+// Integral time keeps event ordering exact and simulations bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace amjs {
+
+/// Simulated wall-clock time, in whole seconds since the trace epoch.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in whole seconds.
+using Duration = std::int64_t;
+
+/// Number of compute nodes.
+using NodeCount = std::int64_t;
+
+/// Identifier of a job within one trace (dense, 0-based).
+using JobId = std::int32_t;
+
+inline constexpr JobId kInvalidJob = -1;
+
+/// Sentinel for "not yet happened" timestamps.
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+/// Convenience duration constructors (whole seconds).
+constexpr Duration seconds(std::int64_t s) { return s; }
+constexpr Duration minutes(std::int64_t m) { return m * 60; }
+constexpr Duration hours(std::int64_t h) { return h * 3600; }
+constexpr Duration days(std::int64_t d) { return d * 86400; }
+
+/// Lossless second -> fractional-minute / fractional-hour conversions for
+/// reporting (metrics in the paper are quoted in minutes and hours).
+constexpr double to_minutes(Duration d) { return static_cast<double>(d) / 60.0; }
+constexpr double to_hours(Duration d) { return static_cast<double>(d) / 3600.0; }
+
+}  // namespace amjs

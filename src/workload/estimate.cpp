@@ -1,0 +1,63 @@
+#include "workload/estimate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace amjs {
+namespace {
+
+constexpr Duration kMinWalltime = 60;
+
+Duration clamp_walltime(double raw, Duration runtime) {
+  const auto w = static_cast<Duration>(std::ceil(raw));
+  return std::max({w, runtime, kMinWalltime});
+}
+
+}  // namespace
+
+Duration ExactEstimate::estimate(Duration runtime, Rng& /*rng*/) const {
+  return std::max(runtime, kMinWalltime);
+}
+
+UniformFactorEstimate::UniformFactorEstimate(double max_factor)
+    : max_factor_(max_factor) {
+  assert(max_factor_ >= 1.0);
+}
+
+Duration UniformFactorEstimate::estimate(Duration runtime, Rng& rng) const {
+  const double factor = rng.uniform(1.0, max_factor_);
+  return clamp_walltime(factor * static_cast<double>(runtime), runtime);
+}
+
+BucketedEstimate::BucketedEstimate(double max_factor, std::vector<Duration> buckets)
+    : max_factor_(max_factor), buckets_(std::move(buckets)) {
+  assert(max_factor_ >= 1.0);
+  assert(!buckets_.empty());
+  assert(std::is_sorted(buckets_.begin(), buckets_.end()));
+}
+
+std::vector<Duration> BucketedEstimate::default_buckets() {
+  return {minutes(15), minutes(30), hours(1),  hours(2),  hours(4),
+          hours(6),    hours(8),    hours(12), hours(24), hours(48)};
+}
+
+Duration BucketedEstimate::estimate(Duration runtime, Rng& rng) const {
+  const double factor = rng.uniform(1.0, max_factor_);
+  const double raw = factor * static_cast<double>(runtime);
+  const auto it = std::lower_bound(buckets_.begin(), buckets_.end(),
+                                   static_cast<Duration>(std::ceil(raw)));
+  // Requests past the largest bucket stay un-bucketed (capped queues would
+  // reject them on a real machine; we keep them schedulable).
+  const Duration bucketed = (it == buckets_.end())
+                                ? static_cast<Duration>(std::ceil(raw))
+                                : *it;
+  return clamp_walltime(static_cast<double>(bucketed), runtime);
+}
+
+double estimate_accuracy(Duration runtime, Duration walltime) {
+  assert(walltime > 0);
+  return static_cast<double>(runtime) / static_cast<double>(walltime);
+}
+
+}  // namespace amjs

@@ -1,0 +1,64 @@
+// User walltime-estimate models.
+//
+// Backfilling quality depends heavily on how badly users over-estimate
+// runtimes (Mu'alem & Feitelson, TPDS 2001 — the paper's ref [12]). The
+// synthetic generator composes a runtime with one of these models to
+// produce the requested walltime the scheduler plans with.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace amjs {
+
+/// Strategy interface: given the true runtime, produce the user's request.
+class EstimateModel {
+ public:
+  virtual ~EstimateModel() = default;
+
+  /// Returned walltime is always >= runtime and >= 60 s.
+  [[nodiscard]] virtual Duration estimate(Duration runtime, Rng& rng) const = 0;
+};
+
+/// Perfect information: walltime == runtime (lower-bound scenario used in
+/// ablations; real users never achieve this).
+class ExactEstimate final : public EstimateModel {
+ public:
+  [[nodiscard]] Duration estimate(Duration runtime, Rng& rng) const override;
+};
+
+/// The classical model: walltime = runtime * U(1, max_factor). Mu'alem &
+/// Feitelson found factors up to ~10 in production logs.
+class UniformFactorEstimate final : public EstimateModel {
+ public:
+  explicit UniformFactorEstimate(double max_factor = 5.0);
+  [[nodiscard]] Duration estimate(Duration runtime, Rng& rng) const override;
+
+ private:
+  double max_factor_;
+};
+
+/// Realistic model: users request round values. A uniform factor is drawn,
+/// then rounded *up* to the nearest bucket (30 m, 1 h, 2 h, ...), matching
+/// the modal spikes observed in archive logs.
+class BucketedEstimate final : public EstimateModel {
+ public:
+  /// `buckets` must be sorted ascending; defaults to the common BG/P set.
+  explicit BucketedEstimate(double max_factor = 3.0,
+                            std::vector<Duration> buckets = default_buckets());
+  [[nodiscard]] Duration estimate(Duration runtime, Rng& rng) const override;
+
+  static std::vector<Duration> default_buckets();
+
+ private:
+  double max_factor_;
+  std::vector<Duration> buckets_;
+};
+
+/// Accuracy = runtime / walltime in (0, 1]; convenience for reports.
+[[nodiscard]] double estimate_accuracy(Duration runtime, Duration walltime);
+
+}  // namespace amjs

@@ -1,0 +1,48 @@
+// The immutable job description as it arrives from a trace.
+//
+// Runtime state (queued / running / finished, start and end times) lives in
+// the simulator's JobRecord, not here: the same trace object can be replayed
+// under many policies concurrently.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace amjs {
+
+struct Job {
+  JobId id = kInvalidJob;
+
+  /// Submission time, seconds since trace epoch.
+  SimTime submit = 0;
+
+  /// Actual runtime (known to the simulator only; the scheduler must not
+  /// peek at it — it plans with `walltime`).
+  Duration runtime = 0;
+
+  /// User-requested wall-clock limit. The scheduler's only runtime
+  /// information; `runtime <= walltime` unless the trace says otherwise
+  /// (real logs contain overruns that were killed at the limit).
+  Duration walltime = 0;
+
+  /// Requested node count.
+  NodeCount nodes = 0;
+
+  /// Originating user (for per-user fairness reporting); may be empty.
+  std::string user;
+
+  /// Queue / partition tag from the trace; informational.
+  int queue = 0;
+
+  [[nodiscard]] bool valid() const {
+    return id >= 0 && submit >= 0 && runtime >= 0 && walltime > 0 && nodes > 0;
+  }
+
+  /// Node-seconds actually consumed when the job runs to completion.
+  [[nodiscard]] double node_seconds() const {
+    return static_cast<double>(nodes) * static_cast<double>(runtime);
+  }
+};
+
+}  // namespace amjs

@@ -1,0 +1,96 @@
+#include "workload/model_fit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/stats.hpp"
+
+namespace amjs {
+
+WorkloadFit fit_workload_model(const JobTrace& trace, const FitOptions& options) {
+  WorkloadFit fit;
+  fit.config.seed = options.seed;
+  fit.config.sizes = options.sizes;
+  fit.config.runtime_min = options.runtime_min;
+  fit.config.runtime_max = options.runtime_max;
+  fit.config.bursts.clear();
+
+  const auto stats = trace.stats();
+  const Duration horizon = stats.last_submit - stats.first_submit;
+  if (trace.size() < 2 || horizon <= 0) return fit;
+  fit.config.horizon = horizon;
+
+  // --- Arrival rate + diurnal shape (first harmonic of hour-of-day).
+  fit.observed_rate_per_hour =
+      static_cast<double>(trace.size()) / to_hours(horizon);
+  fit.config.base_rate_per_hour = fit.observed_rate_per_hour;
+
+  double cos_sum = 0.0, sin_sum = 0.0;
+  for (const Job& j : trace.jobs()) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(j.submit % days(1)) /
+                         static_cast<double>(days(1));
+    cos_sum += std::cos(phase);
+    sin_sum += std::sin(phase);
+  }
+  // |first harmonic| of a inhomogeneous-Poisson sample estimates A/2 for
+  // rate(t) = r0 (1 + A sin(...)); clamp to the generator's valid range.
+  const double harmonic =
+      2.0 * std::hypot(cos_sum, sin_sum) / static_cast<double>(trace.size());
+  fit.diurnal_amplitude = std::clamp(harmonic, 0.0, 0.95);
+  fit.config.diurnal_amplitude = fit.diurnal_amplitude;
+
+  // --- Size ladder weights: snap each request up to its tier.
+  fit.tier_weights.assign(options.sizes.size(), 0.0);
+  for (const Job& j : trace.jobs()) {
+    const auto it =
+        std::lower_bound(options.sizes.begin(), options.sizes.end(), j.nodes);
+    const std::size_t idx =
+        it == options.sizes.end()
+            ? options.sizes.size() - 1
+            : static_cast<std::size_t>(std::distance(options.sizes.begin(), it));
+    fit.tier_weights[idx] += 1.0;
+  }
+  for (double& w : fit.tier_weights) w /= static_cast<double>(trace.size());
+  fit.config.size_weights = fit.tier_weights;
+
+  // --- Lognormal runtime fit (method of moments on ln runtime).
+  RunningStats log_runtime;
+  for (const Job& j : trace.jobs()) {
+    if (j.runtime > 0) log_runtime.add(std::log(static_cast<double>(j.runtime)));
+  }
+  if (log_runtime.count() >= 2) {
+    fit.runtime_log_mu = log_runtime.mean();
+    fit.runtime_log_sigma = std::max(log_runtime.stddev(), 0.05);
+    fit.config.runtime_log_mu = fit.runtime_log_mu;
+    fit.config.runtime_log_sigma = fit.runtime_log_sigma;
+  }
+
+  // --- Walltime over-estimation: under walltime = runtime * U(1, f), the
+  // mean accuracy runtime/walltime is E[1/U] = ln(f) / (f - 1); invert
+  // numerically (monotone decreasing in f).
+  RunningStats accuracy;
+  for (const Job& j : trace.jobs()) {
+    if (j.runtime > 0 && j.walltime > 0) {
+      accuracy.add(std::min(1.0, static_cast<double>(j.runtime) /
+                                     static_cast<double>(j.walltime)));
+    }
+  }
+  fit.mean_estimate_accuracy = accuracy.count() ? accuracy.mean() : 1.0;
+  double lo = 1.0 + 1e-6, hi = 64.0;
+  const double target = std::clamp(fit.mean_estimate_accuracy, 0.08, 0.999);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double mean_inv_u = std::log(mid) / (mid - 1.0);
+    if (mean_inv_u > target) lo = mid;  // still too accurate -> bigger f
+    else hi = mid;
+  }
+  fit.config.estimate_kind = EstimateKind::kUniformFactor;
+  fit.config.estimate_max_factor = std::max(1.0, 0.5 * (lo + hi));
+
+  return fit;
+}
+
+}  // namespace amjs

@@ -1,0 +1,59 @@
+// Workload model fitting: derive a SyntheticConfig from a real trace.
+//
+// The paper evaluates on proprietary Intrepid logs; sites reproducing the
+// experiments on *their* machines can fit the generator to one of their
+// own SWF logs and re-run every bench against a statistically similar
+// (but shareable, seeded) synthetic workload:
+//
+//   auto fitted = fit_workload_model(trace);   // trace from read_swf_file
+//   JobTrace synthetic = SyntheticTraceBuilder(fitted.config).build();
+//
+// What is fitted:
+//   * base arrival rate (jobs/hour) and diurnal amplitude — the first
+//     harmonic of the hour-of-day submission histogram;
+//   * job-size ladder weights — sizes snapped to the configured tiers;
+//   * lognormal runtime parameters (mu/sigma of ln seconds, clamped);
+//   * walltime over-estimation factor — from observed runtime/walltime
+//     accuracies under the uniform-factor model.
+// Bursts are deliberately NOT fitted (they are the experiment variable);
+// inject them explicitly via SyntheticConfig::bursts.
+#pragma once
+
+#include <vector>
+
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+struct WorkloadFit {
+  SyntheticConfig config;
+
+  // Goodness-of-fit diagnostics.
+  double observed_rate_per_hour = 0.0;
+  double diurnal_amplitude = 0.0;
+  double runtime_log_mu = 0.0;
+  double runtime_log_sigma = 0.0;
+  double mean_estimate_accuracy = 0.0;  // runtime / walltime
+  std::vector<double> tier_weights;     // parallel to config.sizes
+};
+
+struct FitOptions {
+  /// Size ladder to snap requests onto (defaults: the BG/P tiers).
+  std::vector<NodeCount> sizes = {512, 1024, 2048, 4096, 8192, 16384, 32768};
+
+  /// Runtime clamps carried into the fitted config.
+  Duration runtime_min = minutes(2);
+  Duration runtime_max = hours(48);
+
+  /// Seed for the fitted generator.
+  std::uint64_t seed = 2012;
+};
+
+/// Fit the generator to `trace`. Requires at least 2 jobs spanning a
+/// positive horizon; degenerate traces return the defaults with
+/// observed_* diagnostics zeroed.
+[[nodiscard]] WorkloadFit fit_workload_model(const JobTrace& trace,
+                                             const FitOptions& options = {});
+
+}  // namespace amjs

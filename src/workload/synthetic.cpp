@@ -1,0 +1,92 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include "util/fmt.hpp"
+#include <numbers>
+
+namespace amjs {
+namespace {
+
+std::unique_ptr<EstimateModel> make_estimate(const SyntheticConfig& cfg) {
+  switch (cfg.estimate_kind) {
+    case EstimateKind::kExact:
+      return std::make_unique<ExactEstimate>();
+    case EstimateKind::kUniformFactor:
+      return std::make_unique<UniformFactorEstimate>(cfg.estimate_max_factor);
+    case EstimateKind::kBucketed:
+      return std::make_unique<BucketedEstimate>(cfg.estimate_max_factor);
+  }
+  return std::make_unique<BucketedEstimate>(cfg.estimate_max_factor);
+}
+
+}  // namespace
+
+SyntheticTraceBuilder::SyntheticTraceBuilder(SyntheticConfig config)
+    : config_(std::move(config)), estimate_(make_estimate(config_)) {
+  assert(config_.horizon > 0);
+  assert(config_.base_rate_per_hour > 0.0);
+  assert(config_.diurnal_amplitude >= 0.0 && config_.diurnal_amplitude < 1.0);
+  assert(!config_.sizes.empty());
+  assert(config_.sizes.size() == config_.size_weights.size());
+  assert(config_.runtime_min > 0 && config_.runtime_min <= config_.runtime_max);
+  assert(config_.user_count > 0);
+
+  double max_mult = 1.0;
+  for (const auto& b : config_.bursts) max_mult = std::max(max_mult, b.rate_multiplier);
+  peak_rate_per_hour_ =
+      config_.base_rate_per_hour * (1.0 + config_.diurnal_amplitude) * max_mult;
+}
+
+double SyntheticTraceBuilder::rate_at(SimTime t) const {
+  const double hour = to_hours(t);
+  // Diurnal cycle peaking at 15:00 of each simulated day.
+  const double phase = 2.0 * std::numbers::pi * (hour - 9.0) / 24.0;
+  double rate = config_.base_rate_per_hour *
+                (1.0 + config_.diurnal_amplitude * std::sin(phase));
+  for (const auto& b : config_.bursts) {
+    if (hour >= b.start_hour && hour <= b.start_hour + b.duration_hours) {
+      rate *= b.rate_multiplier;
+    }
+  }
+  return rate;
+}
+
+JobTrace SyntheticTraceBuilder::build() const {
+  Rng rng(config_.seed);
+  Rng size_rng = rng.fork();
+  Rng runtime_rng = rng.fork();
+  Rng estimate_rng = rng.fork();
+  Rng user_rng = rng.fork();
+
+  std::vector<Job> jobs;
+  // Lewis thinning: propose at the peak rate, accept with rate(t)/peak.
+  const double peak_rate_per_sec = peak_rate_per_hour_ / 3600.0;
+  double t = 0.0;
+  const auto horizon = static_cast<double>(config_.horizon);
+  while (true) {
+    t += rng.exponential(peak_rate_per_sec);
+    if (t > horizon) break;
+    const auto now = static_cast<SimTime>(t);
+    if (!rng.chance(rate_at(now) / peak_rate_per_hour_)) continue;
+
+    Job job;
+    job.submit = now;
+    job.nodes = config_.sizes[size_rng.weighted_index(config_.size_weights)];
+    const double raw_runtime =
+        runtime_rng.lognormal(config_.runtime_log_mu, config_.runtime_log_sigma);
+    job.runtime = std::clamp(static_cast<Duration>(raw_runtime),
+                             config_.runtime_min, config_.runtime_max);
+    job.walltime = estimate_->estimate(job.runtime, estimate_rng);
+    job.user = amjs::format(
+        "u{}", user_rng.uniform_int(0, config_.user_count - 1));
+    jobs.push_back(std::move(job));
+  }
+
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  assert(trace.ok());
+  return std::move(trace).value();
+}
+
+}  // namespace amjs

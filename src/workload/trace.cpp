@@ -1,0 +1,74 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+double TraceStats::offered_load(NodeCount machine_nodes) const {
+  const auto horizon = static_cast<double>(last_submit - first_submit);
+  if (horizon <= 0.0 || machine_nodes <= 0) return 0.0;
+  return total_node_seconds / (static_cast<double>(machine_nodes) * horizon);
+}
+
+Result<JobTrace> JobTrace::from_jobs(std::vector<Job> jobs) {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.submit < b.submit;
+  });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    if (!jobs[i].valid()) {
+      return Error{amjs::format(
+          "job #{} invalid (submit={}, runtime={}, walltime={}, nodes={})", i,
+          jobs[i].submit, jobs[i].runtime, jobs[i].walltime, jobs[i].nodes)};
+    }
+  }
+  JobTrace trace;
+  trace.jobs_ = std::move(jobs);
+  return trace;
+}
+
+TraceStats JobTrace::stats() const {
+  TraceStats s;
+  s.job_count = jobs_.size();
+  if (jobs_.empty()) return s;
+  s.first_submit = jobs_.front().submit;
+  s.last_submit = jobs_.back().submit;
+  s.min_runtime = jobs_.front().runtime;
+  s.max_runtime = jobs_.front().runtime;
+  s.min_nodes = jobs_.front().nodes;
+  s.max_nodes = jobs_.front().nodes;
+  double runtime_sum = 0.0;
+  double nodes_sum = 0.0;
+  for (const auto& j : jobs_) {
+    s.min_runtime = std::min(s.min_runtime, j.runtime);
+    s.max_runtime = std::max(s.max_runtime, j.runtime);
+    s.min_nodes = std::min(s.min_nodes, j.nodes);
+    s.max_nodes = std::max(s.max_nodes, j.nodes);
+    runtime_sum += static_cast<double>(j.runtime);
+    nodes_sum += static_cast<double>(j.nodes);
+    s.total_node_seconds += j.node_seconds();
+  }
+  s.mean_runtime = runtime_sum / static_cast<double>(jobs_.size());
+  s.mean_nodes = nodes_sum / static_cast<double>(jobs_.size());
+  return s;
+}
+
+JobTrace JobTrace::truncated_at(SimTime cutoff) const {
+  JobTrace out;
+  for (const auto& j : jobs_) {
+    if (j.submit <= cutoff) out.jobs_.push_back(j);
+  }
+  // Ids stay dense because jobs_ is submit-ordered and we keep a prefix of
+  // all jobs with submit <= cutoff (ties included).
+  return out;
+}
+
+JobTrace JobTrace::prefix(std::size_t n) const {
+  JobTrace out;
+  out.jobs_.assign(jobs_.begin(),
+                   jobs_.begin() + static_cast<std::ptrdiff_t>(std::min(n, jobs_.size())));
+  return out;
+}
+
+}  // namespace amjs

@@ -1,0 +1,60 @@
+// JobTrace: an ordered batch of jobs plus summary statistics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "workload/job.hpp"
+
+namespace amjs {
+
+/// Summary statistics of a trace, for reports and sanity checks.
+struct TraceStats {
+  std::size_t job_count = 0;
+  SimTime first_submit = 0;
+  SimTime last_submit = 0;
+  Duration min_runtime = 0;
+  Duration max_runtime = 0;
+  double mean_runtime = 0.0;
+  NodeCount min_nodes = 0;
+  NodeCount max_nodes = 0;
+  double mean_nodes = 0.0;
+  double total_node_seconds = 0.0;
+
+  /// Offered load against a machine of `machine_nodes` over the submit
+  /// horizon: total node-seconds / (machine_nodes * horizon). >1 means the
+  /// workload saturates the machine even with perfect packing.
+  [[nodiscard]] double offered_load(NodeCount machine_nodes) const;
+};
+
+/// An immutable, submit-ordered collection of jobs with dense 0-based ids.
+class JobTrace {
+ public:
+  JobTrace() = default;
+
+  /// Takes ownership; sorts by (submit, id) and re-assigns dense ids in the
+  /// sorted order so JobId indexes directly into jobs().
+  /// Fails if any job is invalid (non-positive nodes/walltime, etc.).
+  static Result<JobTrace> from_jobs(std::vector<Job> jobs);
+
+  [[nodiscard]] std::span<const Job> jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] const Job& job(JobId id) const { return jobs_.at(static_cast<std::size_t>(id)); }
+
+  [[nodiscard]] TraceStats stats() const;
+
+  /// Copy of the trace containing only jobs with submit <= cutoff — the
+  /// "assume no later arrivals" workload used by the fair-start oracle.
+  [[nodiscard]] JobTrace truncated_at(SimTime cutoff) const;
+
+  /// Copy containing only the first n jobs (prefix in submit order).
+  [[nodiscard]] JobTrace prefix(std::size_t n) const;
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace amjs

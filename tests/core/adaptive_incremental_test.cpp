@@ -1,0 +1,126 @@
+// Incremental (Table I Δ-walk) tuning behaviour, complementing the
+// two-level tests in adaptive_test.cpp.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+MetricAwareConfig base_config() {
+  MetricAwareConfig c;
+  c.policy = MetricAwarePolicy{1.0, 1};
+  return c;
+}
+
+TEST(AdaptiveIncrementalTest, FactoryDefaults) {
+  const auto bf = AdaptiveScheme::bf_incremental();
+  EXPECT_EQ(bf.mode, TuningMode::kIncremental);
+  EXPECT_DOUBLE_EQ(bf.initial, 1.0);
+  EXPECT_DOUBLE_EQ(bf.delta, 0.5);
+  EXPECT_DOUBLE_EQ(bf.min_value, 0.5);
+  EXPECT_DOUBLE_EQ(bf.stressed_sign, -1.0);
+
+  const auto w = AdaptiveScheme::w_incremental();
+  EXPECT_EQ(w.mode, TuningMode::kIncremental);
+  EXPECT_DOUBLE_EQ(w.initial, 1.0);
+  EXPECT_DOUBLE_EQ(w.delta, 1.0);
+  EXPECT_DOUBLE_EQ(w.max_value, 5.0);
+  EXPECT_DOUBLE_EQ(w.stressed_sign, 1.0);
+}
+
+TEST(AdaptiveIncrementalTest, WWalksUpOneStepPerCheck) {
+  // Utilization trend stressed (10H < 24H) for a long stretch: W should
+  // walk 1 -> 2 -> 3 ... one Δ per checkpoint, clamped at max.
+  FlatMachine m(100);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::w_incremental(1, 1, 4)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  // Load the machine hard for 12 h, then go nearly idle: 10H dips under
+  // 24H and stays there while the trickle keeps checks alive.
+  jobs.push_back(make_job(0, hours(12), 100));
+  for (int i = 0; i < 24; ++i) {
+    jobs.push_back(make_job(hours(13) + i * hours(1), 300, 5));
+  }
+  (void)sim.run(trace_of(std::move(jobs)));
+
+  const auto& history = sched.w_history().points();
+  ASSERT_FALSE(history.empty());
+  // Monotone single steps while stressed; never exceeds the clamp.
+  double prev = 1.0;
+  double max_seen = 1.0;
+  for (const auto& p : history) {
+    EXPECT_LE(std::abs(p.value - prev), 1.0 + 1e-9) << "jumped more than one Δ";
+    EXPECT_GE(p.value, 1.0);
+    EXPECT_LE(p.value, 4.0);
+    prev = p.value;
+    max_seen = std::max(max_seen, p.value);
+  }
+  EXPECT_DOUBLE_EQ(max_seen, 4.0);  // reached and held the clamp
+}
+
+TEST(AdaptiveIncrementalTest, BfWalksDownThenRecovers) {
+  FlatMachine m(100);
+  AdaptiveScheduler sched(
+      base_config(),
+      {AdaptiveScheme::bf_incremental(/*threshold=*/50.0, /*delta=*/0.25,
+                                      /*min_bf=*/0.25, /*max_bf=*/1.0)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, hours(4), 100));               // deep queue era
+  for (int i = 1; i <= 8; ++i) jobs.push_back(make_job(i * 60, 600, 50));
+  for (int i = 0; i < 10; ++i) {                            // calm era
+    jobs.push_back(make_job(hours(6) + i * hours(1), 300, 5));
+  }
+  (void)sim.run(trace_of(std::move(jobs)));
+
+  const auto& history = sched.bf_history().points();
+  ASSERT_FALSE(history.empty());
+  double min_seen = 1.0;
+  for (const auto& p : history) min_seen = std::min(min_seen, p.value);
+  EXPECT_LE(min_seen, 0.5);                            // walked down in the burst
+  EXPECT_GE(min_seen, 0.25);                           // respected the clamp
+  EXPECT_DOUBLE_EQ(history.back().value, 1.0);         // recovered when calm
+}
+
+TEST(AdaptiveIncrementalTest, StepsNeverLeaveTheValidPolicySpace) {
+  FlatMachine m(64);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::bf_incremental(100.0, 0.5, 0.0, 1.0),
+                           AdaptiveScheme::w_incremental(2, 1, 5)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 80; ++i) {
+    jobs.push_back(make_job(i * 900, 300 + (i % 9) * 450, 4 + (i % 6) * 10));
+  }
+  (void)sim.run(trace_of(std::move(jobs)));
+  for (const auto& p : sched.bf_history().points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+  for (const auto& p : sched.w_history().points()) {
+    EXPECT_GE(p.value, 1.0);
+    EXPECT_LE(p.value, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,211 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+MetricAwareConfig base_config() {
+  MetricAwareConfig c;
+  c.policy = MetricAwarePolicy{1.0, 1};
+  return c;
+}
+
+TEST(AdaptiveSchemeTest, FactoriesEncodePaperDefaults) {
+  const auto bf = AdaptiveScheme::bf_queue_depth();
+  EXPECT_EQ(bf.tunable, Tunable::kBalanceFactor);
+  EXPECT_EQ(bf.monitor, MonitorSignal::kQueueDepth);
+  EXPECT_DOUBLE_EQ(bf.qd_threshold, 1000.0);
+  EXPECT_DOUBLE_EQ(bf.relaxed_value, 1.0);
+  EXPECT_DOUBLE_EQ(bf.stressed_value, 0.5);
+
+  const auto w = AdaptiveScheme::w_utilization();
+  EXPECT_EQ(w.tunable, Tunable::kWindowSize);
+  EXPECT_EQ(w.monitor, MonitorSignal::kUtilizationTrend);
+  EXPECT_DOUBLE_EQ(w.relaxed_value, 1.0);
+  EXPECT_DOUBLE_EQ(w.stressed_value, 4.0);
+  EXPECT_EQ(w.short_window, hours(10));
+  EXPECT_EQ(w.long_window, hours(24));
+}
+
+TEST(AdaptiveSchedulerTest, NameListsDimensions) {
+  AdaptiveScheduler bf_only(base_config(), {AdaptiveScheme::bf_queue_depth()});
+  EXPECT_EQ(bf_only.name(), "Adaptive[BF]");
+  AdaptiveScheduler two_d(base_config(), {AdaptiveScheme::bf_queue_depth(),
+                                          AdaptiveScheme::w_utilization()});
+  EXPECT_EQ(two_d.name(), "Adaptive[BFW]");
+  AdaptiveScheduler labeled(base_config(), {AdaptiveScheme::bf_queue_depth()},
+                            "custom");
+  EXPECT_EQ(labeled.name(), "custom");
+}
+
+TEST(AdaptiveSchedulerTest, DeepQueueDropsBalanceFactor) {
+  // One huge job hogs the machine while many jobs pile up: queue depth
+  // blows past the threshold and BF must switch to the stressed value.
+  FlatMachine m(100);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::bf_queue_depth(/*threshold=*/100.0)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, hours(8), 100));
+  for (int i = 1; i <= 12; ++i) jobs.push_back(make_job(i * 60, 600, 50));
+  (void)sim.run(trace_of(std::move(jobs)));
+
+  ASSERT_FALSE(sched.bf_history().points().empty());
+  double min_bf = 1.0;
+  for (const auto& p : sched.bf_history().points()) min_bf = std::min(min_bf, p.value);
+  EXPECT_DOUBLE_EQ(min_bf, 0.5);
+  EXPECT_GT(sched.adjustments(), 0u);
+}
+
+TEST(AdaptiveSchedulerTest, ShallowQueueKeepsRelaxedBf) {
+  FlatMachine m(1000);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::bf_queue_depth(/*threshold=*/1000.0)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back(make_job(i * 600, 300, 10));
+  (void)sim.run(trace_of(std::move(jobs)));
+  for (const auto& p : sched.bf_history().points()) {
+    EXPECT_DOUBLE_EQ(p.value, 1.0);
+  }
+}
+
+TEST(AdaptiveSchedulerTest, BfRecoversWhenQueueDrains) {
+  FlatMachine m(100);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::bf_queue_depth(/*threshold=*/100.0)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, hours(4), 100));
+  for (int i = 1; i <= 8; ++i) jobs.push_back(make_job(i * 60, 300, 20));
+  // Long quiet tail: a trickle of tiny jobs so checks continue after the
+  // burst drains.
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(make_job(hours(6) + i * hours(1), 300, 5));
+  }
+  (void)sim.run(trace_of(std::move(jobs)));
+  ASSERT_FALSE(sched.bf_history().points().empty());
+  // BF ends relaxed once the queue empties.
+  EXPECT_DOUBLE_EQ(sched.bf_history().points().back().value, 1.0);
+}
+
+TEST(AdaptiveSchedulerTest, UtilizationTrendEnlargesWindow) {
+  // Load the machine for a long stretch, then let it go idle: the 10H
+  // average dips below the 24H average and W must jump to 4.
+  FlatMachine m(100);
+  AdaptiveScheduler sched(base_config(), {AdaptiveScheme::w_utilization()});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  // 12 hours of full load...
+  jobs.push_back(make_job(0, hours(12), 100));
+  // ...then a sparse tail for 30 more hours.
+  for (int i = 0; i < 30; ++i) {
+    jobs.push_back(make_job(hours(13) + i * hours(1), 300, 5));
+  }
+  (void)sim.run(trace_of(std::move(jobs)));
+  ASSERT_FALSE(sched.w_history().points().empty());
+  double max_w = 0.0;
+  for (const auto& p : sched.w_history().points()) max_w = std::max(max_w, p.value);
+  EXPECT_DOUBLE_EQ(max_w, 4.0);
+}
+
+TEST(AdaptiveSchedulerTest, TwoDimensionalTunesBoth) {
+  FlatMachine m(100);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::bf_queue_depth(/*threshold=*/100.0),
+                           AdaptiveScheme::w_utilization()});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, hours(12), 100));
+  for (int i = 1; i <= 12; ++i) jobs.push_back(make_job(i * 60, 900, 40));
+  for (int i = 0; i < 24; ++i) {
+    jobs.push_back(make_job(hours(14) + i * hours(1), 300, 5));
+  }
+  (void)sim.run(trace_of(std::move(jobs)));
+  double min_bf = 1.0, max_w = 0.0;
+  for (const auto& p : sched.bf_history().points()) min_bf = std::min(min_bf, p.value);
+  for (const auto& p : sched.w_history().points()) max_w = std::max(max_w, p.value);
+  EXPECT_DOUBLE_EQ(min_bf, 0.5);
+  EXPECT_DOUBLE_EQ(max_w, 4.0);
+}
+
+TEST(AdaptiveSchedulerTest, IncrementalWalkStaysClamped) {
+  FlatMachine m(100);
+  AdaptiveScheduler sched(
+      base_config(),
+      {AdaptiveScheme::bf_incremental(/*threshold=*/50.0, /*delta=*/0.25,
+                                      /*min_bf=*/0.5, /*max_bf=*/1.0)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, hours(10), 100));
+  for (int i = 1; i <= 20; ++i) jobs.push_back(make_job(i * 60, 600, 50));
+  (void)sim.run(trace_of(std::move(jobs)));
+  for (const auto& p : sched.bf_history().points()) {
+    EXPECT_GE(p.value, 0.5);
+    EXPECT_LE(p.value, 1.0);
+  }
+  // Δ=0.25 must be visible as an intermediate value during the descent.
+  bool saw_intermediate = false;
+  for (const auto& p : sched.bf_history().points()) {
+    if (p.value == 0.75) saw_intermediate = true;
+  }
+  EXPECT_TRUE(saw_intermediate);
+}
+
+TEST(AdaptiveSchedulerTest, ResetRestoresInitialPolicy) {
+  FlatMachine m(100);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::bf_queue_depth(/*threshold=*/10.0)});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, hours(5), 100));
+  for (int i = 1; i <= 6; ++i) jobs.push_back(make_job(i * 60, 600, 50));
+  (void)sim.run(trace_of(std::move(jobs)));
+  sched.reset();
+  EXPECT_DOUBLE_EQ(sched.policy().balance_factor, 1.0);
+  EXPECT_EQ(sched.policy().window_size, 1);
+  EXPECT_TRUE(sched.bf_history().points().empty());
+  EXPECT_EQ(sched.adjustments(), 0u);
+}
+
+TEST(AdaptiveSchedulerTest, PolicyAlwaysValidDuringRun) {
+  FlatMachine m(100);
+  AdaptiveScheduler sched(base_config(),
+                          {AdaptiveScheme::bf_queue_depth(/*threshold=*/100.0),
+                           AdaptiveScheme::w_utilization()});
+  Simulator sim(m, sched);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 60; ++i) {
+    jobs.push_back(make_job(i * 300, 200 + (i % 11) * 400, 10 + (i % 5) * 20));
+  }
+  (void)sim.run(trace_of(std::move(jobs)));
+  for (const auto& p : sched.bf_history().points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+  for (const auto& p : sched.w_history().points()) {
+    EXPECT_GE(p.value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace amjs

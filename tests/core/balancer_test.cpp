@@ -1,0 +1,95 @@
+#include "core/balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+TEST(BalancerSpecTest, FixedDisplayName) {
+  EXPECT_EQ(BalancerSpec::fixed(1.0, 1).display_name(), "BF=1/W=1");
+  EXPECT_EQ(BalancerSpec::fixed(0.5, 4).display_name(), "BF=0.5/W=4");
+}
+
+TEST(BalancerSpecTest, AdaptiveDisplayNames) {
+  EXPECT_EQ(BalancerSpec::bf_adaptive().display_name(), "BF Adapt.");
+  EXPECT_EQ(BalancerSpec::w_adaptive().display_name(), "W Adapt.");
+  EXPECT_EQ(BalancerSpec::two_d().display_name(), "2D Adapt.");
+}
+
+TEST(BalancerSpecTest, CustomLabelWins) {
+  auto spec = BalancerSpec::fixed(1.0, 1);
+  spec.label = "baseline";
+  EXPECT_EQ(spec.display_name(), "baseline");
+}
+
+TEST(MetricsBalancerTest, FixedSpecBuildsMetricAware) {
+  const auto sched = MetricsBalancer::make(BalancerSpec::fixed(0.5, 4));
+  ASSERT_NE(sched, nullptr);
+  const auto* ma = dynamic_cast<MetricAwareScheduler*>(sched.get());
+  ASSERT_NE(ma, nullptr);
+  EXPECT_DOUBLE_EQ(ma->policy().balance_factor, 0.5);
+  EXPECT_EQ(ma->policy().window_size, 4);
+}
+
+TEST(MetricsBalancerTest, AdaptiveSpecBuildsAdaptiveScheduler) {
+  const auto sched = MetricsBalancer::make(BalancerSpec::two_d());
+  ASSERT_NE(sched, nullptr);
+  const auto* ad = dynamic_cast<AdaptiveScheduler*>(sched.get());
+  ASSERT_NE(ad, nullptr);
+  EXPECT_EQ(ad->name(), "2D Adapt.");
+}
+
+TEST(MetricsBalancerTest, FactoryProducesIndependentInstances) {
+  const auto factory = MetricsBalancer::factory(BalancerSpec::bf_adaptive());
+  const auto a = factory();
+  const auto b = factory();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), b->name());
+}
+
+TEST(MetricsBalancerTest, Table2SpecsMatchPaperRows) {
+  const auto specs = MetricsBalancer::table2_specs();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].display_name(), "BF=1/W=1");
+  EXPECT_EQ(specs[1].display_name(), "BF=1/W=4");
+  EXPECT_EQ(specs[2].display_name(), "BF=0.5/W=1");
+  EXPECT_EQ(specs[3].display_name(), "BF=0.5/W=4");
+  EXPECT_EQ(specs[4].display_name(), "BF Adapt.");
+  EXPECT_EQ(specs[5].display_name(), "W Adapt.");
+  EXPECT_EQ(specs[6].display_name(), "2D Adapt.");
+}
+
+TEST(MetricsBalancerTest, EverySpecRunsAWorkload) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 25; ++i) {
+    Job j;
+    j.submit = i * 120;
+    j.runtime = 300 + (i % 4) * 600;
+    j.walltime = j.runtime * 2;
+    j.nodes = 8 + (i % 5) * 16;
+    jobs.push_back(j);
+  }
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  ASSERT_TRUE(trace.ok());
+
+  for (const auto& spec : MetricsBalancer::table2_specs()) {
+    FlatMachine machine(128);
+    const auto sched = MetricsBalancer::make(spec);
+    Simulator sim(machine, *sched);
+    const auto result = sim.run(trace.value());
+    EXPECT_EQ(result.finished_count(), 25u) << spec.display_name();
+  }
+}
+
+TEST(MetricsBalancerTest, IncrementalVariantBuilds) {
+  auto spec = BalancerSpec::two_d();
+  spec.incremental = true;
+  const auto sched = MetricsBalancer::make(spec);
+  ASSERT_NE(dynamic_cast<AdaptiveScheduler*>(sched.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,121 @@
+#include "core/policy_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+MetricAwareConfig base_config() {
+  MetricAwareConfig c;
+  c.policy = MetricAwarePolicy{1.0, 1};
+  return c;
+}
+
+TEST(PolicyScheduleTest, NameAndEmptySchedule) {
+  ScheduledPolicyDriver driver(base_config(), {});
+  EXPECT_EQ(driver.name(), "ScheduledPolicy[0 changes]");
+  ScheduledPolicyDriver named(base_config(), {}, "ops-plan");
+  EXPECT_EQ(named.name(), "ops-plan");
+}
+
+TEST(PolicyScheduleTest, ChangesApplyAtCheckpoints) {
+  FlatMachine m(100);
+  ScheduledPolicyDriver driver(
+      base_config(), {{hours(2), MetricAwarePolicy{0.5, 4}}});
+  Simulator sim(m, driver);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back(make_job(i * hours(1), 600, 10));
+  (void)sim.run(trace_of(std::move(jobs)));
+  EXPECT_EQ(driver.applied(), 1u);
+  EXPECT_DOUBLE_EQ(driver.policy().balance_factor, 0.5);
+  EXPECT_EQ(driver.policy().window_size, 4);
+}
+
+TEST(PolicyScheduleTest, OutOfOrderChangesAreSortedAndAllApply) {
+  FlatMachine m(100);
+  ScheduledPolicyDriver driver(base_config(),
+                               {{hours(4), MetricAwarePolicy{0.25, 2}},
+                                {hours(1), MetricAwarePolicy{0.5, 4}}});
+  Simulator sim(m, driver);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back(make_job(i * hours(1), 600, 10));
+  (void)sim.run(trace_of(std::move(jobs)));
+  EXPECT_EQ(driver.applied(), 2u);
+  EXPECT_DOUBLE_EQ(driver.policy().balance_factor, 0.25);
+}
+
+TEST(PolicyScheduleTest, ResetRestoresInitialPolicyAndReplays) {
+  FlatMachine m(100);
+  ScheduledPolicyDriver driver(base_config(),
+                               {{hours(1), MetricAwarePolicy{0.5, 4}}});
+  Simulator sim(m, driver);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back(make_job(i * hours(1), 600, 10));
+  const auto trace = trace_of(std::move(jobs));
+  (void)sim.run(trace);
+  EXPECT_EQ(driver.applied(), 1u);
+  // Second run (Simulator resets the scheduler): the change replays.
+  (void)sim.run(trace);
+  EXPECT_EQ(driver.applied(), 1u);
+}
+
+TEST(PolicyScheduleTest, BehavesLikeStaticBeforeFirstChange) {
+  // A schedule whose only change lands after the workload ends must match
+  // the static policy exactly.
+  const auto trace = trace_of({
+      make_job(0, 1000, 100),
+      make_job(1, 900, 100),
+      make_job(2, 100, 100),
+  });
+  FlatMachine m1(100);
+  ScheduledPolicyDriver driver(base_config(),
+                               {{days(30), MetricAwarePolicy{0.0, 5}}});
+  Simulator sim1(m1, driver);
+  const auto ra = sim1.run(trace);
+
+  FlatMachine m2(100);
+  MetricAwareScheduler statically(base_config());
+  Simulator sim2(m2, statically);
+  const auto rb = sim2.run(trace);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(ra.schedule[i].start, rb.schedule[i].start);
+  }
+}
+
+TEST(PolicyScheduleTest, MidRunSwitchChangesOrdering) {
+  // Before the switch FCFS order; after it SJF-like order.
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, hours(3), 100));           // blocks machine
+  jobs.push_back(make_job(60, hours(2), 100));          // long, earlier
+  jobs.push_back(make_job(120, minutes(10), 100));      // short, later
+  const auto trace = trace_of(std::move(jobs));
+
+  FlatMachine m(100);
+  ScheduledPolicyDriver driver(base_config(),
+                               {{hours(1), MetricAwarePolicy{0.0, 1}}});
+  Simulator sim(m, driver);
+  const auto result = sim.run(trace);
+  // By the time the blocker ends (t=3h) the policy is SJF: job 2 first.
+  EXPECT_LT(result.schedule[2].start, result.schedule[1].start);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,116 @@
+// Cross-policy invariants, checked as TEST_P sweeps over every Table II
+// configuration on both machine models.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/balancer.hpp"
+#include "platform/flat.hpp"
+#include "platform/partition.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace amjs {
+namespace {
+
+struct Scenario {
+  std::size_t spec_index;
+  bool partition_machine;
+};
+
+class InvariantsTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  static JobTrace trace() {
+    SyntheticConfig cfg;
+    cfg.seed = 99;
+    cfg.horizon = days(1) + hours(12);
+    cfg.base_rate_per_hour = 6.0;
+    cfg.sizes = {512, 1024, 2048, 4096};
+    cfg.size_weights = {0.4, 0.3, 0.2, 0.1};
+    cfg.bursts = {{8.0, 4.0, 3.0}};
+    return SyntheticTraceBuilder(cfg).build();
+  }
+
+  static std::unique_ptr<Machine> machine(bool partition) {
+    if (!partition) return std::make_unique<FlatMachine>(8192);
+    PartitionConfig cfg;
+    cfg.leaf_nodes = 512;
+    cfg.row_leaves = 8;
+    cfg.rows = 2;
+    return std::make_unique<PartitionMachine>(cfg);
+  }
+};
+
+TEST_P(InvariantsTest, ScheduleIsPhysicallyConsistent) {
+  const auto t = trace();
+  const auto spec = MetricsBalancer::table2_specs()[GetParam().spec_index];
+  auto m = machine(GetParam().partition_machine);
+  const auto sched = MetricsBalancer::make(spec);
+  Simulator sim(*m, *sched);
+  const auto result = sim.run(t);
+
+  // Every job finished (the workload fits the machine and drains).
+  EXPECT_EQ(result.finished_count(), t.size());
+
+  for (const auto& e : result.schedule) {
+    ASSERT_TRUE(e.started());
+    // No job starts before submission.
+    EXPECT_GE(e.start, e.submit);
+    // End = start + actual runtime (clipped at walltime).
+    const Job& j = t.job(e.job);
+    EXPECT_EQ(e.end, e.start + std::min(j.runtime, j.walltime));
+    // Occupancy at least the request.
+    EXPECT_GE(e.occupied, e.requested);
+  }
+
+  // No instant oversubscribes the machine: sweep start/end events.
+  std::map<SimTime, NodeCount> delta;
+  for (const auto& e : result.schedule) {
+    delta[e.start] += e.occupied;
+    delta[e.end] -= e.occupied;
+  }
+  NodeCount busy = 0;
+  for (const auto& [time, d] : delta) {
+    busy += d;
+    EXPECT_LE(busy, m->total_nodes()) << "oversubscribed at t=" << time;
+    EXPECT_GE(busy, 0);
+  }
+}
+
+TEST_P(InvariantsTest, BusySeriesMatchesSchedule) {
+  const auto t = trace();
+  const auto spec = MetricsBalancer::table2_specs()[GetParam().spec_index];
+  auto m = machine(GetParam().partition_machine);
+  const auto sched = MetricsBalancer::make(spec);
+  Simulator sim(*m, *sched);
+  const auto result = sim.run(t);
+
+  // Total busy integral equals sum of occupied * duration.
+  double expected = 0.0;
+  for (const auto& e : result.schedule) {
+    expected += static_cast<double>(e.occupied) * static_cast<double>(e.end - e.start);
+  }
+  const double integral = result.busy_nodes.integrate(0, result.end_time);
+  EXPECT_NEAR(integral, expected, 1e-6);
+}
+
+std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
+  const auto spec = MetricsBalancer::table2_specs()[info.param.spec_index];
+  std::string name = spec.display_name();
+  for (char& c : name) {
+    if (c == '=' || c == '/' || c == '.' || c == ' ') c = '_';
+  }
+  return name + (info.param.partition_machine ? "_bgp" : "_flat");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, InvariantsTest,
+    ::testing::Values(Scenario{0, false}, Scenario{1, false}, Scenario{2, false},
+                      Scenario{3, false}, Scenario{4, false}, Scenario{5, false},
+                      Scenario{6, false}, Scenario{0, true}, Scenario{3, true},
+                      Scenario{6, true}),
+    scenario_name);
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,121 @@
+// Scaled-down versions of the paper's qualitative claims — cheap enough
+// for the unit suite; the full-size reproduction lives in bench/.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/balancer.hpp"
+#include "metrics/fairness.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/partition.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace amjs {
+namespace {
+
+JobTrace shape_trace() {
+  // Calibrated like the paper's regime: ~0.6-0.8 offered load (the
+  // workload must NOT saturate the machine — §IV-C2) with a deep burst.
+  SyntheticConfig cfg;
+  cfg.seed = 4242;
+  cfg.horizon = days(2);
+  cfg.base_rate_per_hour = 2.6;
+  cfg.sizes = {512, 1024, 2048, 4096};
+  cfg.size_weights = {0.4, 0.3, 0.2, 0.1};
+  cfg.bursts = {{10.0, 6.0, 3.5}};
+  return SyntheticTraceBuilder(cfg).build();
+}
+
+JobTrace shape_trace_long() {
+  SyntheticConfig cfg;
+  cfg.seed = 4242;
+  cfg.horizon = days(7);
+  cfg.base_rate_per_hour = 2.6;
+  cfg.sizes = {512, 1024, 2048, 4096};
+  cfg.size_weights = {0.4, 0.3, 0.2, 0.1};
+  cfg.bursts = {{10.0, 6.0, 3.5}, {80.0, 6.0, 3.0}};
+  return SyntheticTraceBuilder(cfg).build();
+}
+
+std::unique_ptr<Machine> shape_machine() {
+  PartitionConfig cfg;
+  cfg.leaf_nodes = 512;
+  cfg.row_leaves = 8;
+  cfg.rows = 2;  // 8192 nodes
+  return std::make_unique<PartitionMachine>(cfg);
+}
+
+SimResult run_spec(const BalancerSpec& spec, const JobTrace& trace) {
+  auto machine = shape_machine();
+  const auto sched = MetricsBalancer::make(spec);
+  Simulator sim(*machine, *sched);
+  return sim.run(trace);
+}
+
+TEST(PaperShapeTest, LowerBfReducesAverageWait) {
+  // Fig. 3(a): waiting time declines as BF decreases from 1 to 0.5.
+  const auto trace = shape_trace();
+  const double wait_fcfs =
+      avg_wait_minutes(run_spec(BalancerSpec::fixed(1.0, 1), trace));
+  const double wait_half =
+      avg_wait_minutes(run_spec(BalancerSpec::fixed(0.5, 1), trace));
+  EXPECT_LT(wait_half, wait_fcfs);
+}
+
+TEST(PaperShapeTest, SjfEndHurtsFairness) {
+  // Fig. 3(b): unfair jobs increase as the policy approaches SJF.
+  const auto trace = shape_trace_long();
+  auto count_unfair = [&](double bf) {
+    const auto spec = BalancerSpec::fixed(bf, 1);
+    const auto result = run_spec(spec, trace);
+    FairStartEvaluator eval([] { return shape_machine(); },
+                            MetricsBalancer::factory(spec));
+    // Starvation-scale tolerance (4 h): EASY backfilling inflicts small
+    // start jitters under *every* queue order on a bursty workload; the
+    // policy-induced unfairness the paper plots is the starvation of
+    // overtaken jobs, which lives at the hours scale (EXPERIMENTS.md
+    // documents this calibration).
+    return eval.evaluate(trace, result, hours(4), /*stride=*/1).unfair_count();
+  };
+  EXPECT_GT(count_unfair(0.0), count_unfair(1.0));
+}
+
+TEST(PaperShapeTest, AdaptiveBfCapsQueueDepthBurst) {
+  // Fig. 4: adaptive BF keeps the worst queue depth well below FCFS.
+  const auto trace = shape_trace();
+  const auto fcfs = run_spec(BalancerSpec::fixed(1.0, 1), trace);
+  const auto adaptive = run_spec(BalancerSpec::bf_adaptive(/*threshold=*/500.0), trace);
+  EXPECT_LT(adaptive.queue_depth.max_value(), fcfs.queue_depth.max_value());
+}
+
+TEST(PaperShapeTest, AdaptiveBfNearStaticHalfOnWait) {
+  // Table II: "BF Adapt." lands near BF=0.5 on average wait, far below
+  // the base FCFS case.
+  const auto trace = shape_trace();
+  const double base = avg_wait_minutes(run_spec(BalancerSpec::fixed(1.0, 1), trace));
+  const double adaptive =
+      avg_wait_minutes(run_spec(BalancerSpec::bf_adaptive(/*threshold=*/500.0), trace));
+  EXPECT_LT(adaptive, base);
+}
+
+TEST(PaperShapeTest, TwoDAdaptiveImprovesWaitOverBase) {
+  const auto trace = shape_trace();
+  const double base = avg_wait_minutes(run_spec(BalancerSpec::fixed(1.0, 1), trace));
+  auto spec = BalancerSpec::two_d(/*threshold=*/500.0);
+  const double two_d = avg_wait_minutes(run_spec(spec, trace));
+  EXPECT_LT(two_d, base);
+}
+
+TEST(PaperShapeTest, UtilizationInvariantUnderNonSaturation) {
+  // §IV-C2: when the workload does not saturate the machine, the overall
+  // average utilization is policy-independent (same node-hours, similar
+  // makespan). Check FCFS vs BF=0.5 land within a few percent.
+  const auto trace = shape_trace();
+  const double u1 = utilization(run_spec(BalancerSpec::fixed(1.0, 1), trace));
+  const double u2 = utilization(run_spec(BalancerSpec::fixed(0.5, 1), trace));
+  EXPECT_NEAR(u1, u2, 0.08);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,97 @@
+#include "metrics/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+SimResult run_one(NodeCount machine_nodes, std::vector<Job> jobs) {
+  FlatMachine machine(machine_nodes);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(trace.ok());
+  return sim.run(trace.value());
+}
+
+TEST(EnergyTest, EmptyResultIsZero) {
+  SimResult empty;
+  const auto report = energy_report(empty);
+  EXPECT_DOUBLE_EQ(report.total_joules, 0.0);
+  EXPECT_DOUBLE_EQ(report.watthours_per_delivered_nodehour(), 0.0);
+}
+
+TEST(EnergyTest, FullyBusyMachineUsesBusyPowerOnly) {
+  // 10 nodes fully busy for 1000 s.
+  const auto result = run_one(10, {make_job(0, 1000, 10)});
+  PowerModel model;
+  model.busy_watts = 40.0;
+  model.idle_watts = 20.0;
+  const auto report = energy_report(result, model);
+  EXPECT_DOUBLE_EQ(report.busy_joules, 10 * 40.0 * 1000);
+  EXPECT_DOUBLE_EQ(report.idle_joules, 0.0);
+  EXPECT_DOUBLE_EQ(report.useful_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(report.delivered_node_seconds, 10.0 * 1000);
+}
+
+TEST(EnergyTest, IdleNodesChargedIdlePower) {
+  // 4 of 10 nodes busy for a short segment (< powerdown delay).
+  const auto result = run_one(10, {make_job(0, 600, 4)});
+  PowerModel model;
+  model.busy_watts = 40.0;
+  model.idle_watts = 20.0;
+  model.powerdown_after = hours(1);  // never reached
+  const auto report = energy_report(result, model);
+  EXPECT_DOUBLE_EQ(report.busy_joules, 4 * 40.0 * 600);
+  EXPECT_DOUBLE_EQ(report.idle_joules, 6 * 20.0 * 600);
+}
+
+TEST(EnergyTest, LongIdleSegmentsDropToSleepPower) {
+  // One 1-node job for 2 h on a 10-node machine: 9 nodes idle throughout.
+  // With a 30-min power-down delay they sleep for the remaining 90 min.
+  const auto result = run_one(10, {make_job(0, hours(2), 1)});
+  PowerModel model;
+  model.busy_watts = 40.0;
+  model.idle_watts = 20.0;
+  model.sleep_watts = 5.0;
+  model.powerdown_after = minutes(30);
+  const auto report = energy_report(result, model);
+  const double expected_idle =
+      9 * 20.0 * minutes(30) + 9 * 5.0 * minutes(90);
+  EXPECT_DOUBLE_EQ(report.idle_joules, expected_idle);
+}
+
+TEST(EnergyTest, EfficiencyImprovesWithUtilization) {
+  // Same delivered work, once packed and once spread out: the packed run
+  // must use fewer watt-hours per delivered node-hour.
+  const auto packed = run_one(10, {make_job(0, 1000, 5), make_job(0, 1000, 5)});
+  const auto spread = run_one(10, {make_job(0, 1000, 5), make_job(1000, 1000, 5)});
+  const auto e_packed = energy_report(packed);
+  const auto e_spread = energy_report(spread);
+  EXPECT_LT(e_packed.watthours_per_delivered_nodehour(),
+            e_spread.watthours_per_delivered_nodehour());
+}
+
+TEST(EnergyTest, TotalsAreConsistent) {
+  const auto result = run_one(16, {make_job(0, 500, 7), make_job(100, 900, 3)});
+  const auto report = energy_report(result);
+  EXPECT_DOUBLE_EQ(report.total_joules, report.busy_joules + report.idle_joules);
+  EXPECT_GT(report.useful_fraction(), 0.0);
+  EXPECT_LE(report.useful_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,84 @@
+// Loss of Capacity, eq. (4), verified against hand-computed values on
+// crafted event logs (independent of any scheduler).
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+namespace amjs {
+namespace {
+
+SchedEventRecord rec(SimTime t, NodeCount idle, NodeCount min_wait_occ,
+                     bool waiting) {
+  SchedEventRecord r;
+  r.time = t;
+  r.idle = idle;
+  r.min_waiting_occupancy = min_wait_occ;
+  r.any_waiting = waiting;
+  return r;
+}
+
+TEST(LocEq4Test, SingleLossyInterval) {
+  SimResult result;
+  result.machine_nodes = 100;
+  // Events at t=0 and t=100: between them 30 nodes idle while a 20-node
+  // job waits -> delta=1. LoC = 30*100 / (100*100) = 0.30.
+  result.events = {rec(0, 30, 20, true), rec(100, 0, 0, false)};
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.30);
+}
+
+TEST(LocEq4Test, WaiterLargerThanIdleDoesNotCount) {
+  SimResult result;
+  result.machine_nodes = 100;
+  result.events = {rec(0, 30, 50, true), rec(100, 0, 0, false)};
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+}
+
+TEST(LocEq4Test, WaiterEqualToIdleCounts) {
+  // "at least one is smaller than the number of idle nodes": we use <=
+  // because a job exactly fitting the idle count is still schedulable
+  // capacity going to waste.
+  SimResult result;
+  result.machine_nodes = 100;
+  result.events = {rec(0, 30, 30, true), rec(100, 0, 0, false)};
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.30);
+}
+
+TEST(LocEq4Test, MultiIntervalWeightedSum) {
+  SimResult result;
+  result.machine_nodes = 10;
+  result.events = {
+      rec(0, 4, 2, true),    // [0,50): 4 idle, lossy -> 4*50
+      rec(50, 8, 0, false),  // [50,70): no waiters   -> 0
+      rec(70, 2, 1, true),   // [70,100): lossy       -> 2*30
+      rec(100, 0, 0, false),
+  };
+  // (200 + 60) / (10 * 100) = 0.26
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.26);
+}
+
+TEST(LocEq4Test, FewerThanTwoEventsIsZero) {
+  SimResult result;
+  result.machine_nodes = 10;
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+  result.events = {rec(0, 5, 1, true)};
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+}
+
+TEST(LocEq4Test, LastEventBoundsTheIntegralWindow) {
+  // The final event only terminates the window (its own delta never
+  // contributes — there is no interval after it).
+  SimResult result;
+  result.machine_nodes = 10;
+  result.events = {rec(0, 0, 0, false), rec(100, 10, 1, true)};
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+}
+
+TEST(LocEq4Test, FullyIdleMachineWithTinyWaiter) {
+  SimResult result;
+  result.machine_nodes = 10;
+  result.events = {rec(0, 10, 1, true), rec(200, 0, 0, false)};
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 1.0);
+}
+
+}  // namespace
+}  // namespace amjs

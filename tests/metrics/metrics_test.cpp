@@ -1,0 +1,132 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes,
+             Duration walltime = 0) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = walltime > 0 ? walltime : runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+SimResult run_on(NodeCount nodes, const JobTrace& trace) {
+  FlatMachine machine(nodes);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  return sim.run(trace);
+}
+
+TEST(MetricsTest, AvgWaitMinutes) {
+  // Job 0 runs immediately; job 1 waits 590 s; job 2 waits 1180 s.
+  const auto result = run_on(10, trace_of({
+                                     make_job(0, 600, 10),
+                                     make_job(10, 600, 10),
+                                     make_job(20, 600, 10),
+                                 }));
+  const double expected = (0.0 + 590.0 / 60 + 1180.0 / 60) / 3.0;
+  EXPECT_NEAR(avg_wait_minutes(result), expected, 1e-9);
+  EXPECT_NEAR(max_wait_minutes(result), 1180.0 / 60, 1e-9);
+}
+
+TEST(MetricsTest, AvgWaitZeroWhenUncontended) {
+  const auto result = run_on(100, trace_of({make_job(0, 600, 10),
+                                            make_job(0, 600, 10)}));
+  EXPECT_DOUBLE_EQ(avg_wait_minutes(result), 0.0);
+}
+
+TEST(MetricsTest, BoundedSlowdown) {
+  const auto trace = trace_of({make_job(0, 600, 10), make_job(10, 600, 10)});
+  const auto result = run_on(10, trace);
+  // Job 0: (0 + 600)/600 = 1. Job 1: (590 + 600)/600 ≈ 1.9833.
+  EXPECT_NEAR(avg_bounded_slowdown(result, trace), (1.0 + 1190.0 / 600.0) / 2, 1e-9);
+}
+
+TEST(MetricsTest, UtilizationFullMachine) {
+  const auto result = run_on(10, trace_of({make_job(0, 600, 10)}));
+  EXPECT_NEAR(utilization(result), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, UtilizationPartial) {
+  const auto result = run_on(20, trace_of({make_job(0, 600, 10)}));
+  EXPECT_NEAR(utilization(result), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, UtilizationWindowQuery) {
+  const auto result = run_on(10, trace_of({make_job(0, 600, 10),
+                                           make_job(1200, 600, 10)}));
+  EXPECT_NEAR(utilization(result, 0, 600), 1.0, 1e-12);
+  EXPECT_NEAR(utilization(result, 600, 1200), 0.0, 1e-12);
+  EXPECT_NEAR(utilization(result, 0, 1800), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, LossOfCapacityZeroWithoutWaiters) {
+  const auto result = run_on(100, trace_of({make_job(0, 600, 10)}));
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+}
+
+TEST(MetricsTest, LossOfCapacityZeroWhenWaiterTooBig) {
+  // 60 idle while a 100-node job waits: the waiter does NOT fit, so eq. (4)
+  // counts nothing.
+  const auto result = run_on(100, trace_of({
+                                     make_job(0, 600, 40),
+                                     make_job(10, 100, 100),
+                                 }));
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+}
+
+TEST(MetricsTest, LossOfCapacityCountsBlockedFittingWaiters) {
+  // Construct real fragmentation with EASY: A holds 60 until 1000; B (80
+  // nodes) reserves t=1000; C (30 nodes, long) cannot backfill because it
+  // would delay B. C fits the 40 idle nodes -> LoC accrues while C waits.
+  const auto result = run_on(100, trace_of({
+                                     make_job(0, 1000, 60),
+                                     make_job(1, 1000, 80),
+                                     make_job(2, 5000, 30),
+                                 }));
+  EXPECT_GT(loss_of_capacity(result), 0.0);
+  EXPECT_LT(loss_of_capacity(result), 1.0);
+}
+
+TEST(MetricsTest, UtilizationSamplesWindows) {
+  const auto result = run_on(10, trace_of({make_job(0, hours(2), 10)}));
+  const auto samples = utilization_samples(result, minutes(30));
+  ASSERT_EQ(samples.size(), 4u);  // 2 hours / 30 min
+  // While the job runs, instant utilization is 1.
+  EXPECT_DOUBLE_EQ(samples[0].instant, 1.0);
+  // First sample is 30 min in: the trailing 1 h window is half idle
+  // prehistory, half full load.
+  EXPECT_DOUBLE_EQ(samples[0].h1, 0.5);
+  // One hour in, the 1 h window is fully covered by the run.
+  EXPECT_DOUBLE_EQ(samples[1].h1, 1.0);
+  // The 10H/24H windows reach before t=0 where the machine was idle.
+  EXPECT_LT(samples[0].h10, 1.0);
+  EXPECT_LT(samples[0].h24, samples[0].h10);
+}
+
+TEST(MetricsTest, EmptyResultSafeDefaults) {
+  SimResult empty;
+  EXPECT_DOUBLE_EQ(avg_wait_minutes(empty), 0.0);
+  EXPECT_DOUBLE_EQ(max_wait_minutes(empty), 0.0);
+  EXPECT_DOUBLE_EQ(loss_of_capacity(empty), 0.0);
+  EXPECT_DOUBLE_EQ(utilization(empty), 0.0);
+  EXPECT_TRUE(utilization_samples(empty).empty());
+}
+
+}  // namespace
+}  // namespace amjs

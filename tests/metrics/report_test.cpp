@@ -1,0 +1,83 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+JobTrace small_trace() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    Job j;
+    j.submit = i * 60;
+    j.runtime = 600;
+    j.walltime = 600;
+    j.nodes = 40;
+    jobs.push_back(j);
+  }
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(ReportTest, PopulatesCoreFields) {
+  const auto trace = small_trace();
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace);
+
+  const auto report = make_report("BF=1/W=1", trace, result);
+  EXPECT_EQ(report.configuration, "BF=1/W=1");
+  EXPECT_GE(report.avg_wait_min, 0.0);
+  EXPECT_GE(report.max_wait_min, report.avg_wait_min);
+  EXPECT_GT(report.utilization, 0.0);
+  EXPECT_LE(report.utilization, 1.0);
+  EXPECT_EQ(report.jobs_finished, 5u);
+  EXPECT_EQ(report.jobs_skipped, 0u);
+  EXPECT_GT(report.makespan, 0);
+  EXPECT_FALSE(report.unfair_jobs.has_value());
+}
+
+TEST(ReportTest, FairnessAttachedWhenProvided) {
+  const auto trace = small_trace();
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace);
+
+  FairnessResult fairness;
+  fairness.fair_start.assign(trace.size(), 0);
+  fairness.unfair_jobs = {1, 3};
+  const auto report = make_report("cfg", trace, result, &fairness);
+  ASSERT_TRUE(report.unfair_jobs.has_value());
+  EXPECT_EQ(*report.unfair_jobs, 2u);
+}
+
+TEST(ReportTest, Table2RowShape) {
+  const auto trace = small_trace();
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto report = make_report("cfg", trace, sim.run(trace));
+  const auto row = report.table2_row();
+  ASSERT_EQ(row.size(), MetricsReport::table2_headers().size());
+  EXPECT_EQ(row[0], "cfg");
+  EXPECT_EQ(row[2], "-");  // no fairness attached
+}
+
+TEST(ReportTest, ExtendedRowShape) {
+  const auto trace = small_trace();
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto report = make_report("cfg", trace, sim.run(trace));
+  EXPECT_EQ(report.extended_row().size(), MetricsReport::extended_headers().size());
+}
+
+}  // namespace
+}  // namespace amjs

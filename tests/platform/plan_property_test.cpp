@@ -1,0 +1,189 @@
+// Property tests shared by both machine models: the planning abstraction
+// must agree with the live machine and never oversubscribe.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "platform/flat.hpp"
+#include "platform/partition.hpp"
+#include "util/rng.hpp"
+
+namespace amjs {
+namespace {
+
+enum class MachineKind { kFlat, kPartition };
+
+std::unique_ptr<Machine> make_machine(MachineKind kind) {
+  if (kind == MachineKind::kFlat) return std::make_unique<FlatMachine>(4096);
+  PartitionConfig cfg;
+  cfg.leaf_nodes = 512;
+  cfg.row_leaves = 4;
+  cfg.rows = 2;
+  return std::make_unique<PartitionMachine>(cfg);
+}
+
+Job random_job(JobId id, Rng& rng) {
+  Job j;
+  j.id = id;
+  j.submit = 0;
+  j.nodes = rng.uniform_int(1, 4096);
+  j.walltime = rng.uniform_int(60, 7200);
+  j.runtime = j.walltime;
+  return j;
+}
+
+class PlanPropertyTest : public ::testing::TestWithParam<MachineKind> {};
+
+TEST_P(PlanPropertyTest, CanStartAgreesWithPlanFindStart) {
+  auto machine = make_machine(GetParam());
+  Rng rng(GetParam() == MachineKind::kFlat ? 101 : 202);
+
+  // Load the machine with a random running set, then check agreement for a
+  // batch of probe jobs.
+  JobId next_id = 0;
+  for (int i = 0; i < 6; ++i) {
+    const Job j = random_job(next_id, rng);
+    if (machine->start(j, 0)) ++next_id;
+  }
+  const auto plan = machine->make_plan(0);
+  for (int i = 0; i < 200; ++i) {
+    const Job probe = random_job(1000 + i, rng);
+    if (!machine->fits(probe)) continue;
+    const bool now_live = machine->can_start(probe);
+    const bool now_plan = plan->find_start(probe, 0) == 0;
+    EXPECT_EQ(now_live, now_plan) << "nodes=" << probe.nodes;
+  }
+}
+
+TEST_P(PlanPropertyTest, FindStartIsMonotoneInEarliest) {
+  auto machine = make_machine(GetParam());
+  Rng rng(7);
+  JobId next_id = 0;
+  for (int i = 0; i < 5; ++i) {
+    const Job j = random_job(next_id, rng);
+    if (machine->start(j, 0)) ++next_id;
+  }
+  const auto plan = machine->make_plan(0);
+  for (int i = 0; i < 100; ++i) {
+    const Job probe = random_job(2000 + i, rng);
+    if (!machine->fits(probe)) continue;
+    const SimTime s0 = plan->find_start(probe, 0);
+    const SimTime s1 = plan->find_start(probe, s0 + 10);
+    EXPECT_GE(s1, s0 + 10);
+    EXPECT_GE(s0, 0);
+  }
+}
+
+TEST_P(PlanPropertyTest, FindStartResultIsCommittable) {
+  auto machine = make_machine(GetParam());
+  Rng rng(13);
+  auto plan = machine->make_plan(0);
+  // Commit a random chain of jobs at their found starts; commit asserts
+  // feasibility internally, and capacity must never go negative (FlatPlan
+  // asserts in occupy()).
+  for (int i = 0; i < 40; ++i) {
+    Job j = random_job(i, rng);
+    if (!machine->fits(j)) continue;
+    const SimTime start = plan->find_start(j, 0);
+    plan->commit(j, start);
+  }
+  SUCCEED();
+}
+
+TEST_P(PlanPropertyTest, SequentialCommitsNeverOverlapCapacity) {
+  auto machine = make_machine(GetParam());
+  Rng rng(17);
+  auto plan = machine->make_plan(0);
+  struct Placed {
+    SimTime start, end;
+    NodeCount occ;
+  };
+  std::vector<Placed> placed;
+  const NodeCount total = machine->total_nodes();
+  for (int i = 0; i < 30; ++i) {
+    Job j = random_job(i, rng);
+    if (!machine->fits(j)) continue;
+    const SimTime start = plan->find_start(j, 0);
+    plan->commit(j, start);
+    placed.push_back({start, start + j.walltime, machine->occupancy(j)});
+  }
+  // Check capacity at every placement boundary.
+  for (const auto& at : placed) {
+    NodeCount used = 0;
+    for (const auto& p : placed) {
+      if (p.start <= at.start && at.start < p.end) used += p.occ;
+    }
+    EXPECT_LE(used, total);
+  }
+}
+
+TEST_P(PlanPropertyTest, FitsAtAgreesWithFindStart) {
+  // fits_at is the fast-path admission test; it must match
+  // find_start(job, t) == t exactly, including around commitments.
+  auto machine = make_machine(GetParam());
+  Rng rng(31);
+  for (int i = 0; i < 4; ++i) {
+    const Job j = random_job(i, rng);
+    (void)machine->start(j, 0);
+  }
+  auto plan = machine->make_plan(0);
+  // Mix in future commitments.
+  for (int i = 10; i < 13; ++i) {
+    Job j = random_job(i, rng);
+    if (!machine->fits(j)) continue;
+    plan->commit(j, plan->find_start(j, 0));
+  }
+  for (int i = 0; i < 300; ++i) {
+    const Job probe = random_job(100 + i, rng);
+    if (!machine->fits(probe)) continue;
+    const SimTime t = rng.uniform_int(0, 5000);
+    EXPECT_EQ(plan->fits_at(probe, t), plan->find_start(probe, t) == t)
+        << "t=" << t << " nodes=" << probe.nodes << " wall=" << probe.walltime;
+  }
+}
+
+TEST_P(PlanPropertyTest, SoftCommitReservesCapacity) {
+  auto machine = make_machine(GetParam());
+  auto plan = machine->make_plan(0);
+  // Soft-commit a full-machine job on [0, 1000): nothing else fits inside
+  // that window, everything fits after.
+  Job full;
+  full.id = 0;
+  full.submit = 0;
+  full.nodes = machine->total_nodes();
+  full.walltime = full.runtime = 1000;
+  plan->commit_soft(full, 0);
+
+  Job probe;
+  probe.id = 1;
+  probe.submit = 0;
+  probe.nodes = 1;
+  probe.walltime = probe.runtime = 100;
+  EXPECT_FALSE(plan->fits_at(probe, 0));
+  EXPECT_EQ(plan->find_start(probe, 0), 1000);
+}
+
+TEST_P(PlanPropertyTest, StartFinishRoundTripRestoresIdle) {
+  auto machine = make_machine(GetParam());
+  Rng rng(23);
+  std::vector<JobId> started;
+  for (int i = 0; i < 20; ++i) {
+    const Job j = random_job(i, rng);
+    if (machine->start(j, 0)) started.push_back(j.id);
+  }
+  for (const JobId id : started) machine->finish(id, 100);
+  EXPECT_EQ(machine->busy_nodes(), 0);
+  EXPECT_EQ(machine->idle_nodes(), machine->total_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PlanPropertyTest,
+                         ::testing::Values(MachineKind::kFlat,
+                                           MachineKind::kPartition),
+                         [](const auto& info) {
+                           return info.param == MachineKind::kFlat ? "Flat"
+                                                                   : "Partition";
+                         });
+
+}  // namespace
+}  // namespace amjs

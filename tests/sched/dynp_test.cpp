@@ -1,0 +1,88 @@
+#include "sched/dynp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(DynPTest, NameEncodesThresholds) {
+  DynPConfig cfg;
+  cfg.fcfs_below = 3;
+  cfg.ljf_at_least = 10;
+  EXPECT_NE(DynPScheduler(cfg).name().find("<3"), std::string::npos);
+}
+
+TEST(DynPTest, ShallowQueueBehavesLikeFcfs) {
+  FlatMachine machine(100);
+  DynPConfig cfg;
+  cfg.fcfs_below = 10;  // our queue never exceeds this
+  cfg.ljf_at_least = 100;
+  DynPScheduler sched(cfg);
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 1000, 100),
+      make_job(1, 900, 100),  // long, earlier
+      make_job(2, 100, 100),  // short, later
+  }));
+  // FCFS territory: job 1 before job 2 despite being longer.
+  EXPECT_LT(result.schedule[1].start, result.schedule[2].start);
+}
+
+TEST(DynPTest, DeepQueueSwitchesToSjf) {
+  FlatMachine machine(100);
+  DynPConfig cfg;
+  cfg.fcfs_below = 2;
+  cfg.ljf_at_least = 100;
+  DynPScheduler sched(cfg);
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 1000, 100),
+      make_job(1, 900, 100),
+      make_job(2, 100, 100),
+      make_job(3, 500, 100),
+  }));
+  // With 3 waiting jobs SJF takes over: shortest (job 2) runs first.
+  EXPECT_LT(result.schedule[2].start, result.schedule[1].start);
+  EXPECT_LT(result.schedule[2].start, result.schedule[3].start);
+}
+
+TEST(DynPTest, ResetRestoresFcfs) {
+  DynPConfig cfg;
+  cfg.fcfs_below = 1;  // always past FCFS in use
+  DynPScheduler sched(cfg);
+  sched.reset();
+  EXPECT_EQ(sched.current_order(), QueueOrder::kFcfs);
+}
+
+TEST(DynPTest, CompletesMixedWorkload) {
+  FlatMachine machine(256);
+  DynPScheduler sched;
+  Simulator sim(machine, sched);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back(make_job(i * 30, 200 + (i % 7) * 300, 16 + (i % 4) * 60));
+  }
+  const auto result = sim.run(trace_of(std::move(jobs)));
+  EXPECT_EQ(result.finished_count(), 40u);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,136 @@
+#include "sched/easy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "platform/partition.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes,
+             Duration walltime = 0) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = walltime > 0 ? walltime : runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(EasyTest, NameReflectsOrder) {
+  EXPECT_EQ(EasyBackfillScheduler(QueueOrder::kFcfs).name(), "EASY(FCFS)");
+  EXPECT_EQ(EasyBackfillScheduler(QueueOrder::kSjf).name(), "EASY(SJF)");
+}
+
+TEST(EasyTest, BackfillNeverDelaysHeadReservation) {
+  // Classic EASY scenario: head blocked, short job backfills, head still
+  // starts exactly when the reservation said.
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 1000, 60),   // A: runs [0,1000)
+      make_job(1, 1000, 60),   // B: blocked; reservation at 1000
+      make_job(2, 900, 40),    // C: 40 nodes free, ends 902 <= 1000 -> backfill
+  }));
+  EXPECT_EQ(result.schedule[1].start, 1000);
+  EXPECT_EQ(result.schedule[2].start, 2);
+}
+
+TEST(EasyTest, LongBackfillCandidateIsRejected) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 1000, 60),   // A
+      make_job(1, 1000, 60),   // B: reservation at 1000
+      make_job(2, 2000, 50),   // C: would end at 2002 > 1000 and needs 50
+                               //    of the 40 free... also too wide
+      make_job(3, 2000, 40),   // D: fits width but would hold 40 nodes past
+                               //    1000, leaving only 60 free -> B (60) ok!
+  }));
+  // D occupies 40 until 2003; at t=1000 A releases 60 -> exactly B's need:
+  // the reservation is met.
+  EXPECT_EQ(result.schedule[1].start, 1000);
+  EXPECT_EQ(result.schedule[3].start, 3);
+  // C never fit before B; it runs after capacity allows.
+  EXPECT_GE(result.schedule[2].start, 1000);
+}
+
+TEST(EasyTest, BackfillBlockedWhenItWouldDelayReservation) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 1000, 60),  // A
+      make_job(1, 1000, 80),  // B: needs 80, reservation at 1000
+      make_job(2, 5000, 30),  // C: 40 free now, but holding 30 past 1000
+                              //    leaves 70 < 80 -> must NOT backfill
+  }));
+  EXPECT_EQ(result.schedule[1].start, 1000);
+  EXPECT_GE(result.schedule[2].start, 1000);  // C waited
+}
+
+TEST(EasyTest, SjfOrderChangesStartOrder) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler fcfs(QueueOrder::kFcfs);
+  EasyBackfillScheduler sjf(QueueOrder::kSjf);
+  const auto trace = trace_of({
+      make_job(0, 1000, 100),  // blocks everything until 1000
+      make_job(1, 900, 100),   // long
+      make_job(2, 100, 100),   // short
+  });
+  Simulator sim_fcfs(machine, fcfs);
+  const auto rf = sim_fcfs.run(trace);
+  Simulator sim_sjf(machine, sjf);
+  const auto rs = sim_sjf.run(trace);
+  // FCFS: job1 then job2. SJF: job2 then job1.
+  EXPECT_LT(rf.schedule[1].start, rf.schedule[2].start);
+  EXPECT_LT(rs.schedule[2].start, rs.schedule[1].start);
+}
+
+TEST(EasyTest, LastReservationExposed) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  (void)sim.run(trace_of({
+      make_job(0, 1000, 100),
+      make_job(1, 500, 100),
+  }));
+  // After the run the final pass had an empty queue; but during it the
+  // reservation was taken. The last pass state is empty-queue.
+  EXPECT_EQ(sched.last_reserved_job(), kInvalidJob);
+}
+
+TEST(EasyTest, WorkConservingOnPartitionMachine) {
+  PartitionConfig cfg;
+  cfg.leaf_nodes = 512;
+  cfg.row_leaves = 4;
+  cfg.rows = 2;
+  PartitionMachine machine(cfg);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 600, 2048),
+      make_job(0, 600, 2048),
+      make_job(0, 600, 4096),
+      make_job(0, 600, 512),
+  }));
+  // Two rows run concurrently; the 4096 job waits for both, the 512 job
+  // backfills after the 4096's reservation epoch... verify everything ran.
+  EXPECT_EQ(result.finished_count(), 4u);
+  EXPECT_EQ(result.schedule[0].start, 0);
+  EXPECT_EQ(result.schedule[1].start, 0);
+  EXPECT_EQ(result.schedule[2].start, 600);
+}
+
+}  // namespace
+}  // namespace amjs

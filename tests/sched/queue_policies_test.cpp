@@ -1,0 +1,90 @@
+#include "sched/queue_policies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+Job job_with(SimTime submit, Duration walltime, NodeCount nodes, JobId id) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = walltime;
+  j.walltime = walltime;
+  j.nodes = nodes;
+  return j;
+}
+
+TEST(QueuePoliciesTest, FcfsOrdersBySubmit) {
+  const auto cmp = comparator(QueueOrder::kFcfs);
+  EXPECT_TRUE(cmp(job_with(10, 100, 1, 0), job_with(20, 50, 1, 1)));
+  EXPECT_FALSE(cmp(job_with(20, 100, 1, 0), job_with(10, 50, 1, 1)));
+}
+
+TEST(QueuePoliciesTest, FcfsTieBreaksById) {
+  const auto cmp = comparator(QueueOrder::kFcfs);
+  EXPECT_TRUE(cmp(job_with(10, 100, 1, 0), job_with(10, 50, 1, 1)));
+  EXPECT_FALSE(cmp(job_with(10, 100, 1, 1), job_with(10, 50, 1, 0)));
+}
+
+TEST(QueuePoliciesTest, SjfOrdersByWalltime) {
+  const auto cmp = comparator(QueueOrder::kSjf);
+  EXPECT_TRUE(cmp(job_with(20, 50, 1, 1), job_with(10, 100, 1, 0)));
+}
+
+TEST(QueuePoliciesTest, LjfIsReverseOfSjfOnDistinctWalltimes) {
+  const auto sjf = comparator(QueueOrder::kSjf);
+  const auto ljf = comparator(QueueOrder::kLjf);
+  const Job a = job_with(0, 50, 1, 0);
+  const Job b = job_with(0, 100, 1, 1);
+  EXPECT_NE(sjf(a, b), ljf(a, b));
+}
+
+TEST(QueuePoliciesTest, SizeOrders) {
+  const auto small = comparator(QueueOrder::kSmallestFirst);
+  const auto large = comparator(QueueOrder::kLargestFirst);
+  const Job a = job_with(0, 100, 8, 0);
+  const Job b = job_with(0, 100, 64, 1);
+  EXPECT_TRUE(small(a, b));
+  EXPECT_TRUE(large(b, a));
+}
+
+TEST(QueuePoliciesTest, EqualWalltimeFallsBackToFcfs) {
+  const auto cmp = comparator(QueueOrder::kSjf);
+  EXPECT_TRUE(cmp(job_with(5, 100, 1, 0), job_with(10, 100, 1, 1)));
+}
+
+TEST(QueuePoliciesTest, ToStringNames) {
+  EXPECT_EQ(to_string(QueueOrder::kFcfs), "FCFS");
+  EXPECT_EQ(to_string(QueueOrder::kSjf), "SJF");
+  EXPECT_EQ(to_string(QueueOrder::kLjf), "LJF");
+  EXPECT_EQ(to_string(QueueOrder::kSmallestFirst), "SmallestFirst");
+  EXPECT_EQ(to_string(QueueOrder::kLargestFirst), "LargestFirst");
+}
+
+class OrderTotalityTest : public ::testing::TestWithParam<QueueOrder> {};
+
+TEST_P(OrderTotalityTest, ComparatorIsStrictWeakOrder) {
+  const auto cmp = comparator(GetParam());
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 12; ++i) {
+    jobs.push_back(job_with(i % 4 * 10, (i % 3 + 1) * 100, (i % 5 + 1) * 8, i));
+  }
+  for (const auto& a : jobs) {
+    EXPECT_FALSE(cmp(a, a));  // irreflexive
+    for (const auto& b : jobs) {
+      if (a.id == b.id) continue;
+      // Totality via the id tie-break: exactly one direction holds.
+      EXPECT_NE(cmp(a, b), cmp(b, a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, OrderTotalityTest,
+                         ::testing::Values(QueueOrder::kFcfs, QueueOrder::kSjf,
+                                           QueueOrder::kLjf,
+                                           QueueOrder::kSmallestFirst,
+                                           QueueOrder::kLargestFirst));
+
+}  // namespace
+}  // namespace amjs

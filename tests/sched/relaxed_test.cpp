@@ -1,0 +1,115 @@
+#include "sched/relaxed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes,
+             Duration walltime = 0) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = walltime > 0 ? walltime : runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(RelaxedTest, NameEncodesSlack) {
+  RelaxedConfig cfg;
+  cfg.slack_factor = 0.5;
+  EXPECT_NE(RelaxedBackfillScheduler(cfg).name().find("0.50"), std::string::npos);
+}
+
+TEST(RelaxedTest, ZeroSlackMatchesEasy) {
+  const auto trace = trace_of({
+      make_job(0, 1000, 60),
+      make_job(1, 1000, 80),
+      make_job(2, 5000, 30),
+      make_job(3, 900, 35),
+  });
+  FlatMachine m1(100);
+  RelaxedConfig cfg;
+  cfg.slack_factor = 0.0;
+  RelaxedBackfillScheduler relaxed(cfg);
+  Simulator sim1(m1, relaxed);
+  const auto ra = sim1.run(trace);
+
+  FlatMachine m2(100);
+  EasyBackfillScheduler easy;
+  Simulator sim2(m2, easy);
+  const auto rb = sim2.run(trace);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(ra.schedule[i].start, rb.schedule[i].start) << i;
+  }
+}
+
+TEST(RelaxedTest, SlackAdmitsBackfillEasyRejects) {
+  // EASY rejects C (holding 30 nodes past the head's earliest start);
+  // relaxed backfilling with enough slack admits it.
+  const auto trace = trace_of({
+      make_job(0, 1000, 60),   // A runs [0,1000)
+      make_job(1, 1000, 80),   // B: head, earliest start 1000
+      make_job(2, 1200, 30),   // C: ends at ~1202 -> delays B by ~202 s
+  });
+  FlatMachine m1(100);
+  EasyBackfillScheduler easy;
+  Simulator sim1(m1, easy);
+  const auto re = sim1.run(trace);
+  EXPECT_GE(re.schedule[2].start, 1000);  // EASY made C wait
+
+  FlatMachine m2(100);
+  RelaxedConfig cfg;
+  cfg.slack_factor = 0.5;  // B tolerates up to 500 s delay
+  RelaxedBackfillScheduler relaxed(cfg);
+  Simulator sim2(m2, relaxed);
+  const auto rr = sim2.run(trace);
+  EXPECT_EQ(rr.schedule[2].start, 2);      // C backfilled at submit
+  // B starts once C ends — delayed, but within the slack.
+  EXPECT_GE(rr.schedule[1].start, 1000);
+  EXPECT_LE(rr.schedule[1].start, 1000 + 500);
+}
+
+TEST(RelaxedTest, DelayBoundedBySlack) {
+  // A long backfill candidate that would delay the head beyond the slack
+  // must still be rejected.
+  const auto trace = trace_of({
+      make_job(0, 1000, 60),
+      make_job(1, 1000, 80),   // head; slack 0.2 -> 200 s tolerance
+      make_job(2, 5000, 30),   // would delay B by ~4 000 s
+  });
+  FlatMachine m(100);
+  RelaxedConfig cfg;
+  cfg.slack_factor = 0.2;
+  RelaxedBackfillScheduler relaxed(cfg);
+  Simulator sim(m, relaxed);
+  const auto result = sim.run(trace);
+  EXPECT_EQ(result.schedule[1].start, 1000);  // head unharmed
+  EXPECT_GE(result.schedule[2].start, 1000);
+}
+
+TEST(RelaxedTest, CompletesMixedWorkload) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back(make_job(i * 40, 200 + (i % 6) * 350, 8 + (i % 5) * 20));
+  }
+  const auto trace = trace_of(std::move(jobs));
+  FlatMachine m(128);
+  RelaxedBackfillScheduler relaxed;
+  Simulator sim(m, relaxed);
+  EXPECT_EQ(sim.run(trace).finished_count(), 40u);
+}
+
+}  // namespace
+}  // namespace amjs

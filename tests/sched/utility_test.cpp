@@ -1,0 +1,128 @@
+#include "sched/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes,
+             Duration walltime = 0) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = walltime > 0 ? walltime : runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(UtilityTest, PresetNames) {
+  EXPECT_EQ(UtilityScheduler::wfp3().name(), "Utility(WFP3)");
+  EXPECT_EQ(UtilityScheduler::unicef().name(), "Utility(UNICEF)");
+}
+
+TEST(UtilityTest, FcfsUtilityMatchesEasyFcfs) {
+  const auto trace = trace_of({
+      make_job(0, 1000, 60),
+      make_job(1, 1000, 60),
+      make_job(2, 900, 40),
+      make_job(500, 300, 30),
+  });
+  FlatMachine m1(100);
+  auto fcfs_util = UtilityScheduler::fcfs_utility();
+  Simulator sim1(m1, fcfs_util);
+  const auto ra = sim1.run(trace);
+
+  FlatMachine m2(100);
+  EasyBackfillScheduler easy;
+  Simulator sim2(m2, easy);
+  const auto rb = sim2.run(trace);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(ra.schedule[i].start, rb.schedule[i].start) << i;
+  }
+}
+
+TEST(UtilityTest, UnicefFavorsSmallShortJobs) {
+  // Machine blocked until 1000; then UNICEF should run the small-short
+  // job before the big-long one even though the latter arrived first.
+  const auto trace = trace_of({
+      make_job(0, 1000, 100),
+      make_job(1, 2000, 95),  // big, long, earlier (95 + 10 > 100: conflict)
+      make_job(2, 100, 10),   // small, short, later
+  });
+  FlatMachine m(100);
+  auto sched = UtilityScheduler::unicef();
+  Simulator sim(m, sched);
+  const auto result = sim.run(trace);
+  EXPECT_LT(result.schedule[2].start, result.schedule[1].start);
+}
+
+TEST(UtilityTest, Wfp3AgesLargeJobs) {
+  // WFP3 multiplies by node count: with equal wait/walltime ratios a
+  // larger job outranks a smaller one.
+  const auto trace = trace_of({
+      make_job(0, 1000, 100),
+      make_job(1, 500, 10),   // small
+      make_job(1, 500, 90),   // large, same age & length
+  });
+  FlatMachine m(100);
+  auto sched = UtilityScheduler::wfp3();
+  Simulator sim(m, sched);
+  const auto result = sim.run(trace);
+  // At t=1000 both are startable; large first means the small one must
+  // wait for it (100-node machine: 90 + 10 fit together, so both start;
+  // use start order instead: large is ranked first -> starts at 1000 too.
+  // Distinguish via a tighter machine:
+  FlatMachine tight(90);
+  auto sched2 = UtilityScheduler::wfp3();
+  Simulator sim2(tight, sched2);
+  const auto trace2 = trace_of({
+      make_job(0, 1000, 90),
+      make_job(1, 500, 10),
+      make_job(1, 500, 90),
+  });
+  const auto r2 = sim2.run(trace2);
+  EXPECT_LT(r2.schedule[2].start, r2.schedule[1].start);
+  (void)result;
+}
+
+TEST(UtilityTest, BackfillStillProtectsHead) {
+  const auto trace = trace_of({
+      make_job(0, 1000, 50),
+      make_job(1, 100, 60),    // head once blocked
+      make_job(2, 5000, 40),   // would delay head if backfilled carelessly
+  });
+  FlatMachine m(100);
+  auto sched = UtilityScheduler::fcfs_utility();
+  Simulator sim(m, sched);
+  const auto result = sim.run(trace);
+  EXPECT_EQ(result.schedule[1].start, 1000);
+}
+
+TEST(UtilityTest, CompletesMixedWorkload) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back(make_job(i * 40, 200 + (i % 6) * 300, 8 + (i % 5) * 18));
+  }
+  const auto trace = trace_of(std::move(jobs));
+  for (auto maker : {&UtilityScheduler::wfp3, &UtilityScheduler::unicef}) {
+    FlatMachine m(128);
+    auto sched = maker();
+    Simulator sim(m, sched);
+    const auto result = sim.run(trace);
+    EXPECT_EQ(result.finished_count(), 40u) << sched.name();
+  }
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,57 @@
+#include "sim/events.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  q.push(300, EventType::kJobSubmit, 0);
+  q.push(100, EventType::kJobSubmit, 1);
+  q.push(200, EventType::kJobSubmit, 2);
+  EXPECT_EQ(q.pop().time, 100);
+  EXPECT_EQ(q.pop().time, 200);
+  EXPECT_EQ(q.pop().time, 300);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, EndsBeforeSubmitsBeforeChecksAtSameInstant) {
+  EventQueue q;
+  q.push(100, EventType::kMetricCheck, kInvalidJob);
+  q.push(100, EventType::kJobSubmit, 1);
+  q.push(100, EventType::kJobEnd, 2);
+  EXPECT_EQ(q.pop().type, EventType::kJobEnd);
+  EXPECT_EQ(q.pop().type, EventType::kJobSubmit);
+  EXPECT_EQ(q.pop().type, EventType::kMetricCheck);
+}
+
+TEST(EventQueueTest, FifoWithinSameTimeAndType) {
+  EventQueue q;
+  q.push(100, EventType::kJobSubmit, 7);
+  q.push(100, EventType::kJobSubmit, 8);
+  q.push(100, EventType::kJobSubmit, 9);
+  EXPECT_EQ(q.pop().job, 7);
+  EXPECT_EQ(q.pop().job, 8);
+  EXPECT_EQ(q.pop().job, 9);
+}
+
+TEST(EventQueueTest, SizeTracksPushesAndPops) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1, EventType::kJobSubmit, 0);
+  q.push(2, EventType::kJobSubmit, 1);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, TopDoesNotPop) {
+  EventQueue q;
+  q.push(5, EventType::kJobEnd, 3);
+  EXPECT_EQ(q.top().job, 3);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,177 @@
+#include "sim/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(JobId id, SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(FailureModelTest, DisabledNeverFails) {
+  FailureModel model;
+  EXPECT_FALSE(model.enabled());
+  EXPECT_EQ(model.time_to_failure(make_job(0, 0, hours(100), 1000), 0), kNever);
+}
+
+TEST(FailureModelTest, DeterministicPerJobAndAttempt) {
+  FailureModel model;
+  model.rate_per_node_hour = 1e-3;
+  const Job j = make_job(3, 0, hours(10), 4096);
+  EXPECT_EQ(model.time_to_failure(j, 0), model.time_to_failure(j, 0));
+  // Different attempts draw independently (almost surely different).
+  EXPECT_NE(model.time_to_failure(j, 0), model.time_to_failure(j, 1));
+}
+
+TEST(FailureModelTest, HigherRateFailsMore) {
+  FailureModel low, high;
+  low.rate_per_node_hour = 1e-6;
+  high.rate_per_node_hour = 1e-2;
+  int low_failures = 0, high_failures = 0;
+  for (JobId id = 0; id < 200; ++id) {
+    const Job j = make_job(id, 0, hours(4), 1024);
+    if (low.time_to_failure(j, 0) != kNever) ++low_failures;
+    if (high.time_to_failure(j, 0) != kNever) ++high_failures;
+  }
+  EXPECT_LT(low_failures, 10);
+  EXPECT_GT(high_failures, 150);
+}
+
+TEST(FailureModelTest, FailureTimeWithinRuntime) {
+  FailureModel model;
+  model.rate_per_node_hour = 1e-2;
+  for (JobId id = 0; id < 100; ++id) {
+    const Job j = make_job(id, 0, hours(2), 512);
+    const Duration ttf = model.time_to_failure(j, 0);
+    if (ttf == kNever) continue;
+    EXPECT_GT(ttf, 0);
+    EXPECT_LT(ttf, j.runtime);
+  }
+}
+
+TEST(FailureSimTest, NoFailuresByDefault) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({make_job(0, 0, 600, 50)}));
+  EXPECT_EQ(result.failure_stats.failures, 0u);
+  EXPECT_EQ(result.schedule[0].attempts, 1);
+}
+
+TEST(FailureSimTest, FailedJobIsRestartedAndCompletes) {
+  // Very high rate guarantees first-attempt failure for a big long job;
+  // with generous restarts it must still finish eventually or be
+  // abandoned — either way the simulation terminates cleanly.
+  FlatMachine machine(1000);
+  EasyBackfillScheduler sched;
+  SimConfig config;
+  config.failures.rate_per_node_hour = 0.05;
+  config.failures.max_restarts = 50;
+  Simulator sim(machine, sched);
+  Simulator fsim(machine, sched, config);
+  const auto trace = trace_of({make_job(0, 0, hours(2), 800)});
+  const auto result = fsim.run(trace);
+  EXPECT_GT(result.failure_stats.failures, 0u);
+  EXPECT_GT(result.schedule[0].attempts, 1);
+  const bool finished = result.schedule[0].end != kNever;
+  EXPECT_TRUE(finished);
+  if (!result.schedule[0].abandoned) {
+    // Completed for real: the last attempt ran the full runtime.
+    EXPECT_GT(result.failure_stats.restarts, 0u);
+  }
+  EXPECT_GT(result.failure_stats.wasted_node_seconds, 0.0);
+}
+
+TEST(FailureSimTest, AbandonedAfterMaxRestarts) {
+  FlatMachine machine(1000);
+  EasyBackfillScheduler sched;
+  SimConfig config;
+  config.failures.rate_per_node_hour = 10.0;  // certain, fast failures
+  config.failures.max_restarts = 2;
+  Simulator sim(machine, sched, config);
+  const auto result = sim.run(trace_of({make_job(0, 0, hours(8), 900)}));
+  EXPECT_TRUE(result.schedule[0].abandoned);
+  EXPECT_EQ(result.schedule[0].attempts, 3);  // initial + 2 restarts
+  EXPECT_EQ(result.failure_stats.abandoned, 1u);
+  EXPECT_EQ(result.failure_stats.failures, 3u);
+  EXPECT_EQ(result.failure_stats.restarts, 2u);
+}
+
+TEST(FailureSimTest, UnaffectedJobsStillFinishNormally) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  SimConfig config;
+  config.failures.rate_per_node_hour = 1e-7;  // negligible
+  Simulator sim(machine, sched, config);
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 20; ++i) jobs.push_back(make_job(i, i * 50, 300, 10));
+  const auto result = sim.run(trace_of(std::move(jobs)));
+  EXPECT_EQ(result.finished_count(), 20u);
+  EXPECT_EQ(result.failure_stats.failures, 0u);
+}
+
+TEST(FailureSimTest, FailurePatternIndependentOfPolicy) {
+  // The same configuration must produce the same failure count under
+  // different schedulers (draws are keyed by job & attempt, not time).
+  SimConfig config;
+  config.failures.rate_per_node_hour = 5e-3;
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 30; ++i) {
+    jobs.push_back(make_job(i, i * 100, 2000 + (i % 5) * 1000, 20 + (i % 3) * 30));
+  }
+  const auto trace = trace_of(std::move(jobs));
+
+  FlatMachine m1(100);
+  EasyBackfillScheduler fcfs(QueueOrder::kFcfs);
+  Simulator sim1(m1, fcfs, config);
+  const auto r1 = sim1.run(trace);
+
+  FlatMachine m2(100);
+  EasyBackfillScheduler sjf(QueueOrder::kSjf);
+  Simulator sim2(m2, sjf, config);
+  const auto r2 = sim2.run(trace);
+
+  // First-attempt failures are identical by construction.
+  std::size_t first_attempt_failures_1 = 0, first_attempt_failures_2 = 0;
+  for (const auto& e : r1.schedule) {
+    if (e.attempts > 1 || e.abandoned) ++first_attempt_failures_1;
+  }
+  for (const auto& e : r2.schedule) {
+    if (e.attempts > 1 || e.abandoned) ++first_attempt_failures_2;
+  }
+  EXPECT_EQ(first_attempt_failures_1, first_attempt_failures_2);
+}
+
+TEST(FailureSimTest, WastedWorkAccounting) {
+  FlatMachine machine(1000);
+  EasyBackfillScheduler sched;
+  SimConfig config;
+  config.failures.rate_per_node_hour = 10.0;
+  config.failures.max_restarts = 0;  // fail once, abandon
+  Simulator sim(machine, sched, config);
+  const auto result = sim.run(trace_of({make_job(0, 0, hours(8), 500)}));
+  ASSERT_TRUE(result.schedule[0].abandoned);
+  const auto failed_for = result.schedule[0].end - result.schedule[0].start;
+  EXPECT_DOUBLE_EQ(result.failure_stats.wasted_node_seconds,
+                   500.0 * static_cast<double>(failed_for));
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,108 @@
+#include "sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+struct Run {
+  JobTrace trace;
+  SimResult result;
+};
+
+Run run_small() {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  auto trace = JobTrace::from_jobs({
+      make_job(0, 1000, 80),
+      make_job(0, 500, 20),  // machine 100% busy for the first 500 s
+      make_job(600, 800, 50),
+  });
+  EXPECT_TRUE(trace.ok());
+  Run run{std::move(trace).value(), {}};
+  run.result = sim.run(run.trace);
+  return run;
+}
+
+TEST(GanttTest, OccupancyHasExpectedDimensions) {
+  const auto run = run_small();
+  GanttOptions options;
+  options.width = 40;
+  options.rows = 5;
+  const std::string art = render_occupancy(run.result, options);
+  // 5 band rows + separator + caption.
+  int lines = 0;
+  for (const char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 7);
+  EXPECT_NE(art.find('#'), std::string::npos);  // busy cells exist
+}
+
+TEST(GanttTest, FullyBusyRendersSolidBottomBand) {
+  const auto run = run_small();
+  GanttOptions options;
+  options.width = 20;
+  options.rows = 4;
+  options.to = 500;  // first 500 s: 100% busy (80 + 20 nodes)
+  const std::string art = render_occupancy(run.result, options);
+  // Every band row should be solid '#' for a fully busy window.
+  std::size_t pos = 0;
+  int solid_rows = 0;
+  while ((pos = art.find('|', pos)) != std::string::npos) {
+    const auto end = art.find('|', pos + 1);
+    if (end == std::string::npos) break;
+    const auto row = art.substr(pos + 1, end - pos - 1);
+    if (row.size() == 20 && row.find_first_not_of('#') == std::string::npos) {
+      ++solid_rows;
+    }
+    pos = end + 1;
+  }
+  EXPECT_EQ(solid_rows, 4);
+}
+
+TEST(GanttTest, JobsChartShowsWaitAndRun) {
+  const auto run = run_small();
+  const std::string art = render_jobs(run.result, run.trace);
+  EXPECT_NE(art.find("job    0"), std::string::npos);
+  EXPECT_NE(art.find('['), std::string::npos);
+  EXPECT_NE(art.find(']'), std::string::npos);
+  EXPECT_NE(art.find('='), std::string::npos);
+}
+
+TEST(GanttTest, MaxJobsElides) {
+  FlatMachine machine(1000);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 30; ++i) jobs.push_back(make_job(i * 10, 100, 10));
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  ASSERT_TRUE(trace.ok());
+  const auto result = sim.run(trace.value());
+  const std::string art = render_jobs(result, trace.value(), /*max_jobs=*/5);
+  EXPECT_NE(art.find("more jobs"), std::string::npos);
+}
+
+TEST(GanttTest, EmptyMachineSafe) {
+  SimResult empty;
+  empty.machine_nodes = 0;
+  const std::string art = render_occupancy(empty);
+  EXPECT_NE(art.find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,217 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes,
+             Duration walltime = 0) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = walltime > 0 ? walltime : runtime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(SimulatorTest, SingleJobRunsImmediately) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({make_job(0, 600, 50)}));
+  ASSERT_EQ(result.schedule.size(), 1u);
+  EXPECT_EQ(result.schedule[0].start, 0);
+  EXPECT_EQ(result.schedule[0].end, 600);
+  EXPECT_EQ(result.schedule[0].wait(), 0);
+  EXPECT_EQ(result.finished_count(), 1u);
+  EXPECT_EQ(result.end_time, 600);
+}
+
+TEST(SimulatorTest, SecondJobWaitsForCapacity) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 600, 80),
+      make_job(10, 300, 50),
+  }));
+  EXPECT_EQ(result.schedule[0].start, 0);
+  EXPECT_EQ(result.schedule[1].start, 600);  // waits for job 0 to end
+  EXPECT_EQ(result.schedule[1].wait(), 590);
+}
+
+TEST(SimulatorTest, IndependentJobsRunConcurrently) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 600, 40),
+      make_job(0, 600, 40),
+  }));
+  EXPECT_EQ(result.schedule[0].start, 0);
+  EXPECT_EQ(result.schedule[1].start, 0);
+}
+
+TEST(SimulatorTest, OversizedJobIsSkipped) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 600, 101),
+      make_job(0, 100, 10),
+  }));
+  EXPECT_EQ(result.skipped_jobs, 1u);
+  EXPECT_TRUE(result.schedule[0].skipped);
+  EXPECT_FALSE(result.schedule[0].started());
+  EXPECT_TRUE(result.schedule[1].started());
+}
+
+TEST(SimulatorTest, JobKilledAtWalltime) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  // Hostile record: runtime exceeds walltime; must be clipped.
+  Job j = make_job(0, 1000, 10, 400);
+  const auto result = sim.run(trace_of({j}));
+  EXPECT_EQ(result.schedule[0].end, 400);
+}
+
+TEST(SimulatorTest, BusySeriesTracksLoad) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({make_job(0, 600, 30)}));
+  EXPECT_DOUBLE_EQ(result.busy_nodes.at(0), 30.0);
+  EXPECT_DOUBLE_EQ(result.busy_nodes.at(599), 30.0);
+  EXPECT_DOUBLE_EQ(result.busy_nodes.at(600), 0.0);
+}
+
+TEST(SimulatorTest, QueueDepthSampledAtChecks) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  SimConfig config;
+  config.metric_check_interval = minutes(30);
+  Simulator sim(machine, sched, config);
+  // Job 1 waits behind job 0 for a long time: queue depth grows.
+  const auto result = sim.run(trace_of({
+      make_job(0, hours(3), 100),
+      make_job(60, hours(1), 100),
+  }));
+  ASSERT_FALSE(result.queue_depth.points().empty());
+  EXPECT_GT(result.queue_depth.max_value(), 0.0);
+  // Depth at the first check (t=30 min): job 1 has waited 29 minutes.
+  EXPECT_NEAR(result.queue_depth.points().front().value, 29.0, 0.01);
+}
+
+TEST(SimulatorTest, EventLogRecordsIdleAndWaiting) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 600, 80),
+      make_job(10, 300, 50),
+  }));
+  ASSERT_GE(result.events.size(), 2u);
+  // After job 1 submits (t=10) it cannot run: 20 idle, min waiting = 50.
+  const auto& rec = result.events[1];
+  EXPECT_EQ(rec.time, 10);
+  EXPECT_EQ(rec.idle, 20);
+  EXPECT_TRUE(rec.any_waiting);
+  EXPECT_EQ(rec.min_waiting_occupancy, 50);
+}
+
+TEST(SimulatorTest, RecordEventsCanBeDisabled) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  SimConfig config;
+  config.record_events = false;
+  Simulator sim(machine, sched, config);
+  const auto result = sim.run(trace_of({make_job(0, 600, 30)}));
+  EXPECT_TRUE(result.events.empty());
+}
+
+TEST(SimulatorTest, StopOnceStartedTruncatesRun) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  SimConfig config;
+  config.stop_once_started = 0;
+  Simulator sim(machine, sched, config);
+  const auto result = sim.run(trace_of({
+      make_job(0, hours(10), 100),
+      make_job(60, hours(10), 100),
+  }));
+  EXPECT_TRUE(result.schedule[0].started());
+  // Run ended long before job 1 would start.
+  EXPECT_FALSE(result.schedule[1].started());
+  EXPECT_LT(result.end_time, hours(10));
+}
+
+TEST(SimulatorTest, RerunIsDeterministic) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto trace = trace_of({
+      make_job(0, 600, 80),
+      make_job(10, 300, 50),
+      make_job(20, 100, 20),
+      make_job(700, 400, 60),
+  });
+  const auto a = sim.run(trace);
+  const auto b = sim.run(trace);
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+    EXPECT_EQ(a.schedule[i].start, b.schedule[i].start);
+    EXPECT_EQ(a.schedule[i].end, b.schedule[i].end);
+  }
+}
+
+TEST(SimulatorTest, EmptyTrace) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({}));
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.end_time, 0);
+}
+
+TEST(SimulatorTest, BackfillShortJobSkipsAhead) {
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  // Job 0 occupies 80 nodes until 1000. Job 1 (90 nodes) must wait and
+  // reserves t=1000. Job 2 (10 nodes, 500 s) fits the hole and ends at
+  // ~510 < 1000, so EASY backfills it immediately.
+  const auto result = sim.run(trace_of({
+      make_job(0, 1000, 80),
+      make_job(5, 1000, 90),
+      make_job(10, 500, 10),
+  }));
+  EXPECT_EQ(result.schedule[1].start, 1000);
+  EXPECT_EQ(result.schedule[2].start, 10);
+}
+
+TEST(SimulatorTest, WaitAccountsFromSubmit) {
+  FlatMachine machine(10);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(100, 50, 10),
+      make_job(110, 50, 10),
+  }));
+  EXPECT_EQ(result.schedule[0].wait(), 0);
+  EXPECT_EQ(result.schedule[1].start, 150);
+  EXPECT_EQ(result.schedule[1].wait(), 40);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,98 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(FlagsTest, DefaultsApplyWhenUnset) {
+  Flags flags;
+  flags.define("jobs", "100", "job count");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.get("jobs"), "100");
+  EXPECT_EQ(flags.get_i64("jobs"), 100);
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  Flags flags;
+  flags.define("seed", "1", "rng seed");
+  const auto argv = argv_of({"--seed", "42"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.get_i64("seed"), 42);
+}
+
+TEST(FlagsTest, EqualsSeparatedValue) {
+  Flags flags;
+  flags.define("bf", "1.0", "balance factor");
+  const auto argv = argv_of({"--bf=0.5"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_DOUBLE_EQ(flags.get_f64("bf"), 0.5);
+}
+
+TEST(FlagsTest, BooleanFlagForms) {
+  Flags flags;
+  flags.define_bool("verbose", "chatty output");
+  {
+    const auto argv = argv_of({"--verbose"});
+    Flags f = flags;
+    ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()).ok());
+    EXPECT_TRUE(f.get_bool("verbose"));
+  }
+  {
+    const auto argv = argv_of({"--verbose=false"});
+    Flags f = flags;
+    ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()).ok());
+    EXPECT_FALSE(f.get_bool("verbose"));
+  }
+  {
+    const auto argv = argv_of({});
+    Flags f = flags;
+    ASSERT_TRUE(f.parse(static_cast<int>(argv.size()), argv.data()).ok());
+    EXPECT_FALSE(f.get_bool("verbose"));
+  }
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  Flags flags;
+  flags.define("known", "", "known flag");
+  const auto argv = argv_of({"--mystery", "1"});
+  const auto status = flags.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("mystery"), std::string::npos);
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  Flags flags;
+  flags.define("n", "0", "count");
+  const auto argv = argv_of({"--n"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  Flags flags;
+  flags.define("x", "0", "");
+  const auto argv = argv_of({"file1.swf", "--x", "3", "file2.swf"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "file1.swf");
+  EXPECT_EQ(flags.positional()[1], "file2.swf");
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  Flags flags;
+  flags.define("alpha", "1", "the alpha knob");
+  flags.define_bool("beta", "the beta toggle");
+  const std::string usage = flags.usage("tool");
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("the beta toggle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs

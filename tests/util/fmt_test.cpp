@@ -1,0 +1,117 @@
+// Dedicated coverage for the std::format work-alike — every scheduler
+// name, table cell, and log line flows through it.
+#include "util/fmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace amjs {
+namespace {
+
+TEST(FmtTest, NoArguments) {
+  EXPECT_EQ(format("plain text"), "plain text");
+  EXPECT_EQ(format(""), "");
+}
+
+TEST(FmtTest, IntegerKinds) {
+  EXPECT_EQ(format("{}", 42), "42");
+  EXPECT_EQ(format("{}", -7), "-7");
+  EXPECT_EQ(format("{}", std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+  EXPECT_EQ(format("{}", std::int64_t{-9000000000LL}), "-9000000000");
+  EXPECT_EQ(format("{}", static_cast<short>(3)), "3");
+}
+
+TEST(FmtTest, CharAndBool) {
+  EXPECT_EQ(format("{}{}", 'a', 'b'), "ab");
+  EXPECT_EQ(format("{} {}", true, false), "true false");
+}
+
+TEST(FmtTest, StringsAndViews) {
+  EXPECT_EQ(format("{}", std::string("s")), "s");
+  EXPECT_EQ(format("{}", std::string_view("sv")), "sv");
+  EXPECT_EQ(format("{}", "literal"), "literal");
+}
+
+TEST(FmtTest, FloatSpecs) {
+  EXPECT_EQ(format("{:.3f}", 1.0 / 3.0), "0.333");
+  EXPECT_EQ(format("{:.2e}", 12345.678), "1.23e+04");
+  EXPECT_EQ(format("{:.3g}", 12345.678), "1.23e+04");
+  EXPECT_EQ(format("{:.1f}", -0.25), "-0.2");  // round-half-even via printf
+}
+
+TEST(FmtTest, DefaultFloatHeuristics) {
+  EXPECT_EQ(format("{}", 2.0), "2.0");    // integral double -> trailing .0
+  EXPECT_EQ(format("{}", 2.5), "2.5");
+  EXPECT_EQ(format("{}", 1e20), "1e+20");  // too large for the .0 form
+}
+
+TEST(FmtTest, WidthAlignFill) {
+  EXPECT_EQ(format("{:6}", 42), "    42");       // numeric default: right
+  EXPECT_EQ(format("{:6}", "ab"), "ab    ");     // string default: left
+  EXPECT_EQ(format("{:<6}|", 42), "42    |");
+  EXPECT_EQ(format("{:>6}|", "ab"), "    ab|");
+  EXPECT_EQ(format("{:^7}|", "abc"), "  abc  |");
+  EXPECT_EQ(format("{:0>4}", 7), "0007");
+  EXPECT_EQ(format("{:=>4}", "x"), "===x");
+}
+
+TEST(FmtTest, ZeroPadAfterSign) {
+  EXPECT_EQ(format("{:05}", -42), "-0042");
+  EXPECT_EQ(format("{:03}", 4), "004");
+}
+
+TEST(FmtTest, WidthSmallerThanContentIsNoOp) {
+  EXPECT_EQ(format("{:2}", 12345), "12345");
+  EXPECT_EQ(format("{:1}", "abc"), "abc");
+}
+
+TEST(FmtTest, HexFormatting) {
+  EXPECT_EQ(format("{:x}", 255), "ff");
+  EXPECT_EQ(format("{:08x}", 0xABCDu), "0000abcd");
+}
+
+TEST(FmtTest, EscapedBracesEverywhere) {
+  EXPECT_EQ(format("{{"), "{");
+  EXPECT_EQ(format("}}"), "}");
+  EXPECT_EQ(format("{{{}}}", 5), "{5}");
+  EXPECT_EQ(format("a{{b}}c"), "a{b}c");
+}
+
+TEST(FmtTest, EnumsFormatAsUnderlying) {
+  enum class Color : int { kRed = 2 };
+  EXPECT_EQ(format("{}", Color::kRed), "2");
+}
+
+TEST(FmtTest, ErrorsAreInlineNotThrown) {
+  EXPECT_NE(format("{} {}", 1).find("missing argument"), std::string::npos);
+  EXPECT_NE(format("{unclosed").find("unmatched"), std::string::npos);
+  EXPECT_NE(format("{:Z9Q}", 1).find("bad spec"), std::string::npos);
+}
+
+TEST(FmtTest, ManyArguments) {
+  EXPECT_EQ(format("{}{}{}{}{}{}{}{}", 1, 2, 3, 4, 5, 6, 7, 8), "12345678");
+}
+
+TEST(FmtTest, MixedTextAndFields) {
+  EXPECT_EQ(format("job {} on {} nodes took {:.1f}s", 17, 512, 3.14159),
+            "job 17 on 512 nodes took 3.1s");
+}
+
+TEST(FmtTest, StringPrecision) {
+  EXPECT_EQ(format("{:.2}", "abcdef"), "ab");
+  EXPECT_EQ(format("{:>5.2}|", "abcdef"), "   ab|");
+}
+
+TEST(FmtTest, PointerRenders) {
+  int x = 0;
+  const std::string out = format("{}", static_cast<void*>(&x));
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find("0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs

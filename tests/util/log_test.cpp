@@ -1,0 +1,63 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+// The logger writes to stderr; these tests pin the level gating logic
+// (emission itself is a straight fprintf).
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log::level()) {}
+  ~LogLevelGuard() { log::set_level(saved_); }
+
+ private:
+  log::Level saved_;
+};
+
+TEST(LogTest, DefaultLevelIsWarn) {
+  // The suite may have adjusted it; just verify set/get round-trips.
+  LogLevelGuard guard;
+  log::set_level(log::Level::kWarn);
+  EXPECT_EQ(log::level(), log::Level::kWarn);
+}
+
+TEST(LogTest, SetLevelRoundTrips) {
+  LogLevelGuard guard;
+  for (const auto lvl : {log::Level::kDebug, log::Level::kInfo, log::Level::kWarn,
+                         log::Level::kError, log::Level::kOff}) {
+    log::set_level(lvl);
+    EXPECT_EQ(log::level(), lvl);
+  }
+}
+
+TEST(LogTest, OffSuppressesEverything) {
+  LogLevelGuard guard;
+  log::set_level(log::Level::kOff);
+  // Must not crash or emit; formatting is still exercised lazily (these
+  // calls return before formatting since the level gate fails).
+  log::debug("d {}", 1);
+  log::info("i {}", 2);
+  log::warn("w {}", 3);
+  log::error("e {}", 4);
+  SUCCEED();
+}
+
+TEST(LogTest, EmitBelowThresholdIsDropped) {
+  LogLevelGuard guard;
+  log::set_level(log::Level::kError);
+  log::emit(log::Level::kWarn, "should be dropped");
+  SUCCEED();
+}
+
+TEST(LogTest, LevelOrderingIsMonotone) {
+  EXPECT_LT(log::Level::kDebug, log::Level::kInfo);
+  EXPECT_LT(log::Level::kInfo, log::Level::kWarn);
+  EXPECT_LT(log::Level::kWarn, log::Level::kError);
+  EXPECT_LT(log::Level::kError, log::Level::kOff);
+}
+
+}  // namespace
+}  // namespace amjs

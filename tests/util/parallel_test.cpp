@@ -1,0 +1,79 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "core/balancer.hpp"
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+TEST(ParallelForTest, ZeroCountIsNoOp) {
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // sequential & in order
+}
+
+TEST(ParallelForTest, MoreThreadsThanWorkIsSafe) {
+  std::atomic<int> total{0};
+  parallel_for(3, [&](std::size_t) { ++total; }, 64);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelMapTest, ProducesAllResultsInOrder) {
+  const auto squares = parallel_map<std::size_t>(
+      100, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMapTest, ConcurrentSimulationsMatchSequential) {
+  // The real use case: independent simulations in parallel must produce
+  // bit-identical results to running them one by one.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    Job j;
+    j.submit = i * 120;
+    j.runtime = 300 + (i % 5) * 600;
+    j.walltime = j.runtime * 2;
+    j.nodes = 8 + (i % 4) * 24;
+    jobs.push_back(j);
+  }
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  ASSERT_TRUE(trace.ok());
+
+  const std::vector<double> bfs = {1.0, 0.75, 0.5, 0.25, 0.0};
+  auto run_one = [&](std::size_t i) {
+    FlatMachine machine(128);
+    const auto sched = MetricsBalancer::make(BalancerSpec::fixed(bfs[i], 2));
+    Simulator sim(machine, *sched);
+    const auto result = sim.run(trace.value());
+    double total_wait = 0;
+    for (const auto& e : result.schedule) total_wait += static_cast<double>(e.wait());
+    return total_wait;
+  };
+
+  const auto parallel = parallel_map<double>(bfs.size(), run_one, 4);
+  std::vector<double> sequential;
+  for (std::size_t i = 0; i < bfs.size(); ++i) sequential.push_back(run_one(i));
+  EXPECT_EQ(parallel, sequential);
+}
+
+}  // namespace
+}  // namespace amjs

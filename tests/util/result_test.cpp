@@ -1,0 +1,58 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace amjs {
+namespace {
+
+Result<int> parse_positive(int x) {
+  if (x > 0) return x;
+  return Error{"not positive", "parse_positive"};
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "not positive");
+  EXPECT_EQ(r.error().to_string(), "parse_positive: not positive");
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ(parse_positive(3).value_or(-7), 3);
+  EXPECT_EQ(parse_positive(0).value_or(-7), -7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("abcdef");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "abcdef");
+}
+
+TEST(ErrorTest, ToStringWithoutContext) {
+  const Error e{"boom"};
+  EXPECT_EQ(e.to_string(), "boom");
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(StatusTest, CarriesError) {
+  const Status s = Error{"io failed", "file.txt"};
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().to_string(), "file.txt: io failed");
+}
+
+}  // namespace
+}  // namespace amjs

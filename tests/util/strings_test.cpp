@@ -1,0 +1,84 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoDelimiterSingleField) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitWsTest, DropsRunsOfWhitespace) {
+  const auto fields = split_ws("  1   22\t333  \n");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[1], "22");
+  EXPECT_EQ(fields[2], "333");
+}
+
+TEST(SplitWsTest, EmptyAndBlankInputs) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t ").empty());
+}
+
+TEST(ParseI64Test, ValidInputs) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-17"), -17);
+  EXPECT_EQ(parse_i64("  8 "), 8);
+  EXPECT_EQ(parse_i64("0"), 0);
+}
+
+TEST(ParseI64Test, RejectsGarbage) {
+  EXPECT_FALSE(parse_i64("12a"));
+  EXPECT_FALSE(parse_i64(""));
+  EXPECT_FALSE(parse_i64("4.5"));
+  EXPECT_FALSE(parse_i64("abc"));
+}
+
+TEST(ParseF64Test, ValidInputs) {
+  EXPECT_DOUBLE_EQ(*parse_f64("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*parse_f64("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*parse_f64("7"), 7.0);
+}
+
+TEST(ParseF64Test, RejectsGarbage) {
+  EXPECT_FALSE(parse_f64("1.2.3"));
+  EXPECT_FALSE(parse_f64(""));
+  EXPECT_FALSE(parse_f64("x"));
+}
+
+TEST(FormatDurationTest, Renders) {
+  EXPECT_EQ(format_duration(0), "0h 00m 00s");
+  EXPECT_EQ(format_duration(3661), "1h 01m 01s");
+  EXPECT_EQ(format_duration(hours(25) + minutes(5)), "25h 05m 00s");
+  EXPECT_EQ(format_duration(-61), "-0h 01m 01s");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+}  // namespace
+}  // namespace amjs

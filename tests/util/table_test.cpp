@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace amjs {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(245.24, 1), "245.2");
+  EXPECT_EQ(TextTable::num(0.5, 2), "0.50");
+  EXPECT_EQ(TextTable::num(std::int64_t{42}), "42");
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "22"});
+  std::istringstream lines(t.to_string());
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);   // separator
+  std::getline(lines, second);   // first row
+  std::string third;
+  std::getline(lines, third);
+  EXPECT_EQ(second.size(), third.size());
+}
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCells) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+// amjs::format is the foundation of all report rendering; cover its spec
+// handling here alongside the table tests.
+TEST(FormatTest, PlainSubstitution) {
+  EXPECT_EQ(format("x={} y={}", 1, "two"), "x=1 y=two");
+}
+
+TEST(FormatTest, EscapedBraces) {
+  EXPECT_EQ(format("{{}} {}", 5), "{} 5");
+}
+
+TEST(FormatTest, FixedPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.7), "3");
+}
+
+TEST(FormatTest, WidthAndAlignment) {
+  EXPECT_EQ(format("{:>5}", 42), "   42");
+  EXPECT_EQ(format("{:<5}|", "ab"), "ab   |");
+  EXPECT_EQ(format("{:^6}|", "ab"), "  ab  |");
+  EXPECT_EQ(format("{:*>4}", 7), "***7");
+}
+
+TEST(FormatTest, ZeroPadding) {
+  EXPECT_EQ(format("{:02}", 7), "07");
+  EXPECT_EQ(format("{:04}", -42), "-042");
+}
+
+TEST(FormatTest, DefaultDoubleLooksLikeStdFormat) {
+  EXPECT_EQ(format("{}", 3.0), "3.0");
+  EXPECT_EQ(format("{}", 0.5), "0.5");
+}
+
+TEST(FormatTest, BoolAndNegative) {
+  EXPECT_EQ(format("{} {}", true, -9), "true -9");
+}
+
+TEST(FormatTest, MissingArgumentIsFlagged) {
+  const std::string out = format("{} {}", 1);
+  EXPECT_NE(out.find("missing argument"), std::string::npos);
+}
+
+TEST(FormatTest, HexInteger) {
+  EXPECT_EQ(format("{:x}", 255), "ff");
+}
+
+TEST(FormatTest, StringPrecisionTruncates) {
+  EXPECT_EQ(format("{:.3}", std::string("abcdef")), "abc");
+}
+
+}  // namespace
+}  // namespace amjs

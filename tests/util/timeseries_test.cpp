@@ -1,0 +1,120 @@
+#include "util/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+TEST(StepSeriesTest, InitialValueBeforeFirstSet) {
+  StepSeries s(7.0);
+  EXPECT_EQ(s.at(0), 7.0);
+  EXPECT_EQ(s.at(1000), 7.0);
+}
+
+TEST(StepSeriesTest, AtReturnsValueInEffect) {
+  StepSeries s(0.0);
+  s.set(10, 5.0);
+  s.set(20, 3.0);
+  EXPECT_EQ(s.at(9), 0.0);
+  EXPECT_EQ(s.at(10), 5.0);
+  EXPECT_EQ(s.at(15), 5.0);
+  EXPECT_EQ(s.at(20), 3.0);
+  EXPECT_EQ(s.at(1000), 3.0);
+}
+
+TEST(StepSeriesTest, SameTimestampOverwrites) {
+  StepSeries s(0.0);
+  s.set(10, 5.0);
+  s.set(10, 8.0);
+  EXPECT_EQ(s.at(10), 8.0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(StepSeriesTest, NoOpTransitionsAreCompacted) {
+  StepSeries s(0.0);
+  s.set(10, 5.0);
+  s.set(20, 5.0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(StepSeriesTest, IntegrateRectangle) {
+  StepSeries s(0.0);
+  s.set(10, 4.0);
+  s.set(20, 0.0);
+  EXPECT_DOUBLE_EQ(s.integrate(10, 20), 40.0);
+  EXPECT_DOUBLE_EQ(s.integrate(0, 30), 40.0);
+  EXPECT_DOUBLE_EQ(s.integrate(15, 25), 20.0);
+}
+
+TEST(StepSeriesTest, IntegrateEmptyWindowIsZero) {
+  StepSeries s(5.0);
+  EXPECT_DOUBLE_EQ(s.integrate(10, 10), 0.0);
+}
+
+TEST(StepSeriesTest, IntegrateUsesInitialValueBeforeFirstPoint) {
+  StepSeries s(2.0);
+  s.set(10, 6.0);
+  EXPECT_DOUBLE_EQ(s.integrate(0, 20), 2.0 * 10 + 6.0 * 10);
+}
+
+TEST(StepSeriesTest, MeanIsTimeWeighted) {
+  StepSeries s(0.0);
+  s.set(0, 10.0);
+  s.set(30, 0.0);
+  // [0,30): 10, [30,60): 0 -> mean over [0,60] = 5
+  EXPECT_DOUBLE_EQ(s.mean(0, 60), 5.0);
+}
+
+TEST(StepSeriesTest, TrailingMeanWindow) {
+  StepSeries s(0.0);
+  s.set(0, 0.0);
+  s.set(100, 8.0);
+  // At t=200 the trailing 100 window is fully at value 8.
+  EXPECT_DOUBLE_EQ(s.trailing_mean(200, 100), 8.0);
+  // Trailing 200 window: half 0, half 8.
+  EXPECT_DOUBLE_EQ(s.trailing_mean(200, 200), 4.0);
+}
+
+TEST(StepSeriesTest, TrailingMeanBeforeDataUsesInitial) {
+  StepSeries s(3.0);
+  s.set(50, 9.0);
+  // Window [0,100]: 50s at 3.0, 50s at 9.0.
+  EXPECT_DOUBLE_EQ(s.trailing_mean(100, 100), 6.0);
+}
+
+TEST(StepSeriesTest, ManySegmentsIntegrate) {
+  StepSeries s(0.0);
+  double expected = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    s.set(i * 10, static_cast<double>(i % 7));
+    if (i < 99) expected += static_cast<double>(i % 7) * 10.0;
+  }
+  EXPECT_DOUBLE_EQ(s.integrate(0, 990), expected);
+}
+
+TEST(SampledSeriesTest, AppendsAndStats) {
+  SampledSeries s;
+  EXPECT_TRUE(s.empty());
+  s.add(0, 1.0);
+  s.add(10, 5.0);
+  s.add(20, 3.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.max_value(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_value(), 3.0);
+}
+
+TEST(SampledSeriesTest, EmptyStatsAreZero) {
+  SampledSeries s;
+  EXPECT_DOUBLE_EQ(s.max_value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_value(), 0.0);
+}
+
+TEST(SampledSeriesTest, DuplicateTimesAllowed) {
+  SampledSeries s;
+  s.add(5, 1.0);
+  s.add(5, 2.0);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace amjs

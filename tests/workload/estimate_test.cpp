@@ -1,0 +1,97 @@
+#include "workload/estimate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+TEST(ExactEstimateTest, EqualsRuntimeAboveFloor) {
+  ExactEstimate model;
+  Rng rng(1);
+  EXPECT_EQ(model.estimate(3600, rng), 3600);
+}
+
+TEST(ExactEstimateTest, FloorsAtOneMinute) {
+  ExactEstimate model;
+  Rng rng(1);
+  EXPECT_EQ(model.estimate(5, rng), 60);
+}
+
+TEST(UniformFactorEstimateTest, WithinFactorBounds) {
+  UniformFactorEstimate model(4.0);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration runtime = 1000;
+    const Duration w = model.estimate(runtime, rng);
+    EXPECT_GE(w, runtime);
+    EXPECT_LE(w, 4 * runtime + 1);  // +1 for the ceil
+  }
+}
+
+TEST(UniformFactorEstimateTest, FactorOneIsExact) {
+  UniformFactorEstimate model(1.0);
+  Rng rng(3);
+  EXPECT_EQ(model.estimate(500, rng), 500);
+}
+
+TEST(BucketedEstimateTest, LandsOnABucket) {
+  BucketedEstimate model(3.0);
+  const auto buckets = BucketedEstimate::default_buckets();
+  Rng rng(4);
+  int on_bucket = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const Duration w = model.estimate(minutes(20), rng);
+    for (const Duration b : buckets) {
+      if (w == b) {
+        ++on_bucket;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(on_bucket, n);  // 20-60 min raw always fits a default bucket
+}
+
+TEST(BucketedEstimateTest, NeverBelowRuntime) {
+  BucketedEstimate model(2.0);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Duration runtime = 100 + i * 50;
+    EXPECT_GE(model.estimate(runtime, rng), runtime);
+  }
+}
+
+TEST(BucketedEstimateTest, HugeRuntimePassesThroughUnbucketed) {
+  BucketedEstimate model(1.0, {minutes(30), hours(1)});
+  Rng rng(6);
+  const Duration runtime = hours(100);
+  EXPECT_GE(model.estimate(runtime, rng), runtime);
+}
+
+TEST(BucketedEstimateTest, CustomBucketsRoundUp) {
+  BucketedEstimate model(1.0, {minutes(10), minutes(30), hours(2)});
+  Rng rng(7);
+  // Factor locked at 1.0: raw == runtime, so the result is the smallest
+  // bucket >= runtime.
+  EXPECT_EQ(model.estimate(minutes(7), rng), minutes(10));
+  EXPECT_EQ(model.estimate(minutes(10), rng), minutes(10));
+  EXPECT_EQ(model.estimate(minutes(11), rng), minutes(30));
+  EXPECT_EQ(model.estimate(minutes(31), rng), hours(2));
+}
+
+TEST(EstimateAccuracyTest, Ratio) {
+  EXPECT_DOUBLE_EQ(estimate_accuracy(600, 1200), 0.5);
+  EXPECT_DOUBLE_EQ(estimate_accuracy(600, 600), 1.0);
+}
+
+TEST(EstimateDeterminismTest, SameSeedSameEstimates) {
+  BucketedEstimate model(3.0);
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    const Duration runtime = 300 + i * 17;
+    EXPECT_EQ(model.estimate(runtime, a), model.estimate(runtime, b));
+  }
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,69 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+Job sample_job() {
+  Job j;
+  j.id = 0;
+  j.submit = 100;
+  j.runtime = 600;
+  j.walltime = 1200;
+  j.nodes = 512;
+  return j;
+}
+
+TEST(JobTest, ValidJob) { EXPECT_TRUE(sample_job().valid()); }
+
+TEST(JobTest, InvalidWithoutId) {
+  Job j = sample_job();
+  j.id = kInvalidJob;
+  EXPECT_FALSE(j.valid());
+}
+
+TEST(JobTest, InvalidZeroNodes) {
+  Job j = sample_job();
+  j.nodes = 0;
+  EXPECT_FALSE(j.valid());
+}
+
+TEST(JobTest, InvalidZeroWalltime) {
+  Job j = sample_job();
+  j.walltime = 0;
+  EXPECT_FALSE(j.valid());
+}
+
+TEST(JobTest, InvalidNegativeSubmit) {
+  Job j = sample_job();
+  j.submit = -1;
+  EXPECT_FALSE(j.valid());
+}
+
+TEST(JobTest, ZeroRuntimeIsValid) {
+  // Archives contain jobs that were admitted and immediately exited.
+  Job j = sample_job();
+  j.runtime = 0;
+  EXPECT_TRUE(j.valid());
+}
+
+TEST(JobTest, NodeSeconds) {
+  const Job j = sample_job();
+  EXPECT_DOUBLE_EQ(j.node_seconds(), 512.0 * 600.0);
+}
+
+TEST(TypesTest, DurationConstructors) {
+  EXPECT_EQ(seconds(90), 90);
+  EXPECT_EQ(minutes(2), 120);
+  EXPECT_EQ(hours(1), 3600);
+  EXPECT_EQ(days(1), 86400);
+}
+
+TEST(TypesTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_minutes(90), 1.5);
+  EXPECT_DOUBLE_EQ(to_hours(5400), 1.5);
+}
+
+}  // namespace
+}  // namespace amjs

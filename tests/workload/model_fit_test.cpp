@@ -1,0 +1,117 @@
+#include "workload/model_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amjs {
+namespace {
+
+TEST(ModelFitTest, DegenerateTraceReturnsDefaults) {
+  const auto fit = fit_workload_model(JobTrace{});
+  EXPECT_DOUBLE_EQ(fit.observed_rate_per_hour, 0.0);
+  EXPECT_TRUE(fit.config.bursts.empty());
+}
+
+TEST(ModelFitTest, RecoversArrivalRate) {
+  SyntheticConfig cfg;
+  cfg.seed = 5;
+  cfg.horizon = days(7);
+  cfg.base_rate_per_hour = 10.0;
+  cfg.diurnal_amplitude = 0.0;
+  cfg.bursts.clear();
+  const auto trace = SyntheticTraceBuilder(cfg).build();
+  const auto fit = fit_workload_model(trace);
+  EXPECT_NEAR(fit.observed_rate_per_hour, 10.0, 1.0);
+  EXPECT_NEAR(fit.config.base_rate_per_hour, fit.observed_rate_per_hour, 1e-12);
+}
+
+TEST(ModelFitTest, RecoversRuntimeDistribution) {
+  SyntheticConfig cfg;
+  cfg.seed = 6;
+  cfg.horizon = days(14);
+  cfg.base_rate_per_hour = 12.0;
+  cfg.runtime_log_mu = 8.0;
+  cfg.runtime_log_sigma = 0.9;
+  cfg.runtime_min = 1;            // effectively unclamped
+  cfg.runtime_max = days(10);
+  cfg.bursts.clear();
+  const auto trace = SyntheticTraceBuilder(cfg).build();
+  const auto fit = fit_workload_model(trace);
+  EXPECT_NEAR(fit.runtime_log_mu, 8.0, 0.1);
+  EXPECT_NEAR(fit.runtime_log_sigma, 0.9, 0.1);
+}
+
+TEST(ModelFitTest, RecoversDiurnalAmplitude) {
+  SyntheticConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon = days(21);
+  cfg.base_rate_per_hour = 12.0;
+  cfg.diurnal_amplitude = 0.6;
+  cfg.bursts.clear();
+  const auto trace = SyntheticTraceBuilder(cfg).build();
+  const auto fit = fit_workload_model(trace);
+  EXPECT_NEAR(fit.diurnal_amplitude, 0.6, 0.12);
+}
+
+TEST(ModelFitTest, TierWeightsSumToOne) {
+  SyntheticConfig cfg;
+  cfg.seed = 8;
+  cfg.horizon = days(7);
+  cfg.bursts.clear();
+  const auto trace = SyntheticTraceBuilder(cfg).build();
+  const auto fit = fit_workload_model(trace);
+  double sum = 0.0;
+  for (const double w : fit.tier_weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Small tiers dominate (the generator default).
+  EXPECT_GT(fit.tier_weights[0], fit.tier_weights.back());
+}
+
+TEST(ModelFitTest, RecoversEstimateFactor) {
+  SyntheticConfig cfg;
+  cfg.seed = 9;
+  cfg.horizon = days(14);
+  cfg.base_rate_per_hour = 12.0;
+  cfg.estimate_kind = EstimateKind::kUniformFactor;
+  cfg.estimate_max_factor = 4.0;
+  cfg.bursts.clear();
+  const auto trace = SyntheticTraceBuilder(cfg).build();
+  const auto fit = fit_workload_model(trace);
+  EXPECT_EQ(fit.config.estimate_kind, EstimateKind::kUniformFactor);
+  // E[1/U(1,4)] = ln(4)/3 ~= 0.462; inversion should land near f = 4
+  // (walltime flooring at 60 s biases slightly).
+  EXPECT_NEAR(fit.config.estimate_max_factor, 4.0, 0.8);
+}
+
+TEST(ModelFitTest, RoundTripProducesSimilarLoad) {
+  // Fit then regenerate: offered load should be in the same ballpark.
+  SyntheticConfig cfg;
+  cfg.seed = 10;
+  cfg.horizon = days(7);
+  cfg.base_rate_per_hour = 8.0;
+  cfg.bursts.clear();
+  const auto original = SyntheticTraceBuilder(cfg).build();
+  auto fit = fit_workload_model(original);
+  fit.config.seed = 999;  // different randomness, same model
+  const auto regenerated = SyntheticTraceBuilder(fit.config).build();
+
+  const double load_a = original.stats().offered_load(kIntrepidNodes);
+  const double load_b = regenerated.stats().offered_load(kIntrepidNodes);
+  EXPECT_NEAR(load_a, load_b, load_a * 0.35);
+}
+
+TEST(ModelFitTest, ExactEstimatesFitNearFactorOne) {
+  SyntheticConfig cfg;
+  cfg.seed = 11;
+  cfg.horizon = days(7);
+  cfg.estimate_kind = EstimateKind::kExact;
+  cfg.bursts.clear();
+  const auto trace = SyntheticTraceBuilder(cfg).build();
+  const auto fit = fit_workload_model(trace);
+  EXPECT_GT(fit.mean_estimate_accuracy, 0.9);
+  EXPECT_LT(fit.config.estimate_max_factor, 1.5);
+}
+
+}  // namespace
+}  // namespace amjs

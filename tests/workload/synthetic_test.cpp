@@ -1,0 +1,142 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace amjs {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon = days(2);
+  cfg.base_rate_per_hour = 6.0;
+  return cfg;
+}
+
+TEST(SyntheticTest, SameSeedSameTrace) {
+  const SyntheticTraceBuilder builder(small_config());
+  const JobTrace a = builder.build();
+  const JobTrace b = builder.build();
+  ASSERT_EQ(a.size(), b.size());
+  for (JobId id = 0; id < static_cast<JobId>(a.size()); ++id) {
+    EXPECT_EQ(a.job(id).submit, b.job(id).submit);
+    EXPECT_EQ(a.job(id).runtime, b.job(id).runtime);
+    EXPECT_EQ(a.job(id).walltime, b.job(id).walltime);
+    EXPECT_EQ(a.job(id).nodes, b.job(id).nodes);
+    EXPECT_EQ(a.job(id).user, b.job(id).user);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto cfg_a = small_config();
+  auto cfg_b = small_config();
+  cfg_b.seed = 8;
+  const JobTrace a = SyntheticTraceBuilder(cfg_a).build();
+  const JobTrace b = SyntheticTraceBuilder(cfg_b).build();
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.jobs()[i].submit != b.jobs()[i].submit;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, JobCountTracksRate) {
+  auto cfg = small_config();
+  cfg.diurnal_amplitude = 0.0;
+  cfg.bursts.clear();
+  const JobTrace t = SyntheticTraceBuilder(cfg).build();
+  const double expected = cfg.base_rate_per_hour * to_hours(cfg.horizon);
+  EXPECT_GT(static_cast<double>(t.size()), expected * 0.8);
+  EXPECT_LT(static_cast<double>(t.size()), expected * 1.2);
+}
+
+TEST(SyntheticTest, AllJobsValidAndWithinHorizon) {
+  const JobTrace t = SyntheticTraceBuilder(small_config()).build();
+  ASSERT_GT(t.size(), 0u);
+  for (const Job& j : t.jobs()) {
+    EXPECT_TRUE(j.valid());
+    EXPECT_LE(j.submit, small_config().horizon);
+    EXPECT_GE(j.walltime, j.runtime);
+  }
+}
+
+TEST(SyntheticTest, SizesComeFromConfiguredLadder) {
+  const auto cfg = small_config();
+  const JobTrace t = SyntheticTraceBuilder(cfg).build();
+  const std::set<NodeCount> allowed(cfg.sizes.begin(), cfg.sizes.end());
+  for (const Job& j : t.jobs()) {
+    EXPECT_TRUE(allowed.contains(j.nodes)) << j.nodes;
+  }
+}
+
+TEST(SyntheticTest, RuntimesRespectClamps) {
+  const auto cfg = small_config();
+  const JobTrace t = SyntheticTraceBuilder(cfg).build();
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.runtime, cfg.runtime_min);
+    EXPECT_LE(j.runtime, cfg.runtime_max);
+  }
+}
+
+TEST(SyntheticTest, SmallSizesDominate) {
+  auto cfg = small_config();
+  cfg.horizon = days(7);
+  const JobTrace t = SyntheticTraceBuilder(cfg).build();
+  std::size_t small = 0;
+  for (const Job& j : t.jobs()) {
+    if (j.nodes <= 1024) ++small;
+  }
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(t.size()), 0.45);
+}
+
+TEST(SyntheticTest, BurstRaisesLocalRate) {
+  auto cfg = small_config();
+  cfg.diurnal_amplitude = 0.0;
+  cfg.bursts = {{10.0, 5.0, 4.0}};
+  const SyntheticTraceBuilder builder(cfg);
+  EXPECT_DOUBLE_EQ(builder.rate_at(hours(12)), cfg.base_rate_per_hour * 4.0);
+  EXPECT_DOUBLE_EQ(builder.rate_at(hours(20)), cfg.base_rate_per_hour);
+
+  const JobTrace t = builder.build();
+  std::size_t in_burst = 0, in_control = 0;
+  for (const Job& j : t.jobs()) {
+    const double h = to_hours(j.submit);
+    if (h >= 10.0 && h <= 15.0) ++in_burst;
+    if (h >= 20.0 && h <= 25.0) ++in_control;
+  }
+  EXPECT_GT(in_burst, in_control * 2);
+}
+
+TEST(SyntheticTest, DiurnalRateOscillates) {
+  auto cfg = small_config();
+  cfg.diurnal_amplitude = 0.5;
+  cfg.bursts.clear();
+  const SyntheticTraceBuilder builder(cfg);
+  // Peak (phase sin=+1) is 15:00, trough 03:00.
+  EXPECT_GT(builder.rate_at(hours(15)), builder.rate_at(hours(3)));
+}
+
+TEST(SyntheticTest, DefaultsOfferSubSaturationIntrepidLoad) {
+  SyntheticConfig cfg;  // defaults
+  cfg.horizon = days(7);
+  const JobTrace t = SyntheticTraceBuilder(cfg).build();
+  const double load = t.stats().offered_load(kIntrepidNodes);
+  EXPECT_GT(load, 0.3);
+  EXPECT_LT(load, 1.0);
+}
+
+TEST(SyntheticTest, UserPoolRespected) {
+  auto cfg = small_config();
+  cfg.user_count = 5;
+  const JobTrace t = SyntheticTraceBuilder(cfg).build();
+  std::set<std::string> users;
+  for (const Job& j : t.jobs()) users.insert(j.user);
+  EXPECT_LE(users.size(), 5u);
+  EXPECT_GE(users.size(), 2u);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,106 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime = 600, NodeCount nodes = 64) {
+  Job j;
+  j.id = 0;  // reassigned by from_jobs
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime * 2;
+  j.nodes = nodes;
+  return j;
+}
+
+TEST(JobTraceTest, SortsBySubmitAndAssignsDenseIds) {
+  auto trace = JobTrace::from_jobs({make_job(300), make_job(100), make_job(200)});
+  ASSERT_TRUE(trace.ok());
+  const auto& t = trace.value();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.job(0).submit, 100);
+  EXPECT_EQ(t.job(1).submit, 200);
+  EXPECT_EQ(t.job(2).submit, 300);
+  for (JobId id = 0; id < 3; ++id) EXPECT_EQ(t.job(id).id, id);
+}
+
+TEST(JobTraceTest, StableOrderForEqualSubmits) {
+  Job a = make_job(100, 10);
+  Job b = make_job(100, 20);
+  auto trace = JobTrace::from_jobs({a, b});
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().job(0).runtime, 10);
+  EXPECT_EQ(trace.value().job(1).runtime, 20);
+}
+
+TEST(JobTraceTest, RejectsInvalidJob) {
+  Job bad = make_job(100);
+  bad.nodes = 0;
+  const auto trace = JobTrace::from_jobs({bad});
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.error().message.find("invalid"), std::string::npos);
+}
+
+TEST(JobTraceTest, EmptyTrace) {
+  auto trace = JobTrace::from_jobs({});
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace.value().empty());
+  EXPECT_EQ(trace.value().stats().job_count, 0u);
+}
+
+TEST(JobTraceTest, StatsAggregation) {
+  auto trace = JobTrace::from_jobs({
+      make_job(0, 100, 10),
+      make_job(50, 300, 30),
+      make_job(100, 200, 20),
+  });
+  ASSERT_TRUE(trace.ok());
+  const auto s = trace.value().stats();
+  EXPECT_EQ(s.job_count, 3u);
+  EXPECT_EQ(s.first_submit, 0);
+  EXPECT_EQ(s.last_submit, 100);
+  EXPECT_EQ(s.min_runtime, 100);
+  EXPECT_EQ(s.max_runtime, 300);
+  EXPECT_DOUBLE_EQ(s.mean_runtime, 200.0);
+  EXPECT_EQ(s.min_nodes, 10);
+  EXPECT_EQ(s.max_nodes, 30);
+  EXPECT_DOUBLE_EQ(s.mean_nodes, 20.0);
+  EXPECT_DOUBLE_EQ(s.total_node_seconds, 100.0 * 10 + 300.0 * 30 + 200.0 * 20);
+}
+
+TEST(JobTraceTest, OfferedLoad) {
+  auto trace = JobTrace::from_jobs({make_job(0, 100, 10), make_job(100, 100, 10)});
+  ASSERT_TRUE(trace.ok());
+  const auto s = trace.value().stats();
+  // 2000 node-seconds over a 100 s horizon on 100 nodes -> load 0.2.
+  EXPECT_DOUBLE_EQ(s.offered_load(100), 0.2);
+  EXPECT_DOUBLE_EQ(s.offered_load(0), 0.0);
+}
+
+TEST(JobTraceTest, TruncatedAtKeepsPrefix) {
+  auto trace = JobTrace::from_jobs({make_job(0), make_job(100), make_job(200)});
+  ASSERT_TRUE(trace.ok());
+  const auto cut = trace.value().truncated_at(100);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut.job(0).submit, 0);
+  EXPECT_EQ(cut.job(1).submit, 100);
+}
+
+TEST(JobTraceTest, TruncatedAtIncludesTies) {
+  auto trace = JobTrace::from_jobs({make_job(0), make_job(100), make_job(100)});
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().truncated_at(100).size(), 3u);
+}
+
+TEST(JobTraceTest, PrefixClampsToSize) {
+  auto trace = JobTrace::from_jobs({make_job(0), make_job(100)});
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().prefix(1).size(), 1u);
+  EXPECT_EQ(trace.value().prefix(99).size(), 2u);
+  EXPECT_EQ(trace.value().prefix(0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace amjs
