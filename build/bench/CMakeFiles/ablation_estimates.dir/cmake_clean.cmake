@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimates.dir/ablation_estimates.cpp.o"
+  "CMakeFiles/ablation_estimates.dir/ablation_estimates.cpp.o.d"
+  "ablation_estimates"
+  "ablation_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_score_forms.dir/ablation_score_forms.cpp.o"
+  "CMakeFiles/ablation_score_forms.dir/ablation_score_forms.cpp.o.d"
+  "ablation_score_forms"
+  "ablation_score_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_score_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_bench_common.dir/common.cpp.o"
+  "CMakeFiles/amjs_bench_common.dir/common.cpp.o.d"
+  "libamjs_bench_common.a"
+  "libamjs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bf_adaptive.dir/fig4_bf_adaptive.cpp.o"
+  "CMakeFiles/fig4_bf_adaptive.dir/fig4_bf_adaptive.cpp.o.d"
+  "fig4_bf_adaptive"
+  "fig4_bf_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bf_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

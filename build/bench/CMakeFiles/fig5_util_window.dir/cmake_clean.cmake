@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_util_window.dir/fig5_util_window.cpp.o"
+  "CMakeFiles/fig5_util_window.dir/fig5_util_window.cpp.o.d"
+  "fig5_util_window"
+  "fig5_util_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_util_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

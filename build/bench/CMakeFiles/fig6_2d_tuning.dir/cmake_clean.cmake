@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_2d_tuning.dir/fig6_2d_tuning.cpp.o"
+  "CMakeFiles/fig6_2d_tuning.dir/fig6_2d_tuning.cpp.o.d"
+  "fig6_2d_tuning"
+  "fig6_2d_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2d_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_overall.dir/table2_overall.cpp.o"
+  "CMakeFiles/table2_overall.dir/table2_overall.cpp.o.d"
+  "table2_overall"
+  "table2_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrepid_campaign.dir/intrepid_campaign.cpp.o"
+  "CMakeFiles/intrepid_campaign.dir/intrepid_campaign.cpp.o.d"
+  "intrepid_campaign"
+  "intrepid_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrepid_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_energy.dir/resilience_energy.cpp.o"
+  "CMakeFiles/resilience_energy.dir/resilience_energy.cpp.o.d"
+  "resilience_energy"
+  "resilience_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swf_tools.dir/swf_tools.cpp.o"
+  "CMakeFiles/swf_tools.dir/swf_tools.cpp.o.d"
+  "swf_tools"
+  "swf_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swf_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

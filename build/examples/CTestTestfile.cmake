@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_intrepid_campaign]=] "/root/repo/build/examples/intrepid_campaign" "--days" "2" "--fairness-stride" "8")
+set_tests_properties([=[example_intrepid_campaign]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_policy_explorer]=] "/root/repo/build/examples/policy_explorer" "--days" "2" "--bf" "1,0.5" "--w" "1,2")
+set_tests_properties([=[example_policy_explorer]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_swf_tools]=] "/root/repo/build/examples/swf_tools" "generate" "/root/repo/build/examples/smoke.swf" "--days" "1")
+set_tests_properties([=[example_swf_tools]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_resilience_energy]=] "/root/repo/build/examples/resilience_energy" "--days" "2" "--mtbf-node-hours" "5000")
+set_tests_properties([=[example_resilience_energy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

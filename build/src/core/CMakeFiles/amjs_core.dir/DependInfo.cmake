@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/amjs_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/amjs_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/balancer.cpp" "src/core/CMakeFiles/amjs_core.dir/balancer.cpp.o" "gcc" "src/core/CMakeFiles/amjs_core.dir/balancer.cpp.o.d"
+  "/root/repo/src/core/metric_aware.cpp" "src/core/CMakeFiles/amjs_core.dir/metric_aware.cpp.o" "gcc" "src/core/CMakeFiles/amjs_core.dir/metric_aware.cpp.o.d"
+  "/root/repo/src/core/policy_schedule.cpp" "src/core/CMakeFiles/amjs_core.dir/policy_schedule.cpp.o" "gcc" "src/core/CMakeFiles/amjs_core.dir/policy_schedule.cpp.o.d"
+  "/root/repo/src/core/score.cpp" "src/core/CMakeFiles/amjs_core.dir/score.cpp.o" "gcc" "src/core/CMakeFiles/amjs_core.dir/score.cpp.o.d"
+  "/root/repo/src/core/window_alloc.cpp" "src/core/CMakeFiles/amjs_core.dir/window_alloc.cpp.o" "gcc" "src/core/CMakeFiles/amjs_core.dir/window_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/amjs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/amjs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amjs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_core.dir/adaptive.cpp.o"
+  "CMakeFiles/amjs_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/amjs_core.dir/balancer.cpp.o"
+  "CMakeFiles/amjs_core.dir/balancer.cpp.o.d"
+  "CMakeFiles/amjs_core.dir/metric_aware.cpp.o"
+  "CMakeFiles/amjs_core.dir/metric_aware.cpp.o.d"
+  "CMakeFiles/amjs_core.dir/policy_schedule.cpp.o"
+  "CMakeFiles/amjs_core.dir/policy_schedule.cpp.o.d"
+  "CMakeFiles/amjs_core.dir/score.cpp.o"
+  "CMakeFiles/amjs_core.dir/score.cpp.o.d"
+  "CMakeFiles/amjs_core.dir/window_alloc.cpp.o"
+  "CMakeFiles/amjs_core.dir/window_alloc.cpp.o.d"
+  "libamjs_core.a"
+  "libamjs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/energy.cpp" "src/metrics/CMakeFiles/amjs_metrics.dir/energy.cpp.o" "gcc" "src/metrics/CMakeFiles/amjs_metrics.dir/energy.cpp.o.d"
+  "/root/repo/src/metrics/fairness.cpp" "src/metrics/CMakeFiles/amjs_metrics.dir/fairness.cpp.o" "gcc" "src/metrics/CMakeFiles/amjs_metrics.dir/fairness.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "src/metrics/CMakeFiles/amjs_metrics.dir/metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/amjs_metrics.dir/metrics.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/amjs_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/amjs_metrics.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/amjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/amjs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amjs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

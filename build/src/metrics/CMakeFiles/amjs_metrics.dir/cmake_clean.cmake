@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_metrics.dir/energy.cpp.o"
+  "CMakeFiles/amjs_metrics.dir/energy.cpp.o.d"
+  "CMakeFiles/amjs_metrics.dir/fairness.cpp.o"
+  "CMakeFiles/amjs_metrics.dir/fairness.cpp.o.d"
+  "CMakeFiles/amjs_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/amjs_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/amjs_metrics.dir/report.cpp.o"
+  "CMakeFiles/amjs_metrics.dir/report.cpp.o.d"
+  "libamjs_metrics.a"
+  "libamjs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/flat.cpp" "src/platform/CMakeFiles/amjs_platform.dir/flat.cpp.o" "gcc" "src/platform/CMakeFiles/amjs_platform.dir/flat.cpp.o.d"
+  "/root/repo/src/platform/machine.cpp" "src/platform/CMakeFiles/amjs_platform.dir/machine.cpp.o" "gcc" "src/platform/CMakeFiles/amjs_platform.dir/machine.cpp.o.d"
+  "/root/repo/src/platform/partition.cpp" "src/platform/CMakeFiles/amjs_platform.dir/partition.cpp.o" "gcc" "src/platform/CMakeFiles/amjs_platform.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/amjs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amjs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_platform.dir/flat.cpp.o"
+  "CMakeFiles/amjs_platform.dir/flat.cpp.o.d"
+  "CMakeFiles/amjs_platform.dir/machine.cpp.o"
+  "CMakeFiles/amjs_platform.dir/machine.cpp.o.d"
+  "CMakeFiles/amjs_platform.dir/partition.cpp.o"
+  "CMakeFiles/amjs_platform.dir/partition.cpp.o.d"
+  "libamjs_platform.a"
+  "libamjs_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/conservative.cpp" "src/sched/CMakeFiles/amjs_sched.dir/conservative.cpp.o" "gcc" "src/sched/CMakeFiles/amjs_sched.dir/conservative.cpp.o.d"
+  "/root/repo/src/sched/dynp.cpp" "src/sched/CMakeFiles/amjs_sched.dir/dynp.cpp.o" "gcc" "src/sched/CMakeFiles/amjs_sched.dir/dynp.cpp.o.d"
+  "/root/repo/src/sched/easy.cpp" "src/sched/CMakeFiles/amjs_sched.dir/easy.cpp.o" "gcc" "src/sched/CMakeFiles/amjs_sched.dir/easy.cpp.o.d"
+  "/root/repo/src/sched/lookahead.cpp" "src/sched/CMakeFiles/amjs_sched.dir/lookahead.cpp.o" "gcc" "src/sched/CMakeFiles/amjs_sched.dir/lookahead.cpp.o.d"
+  "/root/repo/src/sched/queue_policies.cpp" "src/sched/CMakeFiles/amjs_sched.dir/queue_policies.cpp.o" "gcc" "src/sched/CMakeFiles/amjs_sched.dir/queue_policies.cpp.o.d"
+  "/root/repo/src/sched/relaxed.cpp" "src/sched/CMakeFiles/amjs_sched.dir/relaxed.cpp.o" "gcc" "src/sched/CMakeFiles/amjs_sched.dir/relaxed.cpp.o.d"
+  "/root/repo/src/sched/utility.cpp" "src/sched/CMakeFiles/amjs_sched.dir/utility.cpp.o" "gcc" "src/sched/CMakeFiles/amjs_sched.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/amjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/amjs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amjs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

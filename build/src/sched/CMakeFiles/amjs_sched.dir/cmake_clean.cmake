@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_sched.dir/conservative.cpp.o"
+  "CMakeFiles/amjs_sched.dir/conservative.cpp.o.d"
+  "CMakeFiles/amjs_sched.dir/dynp.cpp.o"
+  "CMakeFiles/amjs_sched.dir/dynp.cpp.o.d"
+  "CMakeFiles/amjs_sched.dir/easy.cpp.o"
+  "CMakeFiles/amjs_sched.dir/easy.cpp.o.d"
+  "CMakeFiles/amjs_sched.dir/lookahead.cpp.o"
+  "CMakeFiles/amjs_sched.dir/lookahead.cpp.o.d"
+  "CMakeFiles/amjs_sched.dir/queue_policies.cpp.o"
+  "CMakeFiles/amjs_sched.dir/queue_policies.cpp.o.d"
+  "CMakeFiles/amjs_sched.dir/relaxed.cpp.o"
+  "CMakeFiles/amjs_sched.dir/relaxed.cpp.o.d"
+  "CMakeFiles/amjs_sched.dir/utility.cpp.o"
+  "CMakeFiles/amjs_sched.dir/utility.cpp.o.d"
+  "libamjs_sched.a"
+  "libamjs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

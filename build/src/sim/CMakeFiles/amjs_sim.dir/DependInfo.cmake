@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/events.cpp" "src/sim/CMakeFiles/amjs_sim.dir/events.cpp.o" "gcc" "src/sim/CMakeFiles/amjs_sim.dir/events.cpp.o.d"
+  "/root/repo/src/sim/failures.cpp" "src/sim/CMakeFiles/amjs_sim.dir/failures.cpp.o" "gcc" "src/sim/CMakeFiles/amjs_sim.dir/failures.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/amjs_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/amjs_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/result.cpp" "src/sim/CMakeFiles/amjs_sim.dir/result.cpp.o" "gcc" "src/sim/CMakeFiles/amjs_sim.dir/result.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/amjs_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/amjs_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/amjs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/amjs_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

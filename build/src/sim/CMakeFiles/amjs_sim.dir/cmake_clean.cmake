@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_sim.dir/events.cpp.o"
+  "CMakeFiles/amjs_sim.dir/events.cpp.o.d"
+  "CMakeFiles/amjs_sim.dir/failures.cpp.o"
+  "CMakeFiles/amjs_sim.dir/failures.cpp.o.d"
+  "CMakeFiles/amjs_sim.dir/gantt.cpp.o"
+  "CMakeFiles/amjs_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/amjs_sim.dir/result.cpp.o"
+  "CMakeFiles/amjs_sim.dir/result.cpp.o.d"
+  "CMakeFiles/amjs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/amjs_sim.dir/simulator.cpp.o.d"
+  "libamjs_sim.a"
+  "libamjs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_util.dir/flags.cpp.o"
+  "CMakeFiles/amjs_util.dir/flags.cpp.o.d"
+  "CMakeFiles/amjs_util.dir/fmt.cpp.o"
+  "CMakeFiles/amjs_util.dir/fmt.cpp.o.d"
+  "CMakeFiles/amjs_util.dir/log.cpp.o"
+  "CMakeFiles/amjs_util.dir/log.cpp.o.d"
+  "CMakeFiles/amjs_util.dir/rng.cpp.o"
+  "CMakeFiles/amjs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/amjs_util.dir/stats.cpp.o"
+  "CMakeFiles/amjs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/amjs_util.dir/strings.cpp.o"
+  "CMakeFiles/amjs_util.dir/strings.cpp.o.d"
+  "CMakeFiles/amjs_util.dir/table.cpp.o"
+  "CMakeFiles/amjs_util.dir/table.cpp.o.d"
+  "CMakeFiles/amjs_util.dir/timeseries.cpp.o"
+  "CMakeFiles/amjs_util.dir/timeseries.cpp.o.d"
+  "libamjs_util.a"
+  "libamjs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamjs_util.a"
+)

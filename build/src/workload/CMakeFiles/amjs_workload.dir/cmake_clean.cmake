@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amjs_workload.dir/estimate.cpp.o"
+  "CMakeFiles/amjs_workload.dir/estimate.cpp.o.d"
+  "CMakeFiles/amjs_workload.dir/model_fit.cpp.o"
+  "CMakeFiles/amjs_workload.dir/model_fit.cpp.o.d"
+  "CMakeFiles/amjs_workload.dir/swf.cpp.o"
+  "CMakeFiles/amjs_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/amjs_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/amjs_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/amjs_workload.dir/trace.cpp.o"
+  "CMakeFiles/amjs_workload.dir/trace.cpp.o.d"
+  "libamjs_workload.a"
+  "libamjs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amjs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

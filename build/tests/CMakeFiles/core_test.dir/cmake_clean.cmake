@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/adaptive_incremental_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/adaptive_incremental_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/adaptive_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/balancer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/balancer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/metric_aware_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/metric_aware_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/policy_schedule_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/policy_schedule_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/score_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/score_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/window_alloc_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/window_alloc_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/flat_test.cpp" "tests/CMakeFiles/platform_test.dir/platform/flat_test.cpp.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/flat_test.cpp.o.d"
+  "/root/repo/tests/platform/partition_test.cpp" "tests/CMakeFiles/platform_test.dir/platform/partition_test.cpp.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/partition_test.cpp.o.d"
+  "/root/repo/tests/platform/plan_property_test.cpp" "tests/CMakeFiles/platform_test.dir/platform/plan_property_test.cpp.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/plan_property_test.cpp.o.d"
+  "/root/repo/tests/platform/topology_test.cpp" "tests/CMakeFiles/platform_test.dir/platform/topology_test.cpp.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/amjs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/amjs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/amjs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amjs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/conservative_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/conservative_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/dynp_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/dynp_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/easy_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/easy_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/lookahead_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/lookahead_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/queue_policies_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/queue_policies_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/relaxed_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/relaxed_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/utility_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/utility_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/flags_test.cpp" "tests/CMakeFiles/util_test.dir/util/flags_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/flags_test.cpp.o.d"
+  "/root/repo/tests/util/fmt_test.cpp" "tests/CMakeFiles/util_test.dir/util/fmt_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/fmt_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/util_test.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/CMakeFiles/util_test.dir/util/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/result_test.cpp" "tests/CMakeFiles/util_test.dir/util/result_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/result_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/util_test.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/timeseries_test.cpp" "tests/CMakeFiles/util_test.dir/util/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/amjs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/amjs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/amjs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amjs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
