@@ -1,6 +1,8 @@
 #include "common.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 
 namespace amjs::bench {
 
@@ -58,6 +60,58 @@ void print_series_row(double hour, const std::vector<double>& values) {
   std::printf("%10.1f", hour);
   for (const double v : values) std::printf(" %14.2f", v);
   std::printf("\n");
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out << buf;
+}
+
+}  // namespace
+
+bool write_bench_json(const std::string& path, const std::string& bench,
+                      const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": ";
+  write_json_string(out, bench);
+  out << ",\n  \"records\": [";
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    out << (r == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    write_json_string(out, records[r].name);
+    for (const auto& [key, value] : records[r].values) {
+      out << ", ";
+      write_json_string(out, key);
+      out << ": ";
+      write_json_number(out, value);
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace amjs::bench

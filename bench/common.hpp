@@ -60,4 +60,21 @@ inline constexpr Duration kLongHorizon = days(14);
 void print_series_header(const std::vector<std::string>& columns);
 void print_series_row(double hour, const std::vector<double>& values);
 
+/// One machine-readable bench record: a configuration name plus numeric
+/// metrics (per-policy results, wall-clock timings, overhead counters).
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> values;
+
+  void add(std::string key, double value) {
+    values.emplace_back(std::move(key), value);
+  }
+};
+
+/// Write records as `{"bench": ..., "records": [{"name": ..., k: v, ...}]}`
+/// JSON. Returns false (with a message on stderr) if the file cannot be
+/// written. Perf-trajectory tooling ingests these BENCH_*.json files.
+bool write_bench_json(const std::string& path, const std::string& bench,
+                      const std::vector<BenchRecord>& records);
+
 }  // namespace amjs::bench

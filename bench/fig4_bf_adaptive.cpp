@@ -39,11 +39,14 @@ int run(int argc, const char** argv) {
               trace.stats().offered_load(kIntrepidNodes),
               static_cast<int>(kIntrepidNodes));
 
+  // The paper's four curves, plus the digital-twin what-if tuner as a
+  // fifth series for comparison against the reactive adaptive scheme.
   const std::vector<BalancerSpec> specs = {
       BalancerSpec::fixed(1.0, 1),
       BalancerSpec::fixed(0.75, 1),
       BalancerSpec::fixed(0.5, 1),
       BalancerSpec::bf_adaptive(threshold),
+      BalancerSpec::what_if(&intrepid_machine),
   };
 
   // Collect queue-depth series per config, keyed by sample hour.
@@ -83,6 +86,8 @@ int run(int argc, const char** argv) {
       (peaks[0] > peaks[1] && peaks[1] > peaks[2] && peaks[3] <= peaks[1])
           ? "HOLDS"
           : "DIFFERS (inspect series above)");
+  std::printf("what-if peak at or below reactive adaptive's -> %s\n",
+              peaks[4] <= peaks[3] ? "HOLDS" : "DIFFERS (inspect series above)");
   return 0;
 }
 

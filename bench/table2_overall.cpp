@@ -4,15 +4,29 @@
 // avg wait (min) / unfair job count / LoC (%), plus the extended metrics
 // table and the headline improvement percentages the paper quotes (2D
 // adaptive: wait -71%, LoC -23%, unfair ~2x base in the original).
+//
+// An eighth row runs the digital-twin WhatIfTuner (src/twin); it skips
+// the fair-start oracle (replaying a twin-consulting policy per probe is
+// O(n) twin sweeps) and instead reports the twin's own overhead counters.
+// Pass --json=path (default BENCH_table2.json, empty disables) to emit
+// the per-policy metrics and wall-clock timings machine-readably.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "common.hpp"
+#include "core/what_if.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace amjs::bench {
 namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 int run(int argc, const char** argv) {
   Flags flags;
@@ -23,6 +37,8 @@ int run(int argc, const char** argv) {
                "QD threshold (minutes); default = the knee of the D3 threshold "
                "ablation for this workload (the paper's rule — a recent-period "
                "average queue depth — is workload-specific)");
+  flags.define("json", "BENCH_table2.json",
+               "write machine-readable results here (empty disables)");
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("table2_overall").c_str());
@@ -43,10 +59,39 @@ int run(int argc, const char** argv) {
   // Keep the adaptive rows on the flag-selected threshold.
   specs[4] = BalancerSpec::bf_adaptive(threshold);
   specs[6] = BalancerSpec::two_d(threshold);
+  const std::size_t bf_adaptive_row = 4;
 
   std::vector<MetricsReport> reports;
+  std::vector<double> mean_qd;    // per-row mean queue depth (minutes)
+  std::vector<double> wall_ms;    // per-row simulation wall-clock
   for (const auto& spec : specs) {
-    reports.push_back(full_report(spec, trace, stride));
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = run_spec(spec, trace);
+    wall_ms.push_back(ms_since(start));
+    mean_qd.push_back(result.queue_depth.mean_value());
+    FairStartEvaluator evaluator(&intrepid_machine, MetricsBalancer::factory(spec));
+    const FairnessResult fairness =
+        evaluator.evaluate(trace, result, kUnfairTolerance, stride);
+    reports.push_back(make_report(spec.display_name(), trace, result, &fairness));
+  }
+
+  // Row 8: the digital-twin what-if tuner. Run directly (not via
+  // run_spec) so we can read the tuner's overhead counters afterwards.
+  const BalancerSpec wi_spec = BalancerSpec::what_if(&intrepid_machine);
+  WhatIfStats wi_stats;
+  {
+    auto machine = intrepid_machine();
+    const auto scheduler = MetricsBalancer::make(wi_spec);
+    Simulator sim(*machine, *scheduler);
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = sim.run(trace);
+    wall_ms.push_back(ms_since(start));
+    mean_qd.push_back(result.queue_depth.mean_value());
+    if (const auto* tuner = dynamic_cast<const WhatIfTuner*>(scheduler.get())) {
+      wi_stats = tuner->stats();
+    }
+    reports.push_back(make_report(wi_spec.display_name(), trace, result,
+                                  /*fairness=*/nullptr));
   }
 
   TextTable t(MetricsReport::table2_headers());
@@ -57,6 +102,16 @@ int run(int argc, const char** argv) {
   TextTable ext(MetricsReport::extended_headers());
   for (const auto& r : reports) ext.add_row(r.extended_row());
   ext.print(std::cout);
+
+  std::printf("\nper-policy simulation wall-clock (ms):\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::printf("  %-14s %10.0f\n", reports[i].configuration.c_str(), wall_ms[i]);
+  }
+  std::printf(
+      "twin overhead (WhatIf row): %zu consultations, %zu forks, "
+      "%zu adoptions, %.0f ms total (%.1f ms/fork)\n",
+      wi_stats.evaluations, wi_stats.forks, wi_stats.adoptions,
+      wi_stats.twin_wall_ms, wi_stats.wall_ms_per_fork());
 
   const auto& base = reports[0];
   const auto& two_d = reports[6];
@@ -79,7 +134,9 @@ int run(int argc, const char** argv) {
   std::printf("\npaper shape checks:\n");
   std::printf("  every enhanced case beats base wait:   %s\n",
               [&] {
-                for (std::size_t i = 1; i < reports.size(); ++i) {
+                // Rows 1..6 (the paper's enhanced configurations); the
+                // WhatIf row is checked separately below.
+                for (std::size_t i = 1; i < specs.size(); ++i) {
                   if (reports[i].avg_wait_min >= base.avg_wait_min) return "DIFFERS";
                 }
                 return "HOLDS";
@@ -93,6 +150,40 @@ int run(int argc, const char** argv) {
                   ? "HOLDS"
                   : "DIFFERS",
               two_d.unfair_jobs.value_or(0), best_static.unfair_jobs.value_or(0));
+  const std::size_t wi_row = reports.size() - 1;
+  std::printf("  WhatIf avg QD <= reactive BF-Adapt's:  %s (%.0f vs %.0f min)\n",
+              mean_qd[wi_row] <= mean_qd[bf_adaptive_row] ? "HOLDS" : "DIFFERS",
+              mean_qd[wi_row], mean_qd[bf_adaptive_row]);
+
+  const std::string json_path = flags.get("json");
+  if (!json_path.empty()) {
+    std::vector<BenchRecord> records;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      BenchRecord rec;
+      rec.name = reports[i].configuration;
+      rec.add("avg_wait_min", reports[i].avg_wait_min);
+      rec.add("max_wait_min", reports[i].max_wait_min);
+      rec.add("avg_bounded_slowdown", reports[i].avg_bounded_slowdown);
+      rec.add("utilization", reports[i].utilization);
+      rec.add("loss_of_capacity", reports[i].loss_of_capacity);
+      if (reports[i].unfair_jobs) {
+        rec.add("unfair_jobs", static_cast<double>(*reports[i].unfair_jobs));
+      }
+      rec.add("mean_queue_depth_min", mean_qd[i]);
+      rec.add("wall_ms", wall_ms[i]);
+      if (i == wi_row) {
+        rec.add("twin_evaluations", static_cast<double>(wi_stats.evaluations));
+        rec.add("twin_forks", static_cast<double>(wi_stats.forks));
+        rec.add("twin_adoptions", static_cast<double>(wi_stats.adoptions));
+        rec.add("twin_wall_ms", wi_stats.twin_wall_ms);
+        rec.add("twin_wall_ms_per_fork", wi_stats.wall_ms_per_fork());
+      }
+      records.push_back(std::move(rec));
+    }
+    if (write_bench_json(json_path, "table2_overall", records)) {
+      std::printf("\nwrote %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }
 

@@ -8,6 +8,8 @@
 //   $ ./policy_explorer                          # synthetic Intrepid
 //   $ ./policy_explorer LLNL-Atlas.swf --nodes 9216 --procs-per-node 8
 //   $ ./policy_explorer --bf 1,0.5 --w 1,4 --fairness
+//   $ ./policy_explorer --what-if                # twin tuner vs reactive
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "core/balancer.hpp"
+#include "core/what_if.hpp"
 #include "metrics/fairness.hpp"
 #include "metrics/report.hpp"
 #include "platform/flat.hpp"
@@ -51,6 +54,10 @@ int main(int argc, const char** argv) {
   flags.define("w", "1,2,4", "window sizes to sweep");
   flags.define_bool("fairness", "evaluate the (expensive) unfair-job count");
   flags.define("fairness-stride", "4", "fair-start sampling stride");
+  flags.define_bool("what-if",
+                    "compare the digital-twin WhatIfTuner against the "
+                    "reactive tuners instead of sweeping the (BF, W) grid");
+  flags.define("what-if-horizon-hours", "6", "twin fork horizon (what-if mode)");
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("policy_explorer").c_str());
@@ -85,6 +92,45 @@ int main(int argc, const char** argv) {
     machine_factory = [] { return std::make_unique<PartitionMachine>(); };
     std::fprintf(stderr, "synthetic Intrepid workload: %zu jobs, load %.2f\n",
                  trace.size(), trace.stats().offered_load(kIntrepidNodes));
+  }
+
+  // --what-if: head-to-head of the digital-twin tuner against the paper's
+  // reactive schemes on this workload, with the twin's overhead reported.
+  if (flags.get_bool("what-if")) {
+    const std::vector<BalancerSpec> specs = {
+        BalancerSpec::bf_adaptive(),
+        BalancerSpec::two_d(),
+        BalancerSpec::what_if(machine_factory,
+                              hours(flags.get_i64("what-if-horizon-hours"))),
+    };
+    CsvWriter csv(std::cout);
+    csv.write_row({"policy", "avg_wait_min", "utilization", "loss_of_capacity",
+                   "mean_queue_depth_min", "wall_ms"});
+    for (const auto& spec : specs) {
+      auto machine = machine_factory();
+      const auto scheduler = MetricsBalancer::make(spec);
+      Simulator sim(*machine, *scheduler);
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = sim.run(trace);
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      const auto report = make_report(spec.display_name(), trace, result);
+      csv.write_row({spec.display_name(), TextTable::num(report.avg_wait_min, 2),
+                     TextTable::num(report.utilization, 4),
+                     TextTable::num(report.loss_of_capacity, 4),
+                     TextTable::num(result.queue_depth.mean_value(), 1),
+                     TextTable::num(wall_ms, 0)});
+      if (const auto* tuner = dynamic_cast<const WhatIfTuner*>(scheduler.get())) {
+        const auto& s = tuner->stats();
+        std::fprintf(stderr,
+                     "what-if overhead: %zu consultations, %zu forks, %zu "
+                     "adoptions, %.0f ms in forks (%.1f ms/fork)\n",
+                     s.evaluations, s.forks, s.adoptions, s.twin_wall_ms,
+                     s.wall_ms_per_fork());
+      }
+    }
+    return 0;
   }
 
   const bool with_fairness = flags.get_bool("fairness");

@@ -93,6 +93,35 @@ void AdaptiveScheduler::reset() {
   adjustments_ = 0;
 }
 
+namespace {
+/// Run state of an AdaptiveScheduler: the wrapped scheduler's state plus
+/// the monitor histories.
+struct AdaptiveState final : SchedulerState {
+  std::unique_ptr<SchedulerState> inner;
+  SampledSeries bf_history;
+  SampledSeries w_history;
+  std::size_t adjustments = 0;
+};
+}  // namespace
+
+std::unique_ptr<SchedulerState> AdaptiveScheduler::save_state() const {
+  auto state = std::make_unique<AdaptiveState>();
+  state->inner = inner_.save_state();
+  state->bf_history = bf_history_;
+  state->w_history = w_history_;
+  state->adjustments = adjustments_;
+  return state;
+}
+
+void AdaptiveScheduler::restore_state(const SchedulerState& state) {
+  const auto* saved = dynamic_cast<const AdaptiveState*>(&state);
+  assert(saved != nullptr && "restore_state: not an AdaptiveScheduler state");
+  inner_.restore_state(*saved->inner);
+  bf_history_ = saved->bf_history;
+  w_history_ = saved->w_history;
+  adjustments_ = saved->adjustments;
+}
+
 bool AdaptiveScheduler::stressed(const AdaptiveScheme& scheme, const SchedContext& ctx,
                                  double queue_depth_minutes) const {
   switch (scheme.monitor) {

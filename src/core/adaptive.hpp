@@ -90,6 +90,8 @@ class AdaptiveScheduler final : public Scheduler {
   void on_metric_check(SchedContext& ctx, double queue_depth_minutes) override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
+  [[nodiscard]] std::unique_ptr<SchedulerState> save_state() const override;
+  void restore_state(const SchedulerState& state) override;
 
   [[nodiscard]] const MetricAwarePolicy& policy() const { return inner_.policy(); }
   [[nodiscard]] const MetricAwareScheduler& inner() const { return inner_; }

@@ -1,5 +1,6 @@
 #include "core/balancer.hpp"
 
+#include "core/what_if.hpp"
 #include "util/fmt.hpp"
 
 namespace amjs {
@@ -11,6 +12,7 @@ std::string BalancerSpec::display_name() const {
     case TuningKind::kBalance: return "BF Adapt.";
     case TuningKind::kWindow: return "W Adapt.";
     case TuningKind::kTwoD: return "2D Adapt.";
+    case TuningKind::kWhatIf: return "WhatIf";
   }
   return policy.label();
 }
@@ -50,6 +52,18 @@ BalancerSpec BalancerSpec::two_d(double threshold_minutes, int base, int enlarge
   return spec;
 }
 
+BalancerSpec BalancerSpec::what_if(
+    std::function<std::unique_ptr<Machine>()> machine_factory, Duration horizon,
+    int evaluate_every) {
+  BalancerSpec spec;
+  spec.policy = MetricAwarePolicy{1.0, 1};  // until the first consultation
+  spec.tuning = TuningKind::kWhatIf;
+  spec.wi_horizon = horizon;
+  spec.wi_evaluate_every = evaluate_every;
+  spec.wi_machine_factory = std::move(machine_factory);
+  return spec;
+}
+
 std::unique_ptr<Scheduler> MetricsBalancer::make(const BalancerSpec& spec) {
   MetricAwareConfig config;
   config.policy = spec.policy;
@@ -57,6 +71,18 @@ std::unique_ptr<Scheduler> MetricsBalancer::make(const BalancerSpec& spec) {
 
   if (spec.tuning == TuningKind::kNone) {
     return std::make_unique<MetricAwareScheduler>(config);
+  }
+
+  if (spec.tuning == TuningKind::kWhatIf) {
+    WhatIfConfig wi;
+    wi.base = config;
+    wi.bf_candidates = spec.wi_bf_candidates;
+    wi.w_candidates = spec.wi_w_candidates;
+    wi.twin.horizon = spec.wi_horizon;
+    wi.machine_factory = spec.wi_machine_factory;
+    wi.evaluate_every = spec.wi_evaluate_every;
+    wi.label = spec.display_name();
+    return std::make_unique<WhatIfTuner>(std::move(wi));
   }
 
   std::vector<AdaptiveScheme> schemes;

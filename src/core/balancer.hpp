@@ -21,7 +21,8 @@ enum class TuningKind {
   kNone,       // static BF/W
   kBalance,    // adaptive BF, QD monitor            (paper §IV-C1)
   kWindow,     // adaptive W, utilization monitor    (paper §IV-C2)
-  kTwoD        // both                               (paper §IV-C3)
+  kTwoD,       // both                               (paper §IV-C3)
+  kWhatIf      // digital-twin what-if tuner         (src/twin, core/what_if)
 };
 
 struct BalancerSpec {
@@ -42,6 +43,15 @@ struct BalancerSpec {
   /// Incremental (Table I Δ-walk) instead of two-level switching.
   bool incremental = false;
 
+  /// What-if (kWhatIf) parameters: candidate grid, fork horizon, and the
+  /// machine factory the twin forks build their copies from (must match
+  /// the live machine's model/topology).
+  std::vector<double> wi_bf_candidates = {0.2, 0.5, 0.8, 1.0};
+  std::vector<int> wi_w_candidates = {1, 4};
+  Duration wi_horizon = hours(6);
+  int wi_evaluate_every = 4;
+  std::function<std::unique_ptr<Machine>()> wi_machine_factory;
+
   /// Optional display label; defaults to a Table-II-style name.
   std::string label;
 
@@ -54,6 +64,12 @@ struct BalancerSpec {
   [[nodiscard]] static BalancerSpec w_adaptive(int base = 1, int enlarged = 4);
   [[nodiscard]] static BalancerSpec two_d(double threshold_minutes = 1000.0,
                                           int base = 1, int enlarged = 4);
+
+  /// The digital-twin tuner (DESIGN.md "Digital twin"); requires a
+  /// machine factory for the fork copies.
+  [[nodiscard]] static BalancerSpec what_if(
+      std::function<std::unique_ptr<Machine>()> machine_factory,
+      Duration horizon = hours(6), int evaluate_every = 4);
 };
 
 class MetricsBalancer {

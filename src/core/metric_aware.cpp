@@ -27,6 +27,29 @@ std::string MetricAwareScheduler::name() const {
 
 void MetricAwareScheduler::reset() { stats_ = MetricAwareStats{}; }
 
+namespace {
+/// Run state of a MetricAwareScheduler: the live (possibly retuned)
+/// policy plus the overhead counters.
+struct MetricAwareState final : SchedulerState {
+  MetricAwarePolicy policy;
+  MetricAwareStats stats;
+};
+}  // namespace
+
+std::unique_ptr<SchedulerState> MetricAwareScheduler::save_state() const {
+  auto state = std::make_unique<MetricAwareState>();
+  state->policy = config_.policy;
+  state->stats = stats_;
+  return state;
+}
+
+void MetricAwareScheduler::restore_state(const SchedulerState& state) {
+  const auto* saved = dynamic_cast<const MetricAwareState*>(&state);
+  assert(saved != nullptr && "restore_state: not a MetricAwareScheduler state");
+  config_.policy = saved->policy;
+  stats_ = saved->stats;
+}
+
 void MetricAwareScheduler::set_policy(const MetricAwarePolicy& policy) {
   assert(policy.valid());
   config_.policy = policy;

@@ -66,6 +66,8 @@ class MetricAwareScheduler : public Scheduler {
   void schedule(SchedContext& ctx) override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
+  [[nodiscard]] std::unique_ptr<SchedulerState> save_state() const override;
+  void restore_state(const SchedulerState& state) override;
 
   [[nodiscard]] const MetricAwarePolicy& policy() const { return config_.policy; }
 

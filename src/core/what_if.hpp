@@ -1,0 +1,99 @@
+// WhatIfTuner — proactive policy tuning through the digital twin (layer 3
+// of the twin subsystem; compare core/adaptive.hpp, which is the paper's
+// *reactive* Algorithm 1).
+//
+// Where the reactive tuners flip BF/W only after a monitored metric has
+// crossed its threshold, the WhatIfTuner asks at each consultation: "which
+// candidate (BF, W) would the machine be best off with over the next few
+// hours?" — answered by forking the live simulation state through a
+// TwinEngine and scoring each candidate's bounded-horizon future with a
+// weighted queue-depth / utilization objective. The winning candidate is
+// adopted for the next interval.
+//
+// Consultations run at metric checks (every `evaluate_every`-th one, to
+// bound overhead) and are skipped while the queue is empty — an idle
+// machine gains nothing from re-planning. All fork scoring is
+// deterministic, so a run using the tuner stays bit-reproducible.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+#include "twin/twin.hpp"
+#include "util/timeseries.hpp"
+
+namespace amjs {
+
+struct WhatIfConfig {
+  /// The wrapped scheduler's configuration; its policy is the starting
+  /// point until the first consultation adopts a candidate.
+  MetricAwareConfig base;
+
+  /// Candidate grid: every (BF, W) combination is one twin fork.
+  std::vector<double> bf_candidates = {0.2, 0.5, 0.8, 1.0};
+  std::vector<int> w_candidates = {1, 4};
+
+  /// Fork horizon / objective weights / fan-out threads.
+  TwinConfig twin;
+
+  /// Builds fork machines (same model/topology as the live machine).
+  std::function<std::unique_ptr<Machine>()> machine_factory;
+
+  /// Consult the twin at every k-th metric check (k >= 1).
+  int evaluate_every = 4;
+
+  /// Skip consultations while queue depth is below this (minutes); 0
+  /// consults whenever any job is waiting.
+  double min_queue_depth_minutes = 0.0;
+
+  std::string label;
+};
+
+/// Twin-consultation accounting (for the overhead study and benches).
+struct WhatIfStats {
+  std::size_t evaluations = 0;   // twin consultations run
+  std::size_t forks = 0;         // candidate futures simulated
+  std::size_t adoptions = 0;     // consultations that changed the policy
+  double twin_wall_ms = 0.0;     // total wall-clock spent in forks
+
+  [[nodiscard]] double wall_ms_per_fork() const {
+    return forks > 0 ? twin_wall_ms / static_cast<double>(forks) : 0.0;
+  }
+};
+
+class WhatIfTuner final : public Scheduler {
+ public:
+  explicit WhatIfTuner(WhatIfConfig config);
+
+  void schedule(SchedContext& ctx) override;
+  void on_metric_check(SchedContext& ctx, double queue_depth_minutes) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<SchedulerState> save_state() const override;
+  void restore_state(const SchedulerState& state) override;
+
+  [[nodiscard]] const MetricAwarePolicy& policy() const { return inner_.policy(); }
+  [[nodiscard]] const WhatIfStats& stats() const { return stats_; }
+
+  /// Adopted-tunable histories (sampled at each check), plot-compatible
+  /// with AdaptiveScheduler's.
+  [[nodiscard]] const SampledSeries& bf_history() const { return bf_history_; }
+  [[nodiscard]] const SampledSeries& w_history() const { return w_history_; }
+
+ private:
+  /// One fork per (BF, W) candidate, sharing the base configuration.
+  [[nodiscard]] std::vector<TwinCandidate> make_candidates() const;
+
+  WhatIfConfig config_;
+  MetricAwareScheduler inner_;
+  TwinEngine twin_;
+  WhatIfStats stats_;
+  SampledSeries bf_history_;
+  SampledSeries w_history_;
+  std::size_t checks_seen_ = 0;
+};
+
+}  // namespace amjs

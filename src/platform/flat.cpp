@@ -40,6 +40,22 @@ std::unique_ptr<Plan> FlatMachine::make_plan(SimTime now) const {
   return std::make_unique<FlatPlan>(total_, now, running());
 }
 
+std::unique_ptr<MachineState> FlatMachine::save_state() const {
+  auto state = std::make_unique<FlatMachineState>();
+  state->total = total_;
+  state->busy = busy_;
+  state->allocs = allocs_;
+  return state;
+}
+
+void FlatMachine::restore_state(const MachineState& state) {
+  const auto* flat = dynamic_cast<const FlatMachineState*>(&state);
+  assert(flat != nullptr && "restore_state: not a FlatMachine state");
+  assert(flat->total == total_ && "restore_state: topology mismatch");
+  busy_ = flat->busy;
+  allocs_ = flat->allocs;
+}
+
 void FlatMachine::reset() {
   busy_ = 0;
   allocs_.clear();

@@ -26,12 +26,21 @@ class FlatMachine final : public Machine {
   void finish(JobId job, SimTime now) override;
   [[nodiscard]] std::vector<RunningAlloc> running() const override;
   [[nodiscard]] std::unique_ptr<Plan> make_plan(SimTime now) const override;
+  [[nodiscard]] std::unique_ptr<MachineState> save_state() const override;
+  void restore_state(const MachineState& state) override;
   void reset() override;
 
  private:
   NodeCount total_;
   NodeCount busy_ = 0;
   std::map<JobId, RunningAlloc> allocs_;
+};
+
+/// Saved allocation state of a FlatMachine.
+struct FlatMachineState final : MachineState {
+  NodeCount total = 0;  // topology check on restore
+  NodeCount busy = 0;
+  std::map<JobId, RunningAlloc> allocs;
 };
 
 /// Plan over a flat node pool: a free-capacity step profile.

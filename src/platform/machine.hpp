@@ -21,6 +21,16 @@
 
 namespace amjs {
 
+/// Opaque saved allocation state of a Machine (see Machine::save_state).
+/// Concrete machines define their own subclass; a state object is immutable
+/// once saved and may be restored into any machine of the same model and
+/// topology, any number of times (the digital-twin engine restores one
+/// state into many independent fork machines).
+class MachineState {
+ public:
+  virtual ~MachineState() = default;
+};
+
 /// A live allocation entry.
 struct RunningAlloc {
   JobId job = kInvalidJob;
@@ -112,6 +122,15 @@ class Machine {
 
   /// Build a planning model of the future as of `now`.
   [[nodiscard]] virtual std::unique_ptr<Plan> make_plan(SimTime now) const = 0;
+
+  /// Capture the full allocation state. The returned object is detached
+  /// from this machine: later mutations do not affect it.
+  [[nodiscard]] virtual std::unique_ptr<MachineState> save_state() const = 0;
+
+  /// Overwrite the allocation state with `state`, which must have been
+  /// saved from a machine of the same model and topology (asserted in
+  /// debug builds). `state` is not consumed and may be restored again.
+  virtual void restore_state(const MachineState& state) = 0;
 
   /// Drop all allocations (fresh simulation run).
   virtual void reset() = 0;

@@ -157,6 +157,27 @@ std::unique_ptr<Plan> PartitionMachine::make_plan(SimTime now) const {
   return std::make_unique<PartitionPlan>(*this, now);
 }
 
+std::unique_ptr<MachineState> PartitionMachine::save_state() const {
+  auto state = std::make_unique<PartitionMachineState>();
+  state->config = config_;
+  state->busy_mask = busy_mask_;
+  state->busy_nodes = busy_nodes_;
+  state->allocs = allocs_;
+  return state;
+}
+
+void PartitionMachine::restore_state(const MachineState& state) {
+  const auto* part = dynamic_cast<const PartitionMachineState*>(&state);
+  assert(part != nullptr && "restore_state: not a PartitionMachine state");
+  assert(part->config.leaf_nodes == config_.leaf_nodes &&
+         part->config.row_leaves == config_.row_leaves &&
+         part->config.rows == config_.rows &&
+         "restore_state: topology mismatch");
+  busy_mask_ = part->busy_mask;
+  busy_nodes_ = part->busy_nodes;
+  allocs_ = part->allocs;
+}
+
 void PartitionMachine::reset() {
   busy_mask_.reset();
   busy_nodes_ = 0;

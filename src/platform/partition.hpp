@@ -73,6 +73,8 @@ class PartitionMachine final : public Machine {
   void finish(JobId job, SimTime now) override;
   [[nodiscard]] std::vector<RunningAlloc> running() const override;
   [[nodiscard]] std::unique_ptr<Plan> make_plan(SimTime now) const override;
+  [[nodiscard]] std::unique_ptr<MachineState> save_state() const override;
+  void restore_state(const MachineState& state) override;
   void reset() override;
 
   /// Indices into partitions() whose size equals the job's tier.
@@ -112,6 +114,14 @@ class PartitionMachine final : public Machine {
   LeafMask busy_mask_;
   NodeCount busy_nodes_ = 0;
   std::map<JobId, LiveAlloc> allocs_;
+};
+
+/// Saved allocation state of a PartitionMachine.
+struct PartitionMachineState final : MachineState {
+  PartitionConfig config;  // topology check on restore
+  PartitionMachine::LeafMask busy_mask;
+  NodeCount busy_nodes = 0;
+  std::map<JobId, PartitionMachine::LiveAlloc> allocs;
 };
 
 /// Plan over the partition machine.

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace amjs {
 
 SimTime SchedContext::now() const { return sim_.now_; }
+
+const JobTrace& SchedContext::trace() const { return *sim_.trace_; }
+
+SimSnapshot SchedContext::capture() const { return sim_.capture(); }
 
 Machine& SchedContext::machine() { return sim_.machine_; }
 const Machine& SchedContext::machine() const { return sim_.machine_; }
@@ -57,6 +62,8 @@ bool SchedContext::start_job(JobId id, int placement) {
 }
 
 void Scheduler::on_metric_check(SchedContext& /*ctx*/, double /*queue_depth_minutes*/) {}
+
+void Scheduler::restore_state(const SchedulerState& /*state*/) { reset(); }
 
 Simulator::Simulator(Machine& machine, Scheduler& scheduler, SimConfig config)
     : machine_(machine), scheduler_(scheduler), config_(std::move(config)) {
@@ -139,6 +146,32 @@ void Simulator::record_sched_event() {
   result_.events.push_back(rec);
 }
 
+SimSnapshot Simulator::capture() const {
+  assert(in_metric_check_ && "capture outside a metric-check instant");
+  SimSnapshot snap;
+  snap.now = now_;
+  snap.events = events_;
+  snap.states = states_;
+  snap.queue = queue_;
+  snap.attempts = attempts_;
+  snap.failure_pending = failure_pending_;
+  snap.attempt_start = attempt_start_;
+  snap.unfinished = unfinished_;
+  snap.result = result_;
+  snap.state_changed = instant_state_changed_;
+  snap.queue_depth_minutes = last_queue_depth_;
+  snap.check_index = check_index_;
+  snap.machine = machine_.save_state();
+  snap.scheduler = scheduler_.save_state();
+  return snap;
+}
+
+bool Simulator::stop_job_settled() const {
+  if (config_.stop_once_started == kInvalidJob) return false;
+  const auto s = states_[static_cast<std::size_t>(config_.stop_once_started)];
+  return s == JobState::kRunning || s == JobState::kDone || s == JobState::kSkipped;
+}
+
 SimResult Simulator::run(const JobTrace& trace) {
   trace_ = &trace;
   machine_.reset();
@@ -146,6 +179,7 @@ SimResult Simulator::run(const JobTrace& trace) {
   events_ = EventQueue{};
   queue_.clear();
   now_ = 0;
+  check_index_ = 0;
   result_ = SimResult{};
   result_.machine_nodes = machine_.total_nodes();
   result_.schedule.resize(trace.size());
@@ -168,10 +202,57 @@ SimResult Simulator::run(const JobTrace& trace) {
                EventType::kMetricCheck, kInvalidJob);
 
   SchedContext ctx(*this);
+  return drain(ctx);
+}
+
+SimResult Simulator::resume(const JobTrace& trace, const SimSnapshot& snapshot,
+                            ResumeScheduler mode) {
+  assert(snapshot.valid() && "resume from an empty snapshot");
+  assert(snapshot.states.size() == trace.size() &&
+         "resume: snapshot belongs to a different trace");
+  trace_ = &trace;
+  events_ = snapshot.events;
+  states_ = snapshot.states;
+  queue_ = snapshot.queue;
+  attempts_ = snapshot.attempts;
+  failure_pending_ = snapshot.failure_pending;
+  attempt_start_ = snapshot.attempt_start;
+  now_ = snapshot.now;
+  unfinished_ = snapshot.unfinished;
+  check_index_ = snapshot.check_index;
+  result_ = snapshot.result;
+  machine_.restore_state(*snapshot.machine);
+  if (mode == ResumeScheduler::kRestore && snapshot.scheduler != nullptr) {
+    scheduler_.restore_state(*snapshot.scheduler);
+  } else {
+    scheduler_.reset();
+  }
+
+  // Replay the captured instant's tail: the snapshot point sits between
+  // the queue-depth sample and the on_metric_check -> schedule passes of
+  // that metric check (see sim/snapshot.hpp).
+  SchedContext ctx(*this);
+  in_metric_check_ = true;
+  last_queue_depth_ = snapshot.queue_depth_minutes;
+  instant_state_changed_ = snapshot.state_changed;
+  scheduler_.on_metric_check(ctx, snapshot.queue_depth_minutes);
+  in_metric_check_ = false;
+  scheduler_.schedule(ctx);
+  if (snapshot.state_changed) record_sched_event();
+  result_.end_time = now_;
+  if (stop_job_settled()) {
+    trace_ = nullptr;
+    return std::move(result_);
+  }
+  return drain(ctx);
+}
+
+SimResult Simulator::drain(SchedContext& ctx) {
   while (!events_.empty()) {
     if (config_.stop_after_last_job && unfinished_ == 0) break;
 
     const SimTime t = events_.top().time;
+    if (t > config_.stop_at) break;
     now_ = t;
     bool state_changed = false;
     bool metric_check = false;
@@ -194,29 +275,33 @@ SimResult Simulator::run(const JobTrace& trace) {
 
     if (metric_check) {
       // Algorithm 1: check metrics / adjust tunables, then run the
-      // (possibly retuned) scheduling pass below.
+      // (possibly retuned) scheduling pass below. The next check is
+      // enqueued *before* the callback so a snapshot captured here holds
+      // the complete future event set.
       const double qd = queue_depth_minutes();
       result_.queue_depth.add(now_, qd);
-      scheduler_.on_metric_check(ctx, qd);
+      ++check_index_;
       if (unfinished_ > 0) {
         events_.push(now_ + config_.metric_check_interval, EventType::kMetricCheck,
                      kInvalidJob);
       }
+      last_queue_depth_ = qd;
+      instant_state_changed_ = state_changed;
+      in_metric_check_ = true;
+      if (config_.snapshot_sink) config_.snapshot_sink(capture());
+      scheduler_.on_metric_check(ctx, qd);
+      in_metric_check_ = false;
     }
 
     scheduler_.schedule(ctx);
     if (state_changed) record_sched_event();
     result_.end_time = now_;
 
-    if (config_.stop_once_started != kInvalidJob) {
-      const auto s = states_[static_cast<std::size_t>(config_.stop_once_started)];
-      if (s == JobState::kRunning || s == JobState::kDone || s == JobState::kSkipped) {
-        break;
-      }
-    }
+    if (stop_job_settled()) break;
   }
 
-  if (!queue_.empty() && config_.stop_once_started == kInvalidJob) {
+  if (!queue_.empty() && config_.stop_once_started == kInvalidJob &&
+      config_.stop_at == kNever) {
     log::warn("simulation drained events with {} jobs still queued", queue_.size());
   }
   trace_ = nullptr;

@@ -9,6 +9,7 @@
 // simulator converts starts into end events at start + actual runtime.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,10 @@
 namespace amjs {
 
 class Simulator;
+struct SimSnapshot;
+
+/// Lifecycle of one job within a run.
+enum class SimJobState : std::uint8_t { kPending, kQueued, kRunning, kDone, kSkipped };
 
 /// The scheduler's window onto the simulation. Queue order is submission
 /// order; schedulers impose their own priority ordering on top.
@@ -35,6 +40,16 @@ class SchedContext {
   [[nodiscard]] const std::vector<JobId>& queue() const;
 
   [[nodiscard]] const Job& job(JobId id) const;
+
+  /// The trace being simulated (twin forks replay the same trace).
+  [[nodiscard]] const JobTrace& trace() const;
+
+  /// Capture the full simulation state. Valid only inside
+  /// Scheduler::on_metric_check — the snapshot point is pinned to the
+  /// metric-check instant so Simulator::resume can replay the rest of the
+  /// instant exactly (see sim/snapshot.hpp for the contract). What-if
+  /// policies hand the snapshot to a TwinEngine to fork candidate futures.
+  [[nodiscard]] SimSnapshot capture() const;
 
   /// Time the job has been waiting so far.
   [[nodiscard]] Duration waited(JobId id) const;
@@ -57,6 +72,12 @@ class SchedContext {
   Simulator& sim_;
 };
 
+/// Opaque saved run state of a Scheduler (see Scheduler::save_state).
+class SchedulerState {
+ public:
+  virtual ~SchedulerState() = default;
+};
+
 /// Scheduling policy interface (implementations in src/sched and
 /// src/core).
 class Scheduler {
@@ -76,6 +97,20 @@ class Scheduler {
 
   /// Return to the initial policy state (fresh simulation).
   virtual void reset() {}
+
+  /// Capture policy-internal run state for a SimSnapshot. Policies whose
+  /// behaviour depends only on the SchedContext may keep the default
+  /// (nullptr = stateless); policies carrying cross-event state — live
+  /// tunables, monitors, stats — must override this together with
+  /// restore_state() or mid-run resume will not reproduce the original run.
+  [[nodiscard]] virtual std::unique_ptr<SchedulerState> save_state() const {
+    return nullptr;
+  }
+
+  /// Restore state captured by save_state() on an identically configured
+  /// instance. `state` is not consumed (one snapshot may seed many forks).
+  /// Default: reset(), correct for stateless policies.
+  virtual void restore_state(const SchedulerState& state);
 };
 
 struct SimConfig {
@@ -94,8 +129,28 @@ struct SimConfig {
   /// oracle only needs one job's start time, so it truncates here.
   JobId stop_once_started = kInvalidJob;
 
+  /// Hard horizon: events after this instant are left unprocessed and the
+  /// run ends (kNever = run to completion). Twin forks replay a snapshot
+  /// for a bounded window of sim time through this.
+  SimTime stop_at = kNever;
+
+  /// If set, invoked with a full state snapshot at every metric check,
+  /// just before the scheduler's on_metric_check. Feeding any snapshot to
+  /// Simulator::resume continues the run exactly as if uninterrupted.
+  std::function<void(const SimSnapshot&)> snapshot_sink;
+
   /// Failure injection (disabled by default; see sim/failures.hpp).
   FailureModel failures;
+};
+
+/// How Simulator::resume treats the scheduler it was constructed with.
+enum class ResumeScheduler {
+  /// Restore the snapshot's saved scheduler state (exact continuation of
+  /// the original run; the scheduler must be configured identically).
+  kRestore,
+  /// reset() the scheduler and let it take over from the snapshot instant
+  /// onward — how twin forks trial a *different* policy on the same state.
+  kFresh,
 };
 
 class Simulator {
@@ -107,15 +162,33 @@ class Simulator {
   /// Simulate the full trace and return the realized schedule + series.
   [[nodiscard]] SimResult run(const JobTrace& trace);
 
+  /// Continue a run from `snapshot` (captured from a simulation of the
+  /// same trace on an identically configured machine). The machine is
+  /// overwritten via restore_state; the scheduler is restored or reset per
+  /// `mode`. With kRestore the returned SimResult is bit-identical to the
+  /// uninterrupted run's.
+  [[nodiscard]] SimResult resume(const JobTrace& trace, const SimSnapshot& snapshot,
+                                 ResumeScheduler mode = ResumeScheduler::kRestore);
+
  private:
   friend class SchedContext;
 
-  enum class JobState : std::uint8_t { kPending, kQueued, kRunning, kDone, kSkipped };
+  using JobState = SimJobState;
 
   void handle_submit(JobId id);
   void handle_end(JobId id);
   void record_sched_event();
   [[nodiscard]] double queue_depth_minutes() const;
+
+  /// Build a snapshot of the current state (metric-check instants only).
+  [[nodiscard]] SimSnapshot capture() const;
+
+  /// Pop-and-dispatch until the event queue drains or a stop condition
+  /// fires; shared tail of run() and resume().
+  [[nodiscard]] SimResult drain(SchedContext& ctx);
+
+  /// Has `stop_once_started`'s job started (or become unstartable)?
+  [[nodiscard]] bool stop_job_settled() const;
 
   Machine& machine_;
   Scheduler& scheduler_;
@@ -131,6 +204,12 @@ class Simulator {
   std::vector<SimTime> attempt_start_;   // start of the current attempt
   SimTime now_ = 0;
   std::size_t unfinished_ = 0;
+  std::size_t check_index_ = 0;          // metric checks processed so far
+  // Valid during the metric-check phase of the current instant (capture()
+  // folds them into the snapshot so resume can replay the instant's tail).
+  double last_queue_depth_ = 0.0;
+  bool instant_state_changed_ = false;
+  bool in_metric_check_ = false;
   SimResult result_;
 };
 

@@ -1,0 +1,67 @@
+// SimSnapshot — a full mid-run checkpoint of the simulator.
+//
+// Snapshot point contract: a snapshot is taken at a metric-check instant,
+// after the instant's job events were dispatched, the queue-depth sample
+// recorded, and the next metric check enqueued — but *before* the
+// scheduler's on_metric_check and schedule() passes of that instant.
+// Simulator::resume therefore replays exactly that tail (tuning callback,
+// scheduling pass, event-record bookkeeping) and then drains the event
+// queue, reproducing the uninterrupted run bit for bit.
+//
+// Snapshots are value types: copying one is cheap-ish (the vectors copy;
+// the machine and scheduler states are shared immutably), and one snapshot
+// may seed any number of forks. Restoring never mutates the snapshot.
+//
+// Ownership rule: the MachineState/SchedulerState held here are frozen.
+// A machine restored from a snapshot owns its state copy outright — the
+// twin engine's forks each restore into their own Machine instance and
+// then diverge freely without touching the snapshot or each other.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace amjs {
+
+struct SimSnapshot {
+  /// Instant the snapshot was taken (a metric-check time).
+  SimTime now = 0;
+
+  /// Pending future events (job ends, submits, the next metric check).
+  EventQueue events;
+
+  // Per-job simulator state, indexed by JobId.
+  std::vector<SimJobState> states;
+  std::vector<JobId> queue;  // waiting jobs, submission order
+  std::vector<int> attempts;
+  std::vector<bool> failure_pending;
+  std::vector<SimTime> attempt_start;
+
+  std::size_t unfinished = 0;
+
+  /// Result accumulated so far (schedule entries, series, event records).
+  SimResult result;
+
+  /// Did job events coincide with this metric check? (Drives the
+  /// record_sched_event bookkeeping when the instant's tail is replayed.)
+  bool state_changed = false;
+
+  /// The queue-depth sample recorded at this check (minutes).
+  double queue_depth_minutes = 0.0;
+
+  /// Ordinal of the metric check this snapshot was taken at (1-based).
+  std::size_t check_index = 0;
+
+  /// Immutable saved machine / scheduler states, shared across copies.
+  /// `scheduler` may be null (stateless policy).
+  std::shared_ptr<const MachineState> machine;
+  std::shared_ptr<const SchedulerState> scheduler;
+
+  /// True once populated by capture (a default-constructed snapshot is
+  /// not restorable).
+  [[nodiscard]] bool valid() const { return machine != nullptr; }
+};
+
+}  // namespace amjs

@@ -1,0 +1,84 @@
+#include "twin/twin.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "util/parallel.hpp"
+
+namespace amjs {
+
+TwinEngine::TwinEngine(std::function<std::unique_ptr<Machine>()> machine_factory,
+                       TwinConfig config)
+    : machine_factory_(std::move(machine_factory)), config_(config) {
+  assert(machine_factory_ != nullptr);
+  assert(config_.horizon >= config_.metric_check_interval &&
+         "horizon shorter than one metric check scores nothing");
+}
+
+std::vector<TwinForkResult> TwinEngine::evaluate(
+    const JobTrace& trace, const SimSnapshot& snapshot,
+    const std::vector<TwinCandidate>& candidates) const {
+  assert(snapshot.valid());
+  const SimTime horizon_end = snapshot.now + config_.horizon;
+
+  auto run_fork = [&](std::size_t i) -> TwinForkResult {
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    auto machine = machine_factory_();
+    auto scheduler = candidates[i].make();
+    SimConfig cfg;
+    cfg.metric_check_interval = config_.metric_check_interval;
+    cfg.record_events = false;  // LoC integral not needed for scoring
+    cfg.stop_at = horizon_end;
+    Simulator sim(*machine, *scheduler, cfg);
+    const SimResult result = sim.resume(trace, snapshot, ResumeScheduler::kFresh);
+
+    TwinForkResult fork;
+    fork.label = candidates[i].label;
+
+    // Queue depth: mean of the checks sampled inside the horizon (the
+    // snapshot's own sample at `now` is shared by every fork — skip it).
+    double qd_total = 0.0;
+    std::size_t qd_count = 0;
+    for (const auto& p : result.queue_depth.points()) {
+      if (p.time <= snapshot.now || p.time > horizon_end) continue;
+      qd_total += p.value;
+      ++qd_count;
+    }
+    fork.avg_queue_depth_min = qd_count > 0 ? qd_total / static_cast<double>(qd_count) : 0.0;
+
+    // Utilization: exact step integral over the full horizon. Past the
+    // fork's last event the series holds its final value, which models
+    // still-running jobs continuing to occupy the machine.
+    const double node_seconds =
+        result.busy_nodes.integrate(snapshot.now, horizon_end);
+    fork.utilization =
+        node_seconds / (static_cast<double>(config_.horizon) *
+                        static_cast<double>(result.machine_nodes));
+
+    for (const auto& entry : result.schedule) {
+      if (entry.started() && entry.start >= snapshot.now) ++fork.jobs_started;
+    }
+
+    fork.objective = config_.queue_weight * fork.avg_queue_depth_min +
+                     config_.util_weight * (1.0 - fork.utilization);
+    fork.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+    return fork;
+  };
+
+  return parallel_map<TwinForkResult>(candidates.size(), run_fork,
+                                      config_.threads);
+}
+
+std::size_t TwinEngine::best_index(const std::vector<TwinForkResult>& results) {
+  assert(!results.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].objective < results[best].objective) best = i;
+  }
+  return best;
+}
+
+}  // namespace amjs

@@ -1,0 +1,97 @@
+// TwinEngine — forked bounded-horizon what-if replay (layer 2 of the
+// digital-twin subsystem; see DESIGN.md "Digital twin").
+//
+// Given a SimSnapshot of a live run, the engine forks K candidate
+// scheduling configurations: each fork gets its own fresh Machine (from
+// the factory) restored to the snapshot's allocation state, a fresh
+// Scheduler built by the candidate, and a bounded-horizon Simulator that
+// resumes the snapshot and runs `horizon` of sim time forward. Forks are
+// independent simulations, so they fan out over util/parallel.hpp; scores
+// are written into per-candidate slots and are bit-identical regardless
+// of thread count.
+//
+// The engine is policy-agnostic on purpose: candidates are factories, so
+// it sits below src/core in the dependency order and any policy layer
+// (the WhatIfTuner, a sweep harness, a serving frontend) can drive it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+/// One candidate configuration to trial from the snapshot.
+struct TwinCandidate {
+  std::string label;
+  /// Builds the fork's scheduler (fresh instance per fork; it is reset()
+  /// and takes over from the snapshot instant, ResumeScheduler::kFresh).
+  std::function<std::unique_ptr<Scheduler>()> make;
+};
+
+/// Outcome of one fork, scored over (snapshot.now, snapshot.now + horizon].
+struct TwinForkResult {
+  std::string label;
+  /// Mean queue depth (minutes) over the horizon's metric checks.
+  double avg_queue_depth_min = 0.0;
+  /// Time-weighted machine utilization over the horizon.
+  double utilization = 0.0;
+  /// Weighted objective (lower is better): queue_weight * avg QD +
+  /// util_weight * (1 - utilization).
+  double objective = 0.0;
+  /// Wall-clock cost of the fork (simulation only), milliseconds.
+  double wall_ms = 0.0;
+  /// Jobs the fork started within the horizon.
+  std::size_t jobs_started = 0;
+};
+
+struct TwinConfig {
+  /// Sim-time lookahead per fork.
+  Duration horizon = hours(6);
+
+  /// Metric-check cadence inside forks (match the live run's so queue
+  /// depth is sampled on the same grid).
+  Duration metric_check_interval = minutes(30);
+
+  /// Objective weights. Queue depth is in minutes (hundreds-to-thousands
+  /// under load); (1 - utilization) is in [0, 1], so its weight is scaled
+  /// to make a few percent of utilization comparable to a shallow queue.
+  double queue_weight = 1.0;
+  double util_weight = 2000.0;
+
+  /// Worker threads for the fan-out (0 = hardware concurrency).
+  unsigned threads = 0;
+};
+
+class TwinEngine {
+ public:
+  /// `machine_factory` must build machines identical in model and topology
+  /// to the one the snapshot was captured from.
+  TwinEngine(std::function<std::unique_ptr<Machine>()> machine_factory,
+             TwinConfig config = {});
+
+  [[nodiscard]] const TwinConfig& config() const { return config_; }
+
+  /// Fork every candidate from `snapshot` and score it over the bounded
+  /// horizon. Results are in candidate order. Deterministic for a given
+  /// (trace, snapshot, candidates) regardless of `threads`.
+  [[nodiscard]] std::vector<TwinForkResult> evaluate(
+      const JobTrace& trace, const SimSnapshot& snapshot,
+      const std::vector<TwinCandidate>& candidates) const;
+
+  /// Index of the lowest-objective fork (first on ties); results must be
+  /// non-empty.
+  [[nodiscard]] static std::size_t best_index(
+      const std::vector<TwinForkResult>& results);
+
+ private:
+  std::function<std::unique_ptr<Machine>()> machine_factory_;
+  TwinConfig config_;
+};
+
+}  // namespace amjs

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -47,14 +48,20 @@ inline void parallel_for(std::size_t count, const std::function<void(std::size_t
 }
 
 /// Map [0, count) -> results vector through `body`, in parallel. Each
-/// slot is written exactly once by the worker that claimed its index.
+/// slot is written exactly once by the worker that claimed its index, and
+/// the result order matches index order for any thread count. T needs
+/// only a move (or copy) constructor — results build in optional slots,
+/// not a pre-sized vector, so T need not be default-constructible.
 template <typename T>
 [[nodiscard]] std::vector<T> parallel_map(
     std::size_t count, const std::function<T(std::size_t)>& body,
     unsigned threads = 0) {
-  std::vector<T> results(count);
+  std::vector<std::optional<T>> slots(count);
   parallel_for(
-      count, [&](std::size_t i) { results[i] = body(i); }, threads);
+      count, [&](std::size_t i) { slots[i].emplace(body(i)); }, threads);
+  std::vector<T> results;
+  results.reserve(count);
+  for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

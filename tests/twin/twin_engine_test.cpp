@@ -1,0 +1,179 @@
+// TwinEngine: forked bounded-horizon replay. Fork scoring must be
+// deterministic across thread counts, respect the horizon bound, and rank
+// candidates by the weighted objective.
+#include "twin/twin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+#include "platform/flat.hpp"
+#include "sim/snapshot.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime + 600;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace contended_trace() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 30; ++i) {
+    jobs.push_back(make_job(i * 400, 1200 + (i % 5) * 900,
+                            20 + (i % 4) * 15));
+  }
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+std::unique_ptr<Machine> make_machine() {
+  return std::make_unique<FlatMachine>(100);
+}
+
+/// Snapshot of the live run at metric check `check_index` (1-based).
+SimSnapshot snapshot_at(const JobTrace& trace, std::size_t check_index) {
+  SimSnapshot snapshot;
+  SimConfig config;
+  config.snapshot_sink = [&](const SimSnapshot& s) {
+    if (s.check_index == check_index) snapshot = s;
+  };
+  auto machine = make_machine();
+  MetricAwareScheduler sched;
+  Simulator sim(*machine, sched, config);
+  (void)sim.run(trace);
+  EXPECT_TRUE(snapshot.valid());
+  return snapshot;
+}
+
+std::vector<TwinCandidate> grid_candidates() {
+  std::vector<TwinCandidate> candidates;
+  for (const double bf : {0.2, 0.5, 1.0}) {
+    for (const int w : {1, 2}) {
+      MetricAwareConfig cfg;
+      cfg.policy = {bf, w};
+      candidates.push_back({cfg.policy.label(), [cfg] {
+                              return std::make_unique<MetricAwareScheduler>(cfg);
+                            }});
+    }
+  }
+  return candidates;
+}
+
+TEST(TwinEngine, ResultsInCandidateOrderWithScores) {
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(trace, 4);
+  const auto candidates = grid_candidates();
+
+  TwinConfig config;
+  config.horizon = hours(3);
+  config.threads = 1;
+  TwinEngine engine(&make_machine, config);
+  const auto results = engine.evaluate(trace, snapshot, candidates);
+
+  ASSERT_EQ(results.size(), candidates.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].label, candidates[i].label);
+    // The workload is overloaded around the snapshot, so every fork sees
+    // a non-trivial queue and a busy machine.
+    EXPECT_GT(results[i].avg_queue_depth_min, 0.0);
+    EXPECT_GT(results[i].utilization, 0.0);
+    EXPECT_LE(results[i].utilization, 1.0);
+    EXPECT_GE(results[i].wall_ms, 0.0);
+    // Objective is exactly the documented weighted combination.
+    EXPECT_DOUBLE_EQ(results[i].objective,
+                     config.queue_weight * results[i].avg_queue_depth_min +
+                         config.util_weight * (1.0 - results[i].utilization));
+  }
+}
+
+TEST(TwinEngine, DeterministicAcrossThreadCounts) {
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(trace, 4);
+  const auto candidates = grid_candidates();
+
+  std::vector<std::vector<TwinForkResult>> runs;
+  for (const unsigned threads : {1u, 2u, 0u}) {
+    TwinConfig config;
+    config.horizon = hours(3);
+    config.threads = threads;
+    TwinEngine engine(&make_machine, config);
+    runs.push_back(engine.evaluate(trace, snapshot, candidates));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].label, runs[0][i].label);
+      // Scores are bit-identical regardless of fan-out (wall_ms is the
+      // only nondeterministic field).
+      EXPECT_EQ(runs[r][i].avg_queue_depth_min, runs[0][i].avg_queue_depth_min);
+      EXPECT_EQ(runs[r][i].utilization, runs[0][i].utilization);
+      EXPECT_EQ(runs[r][i].objective, runs[0][i].objective);
+      EXPECT_EQ(runs[r][i].jobs_started, runs[0][i].jobs_started);
+    }
+  }
+}
+
+TEST(TwinEngine, HorizonBoundsForkSimTime) {
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(trace, 2);
+
+  // Drive a bounded fork by hand through the same mechanism the engine
+  // uses, and check nothing past the horizon is simulated.
+  const SimTime horizon_end = snapshot.now + hours(3);
+  SimConfig config;
+  config.stop_at = horizon_end;
+  config.record_events = false;
+  auto machine = make_machine();
+  MetricAwareScheduler sched;
+  Simulator sim(*machine, sched, config);
+  const SimResult result = sim.resume(trace, snapshot, ResumeScheduler::kFresh);
+
+  EXPECT_LE(result.end_time, horizon_end);
+  for (const auto& p : result.queue_depth.points()) {
+    EXPECT_LE(p.time, horizon_end);
+  }
+  // The overloaded trace outlives a 3 h horizon: some jobs never finish
+  // inside the fork — the bound is real, not vacuous.
+  EXPECT_LT(result.finished_count(), trace.size());
+}
+
+TEST(TwinEngine, SnapshotReusableAcrossEvaluations) {
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(trace, 4);
+  const auto candidates = grid_candidates();
+
+  TwinConfig config;
+  config.horizon = hours(2);
+  config.threads = 1;
+  TwinEngine engine(&make_machine, config);
+  const auto first = engine.evaluate(trace, snapshot, candidates);
+  const auto second = engine.evaluate(trace, snapshot, candidates);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].avg_queue_depth_min, second[i].avg_queue_depth_min);
+    EXPECT_EQ(first[i].objective, second[i].objective);
+  }
+}
+
+TEST(TwinEngine, BestIndexIsArgminFirstOnTies) {
+  std::vector<TwinForkResult> results(4);
+  results[0].objective = 3.0;
+  results[1].objective = 1.0;
+  results[2].objective = 1.0;
+  results[3].objective = 2.0;
+  EXPECT_EQ(TwinEngine::best_index(results), 1u);
+  results[0].objective = 0.5;
+  EXPECT_EQ(TwinEngine::best_index(results), 0u);
+}
+
+}  // namespace
+}  // namespace amjs

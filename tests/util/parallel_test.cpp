@@ -43,6 +43,27 @@ TEST(ParallelMapTest, ProducesAllResultsInOrder) {
   for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
 }
 
+TEST(ParallelMapTest, SupportsNonDefaultConstructibleResults) {
+  // Results build in optional slots, so T needs no default constructor —
+  // and the output is identical for any thread count.
+  struct Score {
+    explicit Score(double v) : value(v) {}
+    double value;
+  };
+  std::vector<std::vector<double>> runs;
+  for (const unsigned threads : {1u, 2u, 0u}) {
+    const auto scores = parallel_map<Score>(
+        50, [](std::size_t i) { return Score(static_cast<double>(i) * 1.5); },
+        threads);
+    ASSERT_EQ(scores.size(), 50u);
+    std::vector<double> values;
+    for (const auto& s : scores) values.push_back(s.value);
+    runs.push_back(std::move(values));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
 TEST(ParallelMapTest, ConcurrentSimulationsMatchSequential) {
   // The real use case: independent simulations in parallel must produce
   // bit-identical results to running them one by one.
