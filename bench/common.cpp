@@ -114,4 +114,13 @@ bool write_bench_json(const std::string& path, const std::string& bench,
   return static_cast<bool>(out);
 }
 
+void add_timer_stats(BenchRecord& record, const std::string& prefix,
+                     const obs::TimerStats& stats) {
+  record.add(prefix + "_count", static_cast<double>(stats.count));
+  record.add(prefix + "_total_ms", stats.total_ms);
+  record.add(prefix + "_p50_ms", stats.p50_ms);
+  record.add(prefix + "_p95_ms", stats.p95_ms);
+  record.add(prefix + "_max_ms", stats.max_ms);
+}
+
 }  // namespace amjs::bench

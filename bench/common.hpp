@@ -22,6 +22,8 @@
 #include "metrics/fairness.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
+#include "obs/registry.hpp"
+#include "obs/session.hpp"
 #include "platform/partition.hpp"
 #include "sim/simulator.hpp"
 #include "workload/synthetic.hpp"
@@ -76,5 +78,11 @@ struct BenchRecord {
 /// written. Perf-trajectory tooling ingests these BENCH_*.json files.
 bool write_bench_json(const std::string& path, const std::string& bench,
                       const std::vector<BenchRecord>& records);
+
+/// Flatten an obs timer histogram into a record as `<prefix>_count`,
+/// `<prefix>_total_ms`, `<prefix>_p50_ms`, `<prefix>_p95_ms`,
+/// `<prefix>_max_ms` (the shape BENCH_*.json consumers expect).
+void add_timer_stats(BenchRecord& record, const std::string& prefix,
+                     const obs::TimerStats& stats);
 
 }  // namespace amjs::bench

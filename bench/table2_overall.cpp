@@ -39,11 +39,13 @@ int run(int argc, const char** argv) {
                "average queue depth — is workload-specific)");
   flags.define("json", "BENCH_table2.json",
                "write machine-readable results here (empty disables)");
+  obs::add_flags(flags);
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("table2_overall").c_str());
     return 1;
   }
+  obs::Session obs_session(flags);
 
   const auto trace = intrepid_trace(days(flags.get_i64("horizon-days")),
                                     static_cast<std::uint64_t>(flags.get_i64("seed")));
@@ -82,7 +84,11 @@ int run(int argc, const char** argv) {
   {
     auto machine = intrepid_machine();
     const auto scheduler = MetricsBalancer::make(wi_spec);
-    Simulator sim(*machine, *scheduler);
+    SimConfig sim_config;
+    // --trace captures the twin-consulting row — the one whose event
+    // stream exercises every category (jobs, passes, tuning, twin forks).
+    sim_config.trace_sink = obs_session.recorder();
+    Simulator sim(*machine, *scheduler, sim_config);
     const auto start = std::chrono::steady_clock::now();
     const SimResult result = sim.run(trace);
     wall_ms.push_back(ms_since(start));

@@ -7,9 +7,17 @@
 // claim under test is the *shape*: per-iteration cost grows superlinearly
 // in W, driven by the W! permutation search, while remaining far below
 // Cobalt's 10-second scheduling period.
+//
+// Besides the google-benchmark suites, the binary runs one instrumented
+// pass per window size with the obs registry armed and writes the
+// per-iteration wall cost plus the sim.sched_pass percentile histogram to
+// --json (default BENCH_table3.json, empty disables).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -48,25 +56,31 @@ JobTrace congested_trace(std::size_t queued_jobs) {
   return std::move(trace).value();
 }
 
+/// One congested run under window size `window`; returns the scheduler's
+/// stats so callers can count iterations and permutations.
+MetricAwareStats run_congested(const JobTrace& trace, int window) {
+  auto machine = intrepid_machine();
+  MetricAwareConfig config;
+  config.policy = MetricAwarePolicy{0.5, window};
+  MetricAwareScheduler scheduler(config);
+  SimConfig sim_config;
+  sim_config.record_events = false;
+  // Stop once the last queued job has started: we time queue-pressure
+  // scheduling passes, not the idle drain.
+  sim_config.stop_once_started = static_cast<JobId>(trace.size() - 1);
+  Simulator sim(*machine, scheduler, sim_config);
+  const auto result = sim.run(trace);
+  benchmark::DoNotOptimize(result.end_time);
+  return scheduler.stats();
+}
+
 void BM_SchedulingIteration(benchmark::State& state) {
   const int window = static_cast<int>(state.range(0));
   const auto trace = congested_trace(60);
 
   std::size_t iterations = 0;
   for (auto _ : state) {
-    auto machine = intrepid_machine();
-    MetricAwareConfig config;
-    config.policy = MetricAwarePolicy{0.5, window};
-    MetricAwareScheduler scheduler(config);
-    SimConfig sim_config;
-    sim_config.record_events = false;
-    // Stop once the last queued job has started: we time queue-pressure
-    // scheduling passes, not the idle drain.
-    sim_config.stop_once_started = static_cast<JobId>(trace.size() - 1);
-    Simulator sim(*machine, scheduler, sim_config);
-    const auto result = sim.run(trace);
-    benchmark::DoNotOptimize(result.end_time);
-    iterations = scheduler.stats().schedule_calls;
+    iterations = run_congested(trace, window).schedule_calls;
   }
   state.counters["sched_calls"] = static_cast<double>(iterations);
   // items/s in the report = scheduling iterations per second; its inverse
@@ -124,7 +138,73 @@ BENCHMARK(BM_WindowDecisionOnly)
     ->Arg(5)
     ->Unit(benchmark::kMicrosecond);
 
+/// Instrumented pass: one congested run per window size with the obs
+/// registry armed, so the JSON carries not just the mean cost per
+/// iteration but the scheduler-pass percentile histogram and the
+/// permutation count behind it.
+std::vector<BenchRecord> instrumented_records() {
+  const auto trace = congested_trace(60);
+  auto& registry = obs::Registry::global();
+  const bool was_enabled = obs::Registry::enabled();
+  obs::Registry::set_enabled(true);
+
+  std::vector<BenchRecord> records;
+  for (int window = 1; window <= 5; ++window) {
+    registry.reset_values();
+    const auto start = std::chrono::steady_clock::now();
+    const MetricAwareStats stats = run_congested(trace, window);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+    BenchRecord rec;
+    rec.name = "W=" + std::to_string(window);
+    rec.add("window", window);
+    rec.add("sched_calls", static_cast<double>(stats.schedule_calls));
+    rec.add("permutations_tried", static_cast<double>(stats.permutations_tried));
+    rec.add("wall_ms", wall_ms);
+    rec.add("ms_per_iteration",
+            stats.schedule_calls == 0
+                ? 0.0
+                : wall_ms / static_cast<double>(stats.schedule_calls));
+    add_timer_stats(rec, "sched_pass", registry.timer("sim.sched_pass").stats());
+    add_timer_stats(rec, "window_decide",
+                    registry.timer("core.window_decide").stats());
+    records.push_back(std::move(rec));
+  }
+  registry.reset_values();
+  obs::Registry::set_enabled(was_enabled);
+  return records;
+}
+
 }  // namespace
 }  // namespace amjs::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel --json=path before google-benchmark sees the argv (it rejects
+  // flags it does not know).
+  std::string json_path = "BENCH_table3.json";
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    const auto records = amjs::bench::instrumented_records();
+    if (amjs::bench::write_bench_json(json_path, "table3_overhead", records)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  return 0;
+}

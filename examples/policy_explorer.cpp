@@ -20,6 +20,7 @@
 #include "core/what_if.hpp"
 #include "metrics/fairness.hpp"
 #include "metrics/report.hpp"
+#include "obs/session.hpp"
 #include "platform/flat.hpp"
 #include "platform/partition.hpp"
 #include "sim/simulator.hpp"
@@ -58,11 +59,13 @@ int main(int argc, const char** argv) {
                     "compare the digital-twin WhatIfTuner against the "
                     "reactive tuners instead of sweeping the (BF, W) grid");
   flags.define("what-if-horizon-hours", "6", "twin fork horizon (what-if mode)");
+  obs::add_flags(flags);
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("policy_explorer").c_str());
     return 1;
   }
+  obs::Session obs_session(flags);
 
   // Load or synthesize the workload and pick the machine model.
   JobTrace trace;
@@ -106,10 +109,15 @@ int main(int argc, const char** argv) {
     CsvWriter csv(std::cout);
     csv.write_row({"policy", "avg_wait_min", "utilization", "loss_of_capacity",
                    "mean_queue_depth_min", "wall_ms"});
-    for (const auto& spec : specs) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& spec = specs[i];
       auto machine = machine_factory();
       const auto scheduler = MetricsBalancer::make(spec);
-      Simulator sim(*machine, *scheduler);
+      SimConfig config;
+      // Trace only the twin-tuner run (the last spec): one policy per
+      // trace file keeps the stream deterministic and Perfetto-readable.
+      if (i + 1 == specs.size()) config.trace_sink = obs_session.recorder();
+      Simulator sim(*machine, *scheduler, config);
       const auto start = std::chrono::steady_clock::now();
       const auto result = sim.run(trace);
       const double wall_ms = std::chrono::duration<double, std::milli>(
@@ -153,7 +161,11 @@ int main(int argc, const char** argv) {
         const auto spec = BalancerSpec::fixed(bf, static_cast<int>(w));
         auto machine = machine_factory();
         const auto scheduler = MetricsBalancer::make(spec);
-        Simulator sim(*machine, *scheduler);
+        SimConfig config;
+        // The sweep runs cells concurrently; trace only the first cell so
+        // the event stream stays a single coherent run.
+        if (i == 0) config.trace_sink = obs_session.recorder();
+        Simulator sim(*machine, *scheduler, config);
         const auto result = sim.run(trace);
 
         std::string unfair = "";

@@ -6,6 +6,7 @@
 // the Intrepid-class machine.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace run.json --obs-stats stats.json --log-level info
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -13,15 +14,28 @@
 #include "core/balancer.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
+#include "obs/session.hpp"
 #include "platform/flat.hpp"
 #include "sim/simulator.hpp"
+#include "util/flags.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "workload/trace.hpp"
 
 using namespace amjs;
 
-int main() {
+int main(int argc, const char** argv) {
+  // 0. Observability is opt-in per run: --trace writes a Perfetto-loadable
+  //    event file, --obs-stats a counters/timers summary.
+  Flags flags;
+  obs::add_flags(flags);
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("quickstart").c_str());
+    return 1;
+  }
+  obs::Session obs_session(flags);
+
   // 1. Describe a workload. Times are seconds from the trace epoch;
   //    `walltime` is what the user requested (the scheduler plans with
   //    it), `runtime` is what the job actually needs.
@@ -57,7 +71,9 @@ int main() {
   const auto scheduler = MetricsBalancer::make(spec);
 
   // 3. Simulate.
-  Simulator sim(machine, *scheduler);
+  SimConfig config;
+  config.trace_sink = obs_session.recorder();
+  Simulator sim(machine, *scheduler, config);
   const SimResult result = sim.run(trace.value());
 
   // 4. Inspect the schedule.

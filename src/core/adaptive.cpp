@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "obs/trace.hpp"
 #include "util/fmt.hpp"
 
 namespace amjs {
@@ -170,6 +172,14 @@ void AdaptiveScheduler::on_metric_check(SchedContext& ctx,
   if (policy.balance_factor != inner_.policy().balance_factor ||
       policy.window_size != inner_.policy().window_size) {
     ++adjustments_;
+    if (auto* tr = ctx.recorder()) {
+      tr->record(obs::TraceCategory::kTuning, "adjust", ctx.now(),
+                 {obs::arg("bf_before", inner_.policy().balance_factor),
+                  obs::arg("bf_after", policy.balance_factor),
+                  obs::arg("w_before", inner_.policy().window_size),
+                  obs::arg("w_after", policy.window_size),
+                  obs::arg("queue_depth_min", queue_depth_minutes)});
+    }
   }
   inner_.set_policy(policy);
   bf_history_.add(ctx.now(), policy.balance_factor);

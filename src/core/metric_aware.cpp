@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+
+#include "obs/trace.hpp"
 #include "util/fmt.hpp"
 
 namespace amjs {
@@ -121,8 +123,13 @@ std::size_t MetricAwareScheduler::apply_window(
   // Phase B.
   if (pin_job != kInvalidJob) {
     const Job& j = ctx.job(pin_job);
-    plan.commit(j, plan.find_start(j, now));
+    const SimTime slot = plan.find_start(j, now);
+    plan.commit(j, slot);
     mark_handled(pin_job);
+    if (auto* tr = ctx.recorder()) {
+      tr->record(obs::TraceCategory::kBackfill, "reservation", now,
+                 {obs::arg("job", pin_job), obs::arg("start", slot)});
+    }
   }
 
   // Phase C.
@@ -190,6 +197,10 @@ void MetricAwareScheduler::schedule_easy(SchedContext& ctx,
     if (!ok) continue;
     ++stats_.jobs_started;
     ++stats_.jobs_backfilled;
+    if (auto* tr = ctx.recorder()) {
+      tr->record(obs::TraceCategory::kBackfill, "backfill", now,
+                 {obs::arg("job", ranked[i])});
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "sim/snapshot.hpp"
 #include "util/fmt.hpp"
 
@@ -62,14 +63,23 @@ void WhatIfTuner::on_metric_check(SchedContext& ctx, double queue_depth_minutes)
     // harmless; only SimConfig::snapshot_sink snapshots support kRestore.
     const SimSnapshot snapshot = ctx.capture();
     const auto candidates = make_candidates();
+    obs::TraceRecorder* tr = ctx.recorder();
+    const double consult_start_ms = tr != nullptr ? tr->now_wall_ms() : 0.0;
+    if (tr != nullptr) {
+      tr->record(obs::TraceCategory::kTwin, "consult", ctx.now(),
+                 {obs::arg("candidates", candidates.size()),
+                  obs::arg("queue_depth_min", queue_depth_minutes)});
+    }
     const auto results = twin_.evaluate(ctx.trace(), snapshot, candidates);
     const std::size_t best = TwinEngine::best_index(results);
 
     const MetricAwarePolicy chosen{
         config_.bf_candidates[best / config_.w_candidates.size()],
         config_.w_candidates[best % config_.w_candidates.size()]};
-    if (chosen.balance_factor != inner_.policy().balance_factor ||
-        chosen.window_size != inner_.policy().window_size) {
+    const bool adopted =
+        chosen.balance_factor != inner_.policy().balance_factor ||
+        chosen.window_size != inner_.policy().window_size;
+    if (adopted) {
       ++stats_.adoptions;
       inner_.set_policy(chosen);
     }
@@ -77,6 +87,21 @@ void WhatIfTuner::on_metric_check(SchedContext& ctx, double queue_depth_minutes)
     ++stats_.evaluations;
     stats_.forks += results.size();
     for (const auto& fork : results) stats_.twin_wall_ms += fork.wall_ms;
+    if (tr != nullptr) {
+      // Fork outcomes (deterministic args only; per-fork wall cost lives
+      // in the registry's twin.fork_replay timer).
+      for (const auto& fork : results) {
+        tr->record(obs::TraceCategory::kTwin, "fork", ctx.now(),
+                   {obs::arg("candidate", fork.label),
+                    obs::arg("objective", fork.objective),
+                    obs::arg("jobs_started", fork.jobs_started)});
+      }
+      tr->record_span(obs::TraceCategory::kTwin, "verdict", ctx.now(),
+                      consult_start_ms, tr->now_wall_ms() - consult_start_ms,
+                      {obs::arg("chosen", chosen.label()),
+                       obs::arg("adopted", adopted ? 1 : 0),
+                       obs::arg("objective", results[best].objective)});
+    }
   }
   bf_history_.add(ctx.now(), inner_.policy().balance_factor);
   w_history_.add(ctx.now(), inner_.policy().window_size);

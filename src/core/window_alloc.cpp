@@ -4,6 +4,8 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/registry.hpp"
+
 namespace amjs {
 namespace {
 
@@ -90,6 +92,9 @@ WindowAllocator::WindowAllocator(int max_window) : max_window_(max_window) {
 WindowDecision WindowAllocator::decide(const Plan& plan,
                                        const std::vector<const Job*>& window,
                                        SimTime now) const {
+  static obs::Timer& decide_timer =
+      obs::Registry::global().timer("core.window_decide");
+  obs::ScopedTimer timed(decide_timer);
   WindowDecision decision;
   if (window.empty()) {
     decision.makespan = now;
@@ -131,6 +136,11 @@ WindowDecision WindowAllocator::decide(const Plan& plan,
   decision.placements = std::move(state.best);
   decision.makespan = state.best_objective.makespan;
   decision.permutations_tried = state.permutations;
+  if (obs::Registry::enabled()) {
+    static obs::Counter& permutations =
+        obs::Registry::global().counter("core.permutations");
+    permutations.add(state.permutations);
+  }
   return decision;
 }
 

@@ -1,0 +1,138 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace amjs::obs {
+
+std::atomic<bool> Registry::enabled_{false};
+
+void Timer::record_ms(double ms) {
+  std::scoped_lock lock(mutex_);
+  samples_ms_.push_back(ms);
+}
+
+TimerStats Timer::stats() const {
+  std::vector<double> samples;
+  {
+    std::scoped_lock lock(mutex_);
+    samples = samples_ms_;
+  }
+  TimerStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  for (const double v : samples) s.total_ms += v;
+  s.p50_ms = quantile(samples, 0.5);
+  s.p95_ms = quantile(samples, 0.95);
+  s.max_ms = *std::max_element(samples.begin(), samples.end());
+  return s;
+}
+
+void Timer::reset() {
+  std::scoped_lock lock(mutex_);
+  samples_ms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::reset_values() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, timer] : timers_) timer->reset();
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_json_double(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& out) const {
+  std::scoped_lock lock(mutex_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(out, name);
+    out << ": " << counter->value();
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, timer] : timers_) {
+    const TimerStats s = timer->stats();
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(out, name);
+    out << ": {\"count\": " << s.count << ", \"total_ms\": ";
+    write_json_double(out, s.total_ms);
+    out << ", \"p50_ms\": ";
+    write_json_double(out, s.p50_ms);
+    out << ", \"p95_ms\": ";
+    write_json_double(out, s.p95_ms);
+    out << ", \"max_ms\": ";
+    write_json_double(out, s.max_ms);
+    out << "}";
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+bool Registry::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    log::warn("obs: cannot write registry stats to {}", path);
+    return false;
+  }
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace amjs::obs

@@ -1,0 +1,131 @@
+// Process-wide registry of named counters and wall-clock timer histograms
+// (layer 1 of src/obs; see DESIGN.md "Observability").
+//
+// The registry answers "where did this run spend its time" for the paper's
+// overhead study (Table III) and for every later perf PR: scheduler passes,
+// permutation-search work in core/window_alloc, snapshot capture/restore,
+// and TwinEngine fork replays all record here when instrumentation is on.
+//
+// Cost model: instrumentation is OFF by default. Hot paths gate on
+// Registry::enabled() — one relaxed atomic load — so a run without
+// --obs-stats takes no clock reads and no locks. When enabled, each timer
+// sample is two steady_clock reads plus a mutex-guarded vector push; the
+// instrumented sections (a scheduling pass, a fork replay) are microseconds
+// to milliseconds long, so the overhead stays in the noise.
+//
+// Entries are created on first use and never removed, so references
+// returned by counter()/timer() stay valid for the process lifetime;
+// reset_values() zeroes the recorded data but keeps the entries.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amjs::obs {
+
+/// Monotone event counter (thread-safe, lock-free).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Summary of one timer's samples (milliseconds).
+struct TimerStats {
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Wall-clock duration histogram: stores every sample (runs are bounded —
+/// thousands of scheduler passes, not billions) and reports percentiles.
+class Timer {
+ public:
+  void record_ms(double ms);
+  [[nodiscard]] TimerStats stats() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_ms_;
+};
+
+class Registry {
+ public:
+  /// The process-wide instance every instrumented subsystem records into.
+  [[nodiscard]] static Registry& global();
+
+  /// Hot-path gate: one relaxed atomic load. Instrumented sections skip
+  /// all clock reads while this is false (the default).
+  [[nodiscard]] static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create by name. The reference stays valid forever.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Timer& timer(std::string_view name);
+
+  /// Zero all recorded values, keeping the entries (and outstanding
+  /// references) intact. Harness runs call this between configurations.
+  void reset_values();
+
+  /// `{"counters": {name: value}, "timers": {name: {count, total_ms,
+  /// p50_ms, p95_ms, max_ms}}}`, keys sorted.
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; logs a warning and returns false on
+  /// failure.
+  bool save_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII timer sample: records the scope's wall time into `timer` iff the
+/// registry was enabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(Registry::enabled() ? &timer : nullptr) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (timer_ != nullptr) {
+      timer_->record_ms(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace amjs::obs

@@ -1,0 +1,57 @@
+#include "obs/session.hpp"
+
+#include <cstdio>
+
+#include "obs/registry.hpp"
+#include "util/log.hpp"
+
+namespace amjs::obs {
+
+void add_flags(Flags& flags) {
+  flags.define("trace", "",
+               "write a Chrome trace_event JSON here (load it in Perfetto or "
+               "chrome://tracing); a JSONL sibling <file>l is written too");
+  flags.define("obs-stats", "",
+               "enable the obs registry and write its counters and timer "
+               "percentiles (JSON) here");
+  flags.define("log-level", "warn",
+               "stderr log threshold: debug|info|warn|error|off");
+}
+
+Session::Session(const Flags& flags)
+    : trace_path_(flags.get("trace")), stats_path_(flags.get("obs-stats")) {
+  const std::string level_name = flags.get("log-level");
+  if (const auto level = log::parse_level(level_name)) {
+    log::set_level(*level);
+  } else {
+    log::warn("obs: unknown --log-level '{}' (want debug|info|warn|error|off)",
+              level_name);
+  }
+  if (!stats_path_.empty()) {
+    Registry::set_enabled(true);
+    Registry::global().reset_values();
+  }
+  if (!trace_path_.empty()) recorder_ = std::make_unique<TraceRecorder>();
+}
+
+Session::~Session() { flush(); }
+
+bool Session::flush() {
+  if (flushed_) return true;
+  flushed_ = true;
+  bool ok = true;
+  if (recorder_ != nullptr) {
+    ok = recorder_->save(trace_path_) && ok;
+    if (ok) {
+      std::fprintf(stderr, "trace: wrote %s (%zu events; Perfetto-loadable) and %sl\n",
+                   trace_path_.c_str(), recorder_->size(), trace_path_.c_str());
+    }
+  }
+  if (!stats_path_.empty()) {
+    ok = Registry::global().save_json(stats_path_) && ok;
+    if (ok) std::fprintf(stderr, "obs: wrote registry stats to %s\n", stats_path_.c_str());
+  }
+  return ok;
+}
+
+}  // namespace amjs::obs

@@ -1,0 +1,54 @@
+// CLI wiring for the obs layer: the --trace / --obs-stats / --log-level
+// flag triple shared by the examples and bench harnesses.
+//
+//   Flags flags;
+//   obs::add_flags(flags);
+//   ... flags.parse(argc, argv) ...
+//   obs::Session session(flags);       // applies log level, arms registry
+//   SimConfig config;
+//   config.trace_sink = session.recorder();   // nullptr when --trace unset
+//   ... run ...
+//   session.flush();                   // or let the destructor do it
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/flags.hpp"
+
+namespace amjs::obs {
+
+/// Define --trace, --obs-stats, and --log-level on `flags`.
+void add_flags(Flags& flags);
+
+/// Applies the parsed obs flags for one process run: sets the stderr log
+/// threshold, enables the Registry when --obs-stats is given, and owns the
+/// TraceRecorder when --trace is given. flush() (or the destructor) writes
+/// the requested artifacts.
+class Session {
+ public:
+  explicit Session(const Flags& flags);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The run's recorder, or nullptr when --trace was not given. Hand this
+  /// to SimConfig::trace_sink.
+  [[nodiscard]] TraceRecorder* recorder() { return recorder_.get(); }
+
+  [[nodiscard]] bool tracing() const { return recorder_ != nullptr; }
+  [[nodiscard]] bool stats_enabled() const { return !stats_path_.empty(); }
+
+  /// Write the Chrome trace (+ JSONL sibling) and the registry JSON to the
+  /// flag-given paths. Idempotent; returns false if any write failed.
+  bool flush();
+
+ private:
+  std::string trace_path_;
+  std::string stats_path_;
+  std::unique_ptr<TraceRecorder> recorder_;
+  bool flushed_ = false;
+};
+
+}  // namespace amjs::obs

@@ -1,0 +1,244 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace amjs::obs {
+
+const char* to_string(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kJob: return "job";
+    case TraceCategory::kSched: return "sched";
+    case TraceCategory::kTuning: return "tuning";
+    case TraceCategory::kBackfill: return "backfill";
+    case TraceCategory::kSnapshot: return "snapshot";
+    case TraceCategory::kTwin: return "twin";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::record(TraceCategory category, std::string name,
+                           SimTime sim_time, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.sim_time = sim_time;
+  event.category = category;
+  event.name = std::move(name);
+  event.args = std::move(args);
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::record_span(TraceCategory category, std::string name,
+                                SimTime sim_time, double wall_start_ms,
+                                double wall_ms, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.sim_time = sim_time;
+  event.category = category;
+  event.name = std::move(name);
+  event.args = std::move(args);
+  event.wall_start_ms = wall_start_ms;
+  event.wall_ms = wall_ms;
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+double TraceRecorder::now_wall_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+std::size_t TraceRecorder::count(TraceCategory category) const {
+  std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::count(TraceCategory category,
+                                 std::string_view name) const {
+  std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category && e.name == name) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_value(std::ostream& out, const TraceValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    out << *i;
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    out << buf;
+  } else {
+    write_json_string(out, std::get<std::string>(value));
+  }
+}
+
+void write_args_object(std::ostream& out, const std::vector<TraceArg>& args) {
+  out << '{';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out << ", ";
+    write_json_string(out, args[i].key);
+    out << ": ";
+    write_json_value(out, args[i].value);
+  }
+  out << '}';
+}
+
+void write_wall_ms(std::ostream& out, double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  out << buf;
+}
+
+}  // namespace
+
+void TraceRecorder::write_jsonl(std::ostream& out, bool include_wall) const {
+  std::scoped_lock lock(mutex_);
+  for (const auto& e : events_) {
+    out << "{\"t\": " << e.sim_time << ", \"cat\": \"" << to_string(e.category)
+        << "\", \"ph\": \"" << (e.is_span() ? 'X' : 'i') << "\", \"name\": ";
+    write_json_string(out, e.name);
+    out << ", \"args\": ";
+    write_args_object(out, e.args);
+    if (include_wall && e.is_span()) {
+      out << ", \"wall_start_ms\": ";
+      write_wall_ms(out, e.wall_start_ms);
+      out << ", \"wall_ms\": ";
+      write_wall_ms(out, e.wall_ms);
+    }
+    out << "}\n";
+  }
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  std::scoped_lock lock(mutex_);
+  out << "{\"traceEvents\": [\n";
+
+  // Lane metadata: pid 1 is the sim-time axis, pid 2 the wall-clock axis;
+  // tids within each pid are the categories.
+  out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+         "\"args\": {\"name\": \"sim-time\"}},\n";
+  out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 0, "
+         "\"args\": {\"name\": \"wall-clock scheduler work\"}},\n";
+  constexpr TraceCategory kCategories[] = {
+      TraceCategory::kJob,      TraceCategory::kSched,
+      TraceCategory::kTuning,   TraceCategory::kBackfill,
+      TraceCategory::kSnapshot, TraceCategory::kTwin,
+  };
+  for (const TraceCategory c : kCategories) {
+    const int tid = static_cast<int>(c) + 1;
+    for (const int pid : {1, 2}) {
+      out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+          << to_string(c) << "\"}},\n";
+    }
+  }
+
+  bool first = true;
+  for (const auto& e : events_) {
+    const int tid = static_cast<int>(e.category) + 1;
+    // Sim-time lane: every event, as an instant; 1 sim second is rendered
+    // as 1 µs (trace_event ts is in microseconds), so Perfetto's time axis
+    // reads directly in sim seconds.
+    out << (first ? "" : ",\n") << "  {\"name\": ";
+    first = false;
+    write_json_string(out, e.name);
+    out << ", \"cat\": \"" << to_string(e.category)
+        << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.sim_time
+        << ", \"pid\": 1, \"tid\": " << tid << ", \"args\": ";
+    write_args_object(out, e.args);
+    out << "}";
+    // Wall-clock lane: timed spans as complete ("X") events.
+    if (e.is_span()) {
+      out << ",\n  {\"name\": ";
+      write_json_string(out, e.name);
+      out << ", \"cat\": \"" << to_string(e.category)
+          << "\", \"ph\": \"X\", \"ts\": ";
+      write_wall_ms(out, e.wall_start_ms * 1000.0);
+      out << ", \"dur\": ";
+      write_wall_ms(out, e.wall_ms * 1000.0);
+      out << ", \"pid\": 2, \"tid\": " << tid << ", \"args\": ";
+      write_args_object(out, e.args);
+      out << "}";
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  bool ok = true;
+  {
+    std::ofstream out(path);
+    if (out) {
+      write_chrome_trace(out);
+      ok = static_cast<bool>(out) && ok;
+    } else {
+      ok = false;
+    }
+    if (!ok) log::warn("trace: cannot write Chrome trace to {}", path);
+  }
+  const std::string jsonl_path = path + "l";
+  std::ofstream out(jsonl_path);
+  if (!out) {
+    log::warn("trace: cannot write JSONL to {}", jsonl_path);
+    return false;
+  }
+  write_jsonl(out);
+  if (!out) {
+    log::warn("trace: short write to {}", jsonl_path);
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace amjs::obs

@@ -1,0 +1,136 @@
+// TraceRecorder — structured, timestamped run events (layer 2 of src/obs;
+// see DESIGN.md "Observability").
+//
+// The recorder captures *why* a run unfolded the way it did: every job
+// lifecycle transition, every scheduler invocation with its queue depth and
+// wall cost, every metric check and tuning adjustment with the tunable
+// values before/after, backfill reservations, snapshot captures, and twin
+// fork launches/verdicts. Events carry sim time always and wall-clock
+// fields only for timed spans, kept in dedicated fields so determinism
+// tests (and diffing tools) can strip them: two identical runs produce
+// byte-identical JSONL once wall fields are excluded.
+//
+// Sinks:
+//   write_jsonl        — one self-describing JSON object per line; the
+//                        machine-diffable ground truth.
+//   write_chrome_trace — Chrome trace_event JSON, loadable in Perfetto /
+//                        chrome://tracing. Two process lanes: pid 1 plots
+//                        every event on the *sim-time* axis (1 sim second
+//                        rendered as 1 µs), pid 2 plots wall-clock
+//                        scheduler-pass spans.
+//
+// The recorder buffers in memory (a 7-day Intrepid run is tens of
+// thousands of events); attach it via SimConfig::trace_sink. A null sink
+// is the disabled state — the simulator's hot path pays one pointer test.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace amjs::obs {
+
+/// Event taxonomy. Every event belongs to exactly one category; the
+/// Perfetto export maps categories to named thread lanes.
+enum class TraceCategory : std::uint8_t {
+  kJob,       // submit / start / end / fail_retry / abandon / skip
+  kSched,     // scheduler invocations (timed spans)
+  kTuning,    // metric checks and tunable adjustments
+  kBackfill,  // reservations and backfilled starts
+  kSnapshot,  // SimSnapshot captures / restores
+  kTwin,      // twin consultations, forks, verdicts
+};
+
+[[nodiscard]] const char* to_string(TraceCategory category);
+
+using TraceValue = std::variant<std::int64_t, double, std::string>;
+
+struct TraceArg {
+  std::string key;
+  TraceValue value;
+};
+
+/// Build a TraceArg with the value coerced onto the variant: integral ->
+/// int64, floating -> double, anything string-like -> string. Call sites
+/// stay cast-free under -Wconversion.
+template <typename T>
+[[nodiscard]] TraceArg arg(std::string key, T&& value) {
+  using Decayed = std::remove_cvref_t<T>;
+  if constexpr (std::is_integral_v<Decayed>) {
+    return {std::move(key), TraceValue(static_cast<std::int64_t>(value))};
+  } else if constexpr (std::is_floating_point_v<Decayed>) {
+    return {std::move(key), TraceValue(static_cast<double>(value))};
+  } else {
+    return {std::move(key), TraceValue(std::string(std::forward<T>(value)))};
+  }
+}
+
+struct TraceEvent {
+  SimTime sim_time = 0;
+  TraceCategory category = TraceCategory::kJob;
+  std::string name;
+  std::vector<TraceArg> args;
+  /// Wall-clock span fields, recorder-relative milliseconds; negative =
+  /// instant event (no wall data). Excluded from deterministic output.
+  double wall_start_ms = -1.0;
+  double wall_ms = -1.0;
+
+  [[nodiscard]] bool is_span() const { return wall_ms >= 0.0; }
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Instant event at `sim_time`.
+  void record(TraceCategory category, std::string name, SimTime sim_time,
+              std::vector<TraceArg> args = {});
+
+  /// Timed span: `wall_start_ms` is recorder-relative (see now_wall_ms),
+  /// `wall_ms` the duration.
+  void record_span(TraceCategory category, std::string name, SimTime sim_time,
+                   double wall_start_ms, double wall_ms,
+                   std::vector<TraceArg> args = {});
+
+  /// Milliseconds of wall clock since the recorder was constructed (the
+  /// epoch of every wall_start_ms).
+  [[nodiscard]] double now_wall_ms() const;
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Count of events in `category` (test / assertion helper).
+  [[nodiscard]] std::size_t count(TraceCategory category) const;
+  [[nodiscard]] std::size_t count(TraceCategory category,
+                                  std::string_view name) const;
+
+  /// One JSON object per line, fields in fixed order. With
+  /// `include_wall` false the wall_start_ms/wall_ms fields are omitted and
+  /// the output is byte-deterministic for identical runs.
+  void write_jsonl(std::ostream& out, bool include_wall = true) const;
+
+  /// Chrome trace_event JSON (the `{"traceEvents": [...]}` object form).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Write both serializations: the Chrome JSON at `path` and the JSONL
+  /// sibling at `path` + "l". Logs a warning through util/log and returns
+  /// false if either file cannot be written.
+  bool save(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace amjs::obs

@@ -1,5 +1,6 @@
 #include "sched/conservative.hpp"
 
+#include "obs/trace.hpp"
 #include "util/fmt.hpp"
 
 namespace amjs {
@@ -30,6 +31,15 @@ void ConservativeBackfillScheduler::schedule(SchedContext& ctx) {
       if (ok) continue;
     }
     reservations_[id] = start;
+  }
+  // One summary event per pass (a per-job event would be O(queue) lines
+  // every invocation — conservative reserves the whole queue).
+  if (auto* tr = ctx.recorder(); tr != nullptr && !reservations_.empty()) {
+    const auto& [first_job, first_start] = *reservations_.begin();
+    tr->record(obs::TraceCategory::kBackfill, "reservations", now,
+               {obs::arg("count", reservations_.size()),
+                obs::arg("first_job", first_job),
+                obs::arg("first_start", first_start)});
   }
 }
 

@@ -1,7 +1,9 @@
 #include "sched/easy.hpp"
 
-#include "util/fmt.hpp"
 #include <memory>
+
+#include "obs/trace.hpp"
+#include "util/fmt.hpp"
 
 namespace amjs {
 
@@ -35,6 +37,10 @@ void EasyBackfillScheduler::schedule(SchedContext& ctx) {
   plan->commit(blocked, reservation);
   last_reservation_ = reservation;
   last_reserved_job_ = blocked.id;
+  if (auto* tr = ctx.recorder()) {
+    tr->record(obs::TraceCategory::kBackfill, "reservation", now,
+               {obs::arg("job", blocked.id), obs::arg("start", reservation)});
+  }
 
   // Phase 3: backfill the rest, in priority order, wherever the plan says
   // they can run *now* without disturbing the head reservation. The plan
@@ -48,6 +54,10 @@ void EasyBackfillScheduler::schedule(SchedContext& ctx) {
     const bool ok = ctx.start_job(ids[i], plan->last_placement());
     assert(ok && "plan admitted a backfill the machine refused");
     (void)ok;
+    if (auto* tr = ctx.recorder()) {
+      tr->record(obs::TraceCategory::kBackfill, "backfill", now,
+                 {obs::arg("job", ids[i])});
+    }
   }
 }
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
@@ -24,6 +27,8 @@ const Job& SchedContext::job(JobId id) const { return sim_.trace_->job(id); }
 Duration SchedContext::waited(JobId id) const {
   return sim_.now_ - sim_.trace_->job(id).submit;
 }
+
+obs::TraceRecorder* SchedContext::recorder() const { return sim_.config_.trace_sink; }
 
 const StepSeries& SchedContext::busy_series() const {
   return sim_.result_.busy_nodes;
@@ -58,6 +63,11 @@ bool SchedContext::start_job(JobId id, int placement) {
 
   sim.result_.busy_nodes.set(sim.now_,
                              static_cast<double>(sim.machine_.busy_nodes()));
+  if (auto* tr = sim.config_.trace_sink) {
+    tr->record(obs::TraceCategory::kJob, "start", sim.now_,
+               {obs::arg("job", id), obs::arg("nodes", j.nodes),
+                obs::arg("wait_s", sim.now_ - j.submit)});
+  }
   return true;
 }
 
@@ -87,10 +97,18 @@ void Simulator::handle_submit(JobId id) {
     result_.schedule[static_cast<std::size_t>(id)].skipped = true;
     ++result_.skipped_jobs;
     --unfinished_;
+    if (auto* tr = config_.trace_sink) {
+      tr->record(obs::TraceCategory::kJob, "skip", now_,
+                 {obs::arg("job", id), obs::arg("nodes", j.nodes)});
+    }
     return;
   }
   states_[static_cast<std::size_t>(id)] = JobState::kQueued;
   queue_.push_back(id);
+  if (auto* tr = config_.trace_sink) {
+    tr->record(obs::TraceCategory::kJob, "submit", now_,
+               {obs::arg("job", id), obs::arg("nodes", j.nodes)});
+  }
 }
 
 void Simulator::handle_end(JobId id) {
@@ -112,6 +130,11 @@ void Simulator::handle_end(JobId id) {
       ++stats.restarts;
       states_[static_cast<std::size_t>(id)] = JobState::kQueued;
       queue_.push_back(id);
+      if (auto* tr = config_.trace_sink) {
+        tr->record(obs::TraceCategory::kJob, "fail_retry", now_,
+                   {obs::arg("job", id),
+                    obs::arg("attempt", attempts_[static_cast<std::size_t>(id)])});
+      }
       return;
     }
     ++stats.abandoned;
@@ -119,12 +142,19 @@ void Simulator::handle_end(JobId id) {
     states_[static_cast<std::size_t>(id)] = JobState::kDone;
     entry.end = now_;
     --unfinished_;
+    if (auto* tr = config_.trace_sink) {
+      tr->record(obs::TraceCategory::kJob, "abandon", now_,
+                 {obs::arg("job", id)});
+    }
     return;
   }
 
   states_[static_cast<std::size_t>(id)] = JobState::kDone;
   entry.end = now_;
   --unfinished_;
+  if (auto* tr = config_.trace_sink) {
+    tr->record(obs::TraceCategory::kJob, "end", now_, {obs::arg("job", id)});
+  }
 }
 
 void Simulator::record_sched_event() {
@@ -148,6 +178,14 @@ void Simulator::record_sched_event() {
 
 SimSnapshot Simulator::capture() const {
   assert(in_metric_check_ && "capture outside a metric-check instant");
+  static obs::Timer& capture_timer =
+      obs::Registry::global().timer("sim.snapshot_capture");
+  obs::ScopedTimer timed(capture_timer);
+  if (auto* tr = config_.trace_sink) {
+    tr->record(obs::TraceCategory::kSnapshot, "capture", now_,
+               {obs::arg("check", check_index_),
+                obs::arg("queued", queue_.size())});
+  }
   SimSnapshot snap;
   snap.now = now_;
   snap.events = events_;
@@ -164,6 +202,37 @@ SimSnapshot Simulator::capture() const {
   snap.machine = machine_.save_state();
   snap.scheduler = scheduler_.save_state();
   return snap;
+}
+
+void Simulator::run_sched_pass(SchedContext& ctx) {
+  obs::TraceRecorder* tr = config_.trace_sink;
+  const bool registry_on = obs::Registry::enabled();
+  if (tr == nullptr && !registry_on) {
+    scheduler_.schedule(ctx);
+    return;
+  }
+
+  const std::size_t queue_before = queue_.size();
+  const double wall_start_ms = tr != nullptr ? tr->now_wall_ms() : 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  scheduler_.schedule(ctx);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  if (registry_on) {
+    static obs::Timer& pass_timer =
+        obs::Registry::global().timer("sim.sched_pass");
+    pass_timer.record_ms(wall_ms);
+  }
+  if (tr != nullptr) {
+    // Jobs only ever leave the queue during a pass, so the size delta is
+    // the number started.
+    tr->record_span(obs::TraceCategory::kSched, "pass", now_, wall_start_ms,
+                    wall_ms,
+                    {obs::arg("queued", queue_before),
+                     obs::arg("started", queue_before - queue_.size()),
+                     obs::arg("idle_nodes", machine_.idle_nodes())});
+  }
 }
 
 bool Simulator::stop_job_settled() const {
@@ -210,22 +279,33 @@ SimResult Simulator::resume(const JobTrace& trace, const SimSnapshot& snapshot,
   assert(snapshot.valid() && "resume from an empty snapshot");
   assert(snapshot.states.size() == trace.size() &&
          "resume: snapshot belongs to a different trace");
-  trace_ = &trace;
-  events_ = snapshot.events;
-  states_ = snapshot.states;
-  queue_ = snapshot.queue;
-  attempts_ = snapshot.attempts;
-  failure_pending_ = snapshot.failure_pending;
-  attempt_start_ = snapshot.attempt_start;
-  now_ = snapshot.now;
-  unfinished_ = snapshot.unfinished;
-  check_index_ = snapshot.check_index;
-  result_ = snapshot.result;
-  machine_.restore_state(*snapshot.machine);
-  if (mode == ResumeScheduler::kRestore && snapshot.scheduler != nullptr) {
-    scheduler_.restore_state(*snapshot.scheduler);
-  } else {
-    scheduler_.reset();
+  if (auto* tr = config_.trace_sink) {
+    tr->record(obs::TraceCategory::kSnapshot, "restore", snapshot.now,
+               {obs::arg("check", snapshot.check_index),
+                obs::arg("fresh_scheduler",
+                         mode == ResumeScheduler::kFresh ? 1 : 0)});
+  }
+  {
+    static obs::Timer& restore_timer =
+        obs::Registry::global().timer("sim.snapshot_restore");
+    obs::ScopedTimer timed(restore_timer);
+    trace_ = &trace;
+    events_ = snapshot.events;
+    states_ = snapshot.states;
+    queue_ = snapshot.queue;
+    attempts_ = snapshot.attempts;
+    failure_pending_ = snapshot.failure_pending;
+    attempt_start_ = snapshot.attempt_start;
+    now_ = snapshot.now;
+    unfinished_ = snapshot.unfinished;
+    check_index_ = snapshot.check_index;
+    result_ = snapshot.result;
+    machine_.restore_state(*snapshot.machine);
+    if (mode == ResumeScheduler::kRestore && snapshot.scheduler != nullptr) {
+      scheduler_.restore_state(*snapshot.scheduler);
+    } else {
+      scheduler_.reset();
+    }
   }
 
   // Replay the captured instant's tail: the snapshot point sits between
@@ -237,7 +317,7 @@ SimResult Simulator::resume(const JobTrace& trace, const SimSnapshot& snapshot,
   instant_state_changed_ = snapshot.state_changed;
   scheduler_.on_metric_check(ctx, snapshot.queue_depth_minutes);
   in_metric_check_ = false;
-  scheduler_.schedule(ctx);
+  run_sched_pass(ctx);
   if (snapshot.state_changed) record_sched_event();
   result_.end_time = now_;
   if (stop_job_settled()) {
@@ -288,12 +368,18 @@ SimResult Simulator::drain(SchedContext& ctx) {
       last_queue_depth_ = qd;
       instant_state_changed_ = state_changed;
       in_metric_check_ = true;
+      if (auto* tr = config_.trace_sink) {
+        tr->record(obs::TraceCategory::kTuning, "metric_check", now_,
+                   {obs::arg("check", check_index_),
+                    obs::arg("queue_depth_min", qd),
+                    obs::arg("queued", queue_.size())});
+      }
       if (config_.snapshot_sink) config_.snapshot_sink(capture());
       scheduler_.on_metric_check(ctx, qd);
       in_metric_check_ = false;
     }
 
-    scheduler_.schedule(ctx);
+    run_sched_pass(ctx);
     if (state_changed) record_sched_event();
     result_.end_time = now_;
 

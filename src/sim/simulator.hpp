@@ -22,6 +22,10 @@
 
 namespace amjs {
 
+namespace obs {
+class TraceRecorder;
+}
+
 class Simulator;
 struct SimSnapshot;
 
@@ -53,6 +57,11 @@ class SchedContext {
 
   /// Time the job has been waiting so far.
   [[nodiscard]] Duration waited(JobId id) const;
+
+  /// The run's structured-event recorder, or nullptr when tracing is off
+  /// (SimConfig::trace_sink). Schedulers emit tuning / backfill / twin
+  /// events through this; always null-check.
+  [[nodiscard]] obs::TraceRecorder* recorder() const;
 
   /// Busy-node history of the run so far (step function; divide by
   /// machine().total_nodes() for utilization). Adaptive policies read
@@ -139,6 +148,12 @@ struct SimConfig {
   /// Simulator::resume continues the run exactly as if uninterrupted.
   std::function<void(const SimSnapshot&)> snapshot_sink;
 
+  /// If set, structured run events (job lifecycle, scheduler passes,
+  /// metric checks, snapshots, tuning decisions) are recorded here; see
+  /// src/obs/trace.hpp. Borrowed, not owned. Null keeps the hot path
+  /// branch-cheap: the only cost of disabled tracing is pointer tests.
+  obs::TraceRecorder* trace_sink = nullptr;
+
   /// Failure injection (disabled by default; see sim/failures.hpp).
   FailureModel failures;
 };
@@ -178,6 +193,12 @@ class Simulator {
   void handle_submit(JobId id);
   void handle_end(JobId id);
   void record_sched_event();
+
+  /// Run one scheduler pass, instrumented: when tracing or the obs
+  /// registry is active, the pass is wall-timed and recorded as a
+  /// "sched/pass" span plus a "sim.sched_pass" timer sample. With both
+  /// disabled this is a plain scheduler_.schedule(ctx) call.
+  void run_sched_pass(SchedContext& ctx);
   [[nodiscard]] double queue_depth_minutes() const;
 
   /// Build a snapshot of the current state (metric-check instants only).

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/registry.hpp"
 #include "util/parallel.hpp"
 
 namespace amjs {
@@ -20,6 +21,16 @@ std::vector<TwinForkResult> TwinEngine::evaluate(
     const std::vector<TwinCandidate>& candidates) const {
   assert(snapshot.valid());
   const SimTime horizon_end = snapshot.now + config_.horizon;
+
+  // Fork replay cost feeds the obs registry (worker threads record
+  // concurrently; Timer serializes internally).
+  obs::Timer* replay_timer =
+      obs::Registry::enabled()
+          ? &obs::Registry::global().timer("twin.fork_replay")
+          : nullptr;
+  if (obs::Registry::enabled()) {
+    obs::Registry::global().counter("twin.forks").add(candidates.size());
+  }
 
   auto run_fork = [&](std::size_t i) -> TwinForkResult {
     const auto wall_start = std::chrono::steady_clock::now();
@@ -65,6 +76,7 @@ std::vector<TwinForkResult> TwinEngine::evaluate(
     fork.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
+    if (replay_timer != nullptr) replay_timer->record_ms(fork.wall_ms);
     return fork;
   };
 

@@ -3,12 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace amjs::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
 std::mutex g_emit_mutex;
+Sink g_sink;  // guarded by g_emit_mutex; empty = stderr
 
 constexpr const char* level_tag(Level lvl) {
   switch (lvl) {
@@ -27,9 +29,26 @@ void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
-void emit(Level lvl, std::string_view message) {
-  if (lvl < level()) return;
+std::optional<Level> parse_level(std::string_view name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return std::nullopt;
+}
+
+void set_sink(Sink sink) {
   std::scoped_lock lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
+void emit(Level lvl, std::string_view message) {
+  std::scoped_lock lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(lvl, message);
+    return;
+  }
   std::fprintf(stderr, "[amjs %s] %.*s\n", level_tag(lvl),
                static_cast<int>(message.size()), message.data());
 }

@@ -4,6 +4,8 @@
 // parameter sweeps on std::thread pools, so emission is serialized.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -18,7 +20,22 @@ enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_level(Level level);
 Level level();
 
-/// Emit one line ("[level] message") to stderr if `lvl` passes the threshold.
+/// Parse "debug" / "info" / "warn" / "error" / "off" (the --log-level
+/// vocabulary); nullopt on anything else.
+[[nodiscard]] std::optional<Level> parse_level(std::string_view name);
+
+/// Destination for emitted lines. Receives the level and the formatted
+/// message (no prefix, no newline).
+using Sink = std::function<void(Level, std::string_view)>;
+
+/// Replace stderr with `sink` (nullptr restores stderr). Lets harness
+/// tests capture log lines instead of scraping stderr. The sink is called
+/// under the emission lock, so it need not be thread-safe itself.
+void set_sink(Sink sink);
+
+/// Emit one line ("[level] message") unconditionally — level gating lives
+/// in the debug()/info()/warn()/error() wrappers so the format work is
+/// skipped when the line would be dropped.
 void emit(Level lvl, std::string_view message);
 
 template <typename... Args>

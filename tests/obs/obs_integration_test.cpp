@@ -1,0 +1,172 @@
+// End-to-end: a simulation run with a TraceRecorder attached emits a
+// structured event stream that agrees with the SimResult, covers every
+// category, and is byte-deterministic across identical runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/what_if.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "platform/flat.hpp"
+#include "sched/easy.hpp"
+#include "sim/simulator.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration runtime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime + 600;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace contended_trace() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 30; ++i) {
+    jobs.push_back(make_job(i * 400, 1200 + (i % 5) * 900, 20 + (i % 4) * 15));
+  }
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+WhatIfConfig what_if_config() {
+  WhatIfConfig cfg;
+  cfg.base.policy = {1.0, 2};
+  cfg.bf_candidates = {0.5, 1.0};
+  cfg.w_candidates = {1, 2};
+  cfg.twin.horizon = hours(2);
+  cfg.twin.threads = 1;
+  cfg.machine_factory = [] { return std::make_unique<FlatMachine>(100); };
+  cfg.evaluate_every = 2;
+  return cfg;
+}
+
+TEST(ObsIntegrationTest, JobEventCountsMatchSimResult) {
+  obs::TraceRecorder rec;
+  SimConfig config;
+  config.trace_sink = &rec;
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched, config);
+
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(make_job(i * 300, 900, 30 + (i % 3) * 20));
+  }
+  jobs.push_back(make_job(100, 600, 101));  // oversized -> skipped
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  ASSERT_TRUE(trace.ok());
+  const SimResult result = sim.run(trace.value());
+
+  using obs::TraceCategory;
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "skip"), result.skipped_jobs);
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "submit"),
+            trace.value().size() - result.skipped_jobs);
+  // No failure injection: one start and one end per finished job.
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "start"), result.finished_count());
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "end"), result.finished_count());
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "fail_retry"), 0u);
+  // Every metric check the simulator sampled is in the stream.
+  EXPECT_EQ(rec.count(TraceCategory::kTuning, "metric_check"),
+            result.queue_depth.size());
+  // Scheduler passes were wall-timed.
+  EXPECT_GT(rec.count(TraceCategory::kSched, "pass"), 0u);
+}
+
+TEST(ObsIntegrationTest, FailRetryEventsMatchFailureStats) {
+  obs::TraceRecorder rec;
+  SimConfig config;
+  config.trace_sink = &rec;
+  config.failures.rate_per_node_hour = 0.02;  // high enough to see failures
+  FlatMachine machine(100);
+  EasyBackfillScheduler sched;
+  Simulator sim(machine, sched, config);
+  const SimResult result = sim.run(contended_trace());
+
+  using obs::TraceCategory;
+  EXPECT_GT(result.failure_stats.failures, 0u);
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "fail_retry"),
+            result.failure_stats.restarts);
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "abandon"),
+            result.failure_stats.abandoned);
+}
+
+TEST(ObsIntegrationTest, WhatIfRunCoversEveryCategory) {
+  obs::TraceRecorder rec;
+  SimConfig config;
+  config.trace_sink = &rec;
+  FlatMachine machine(100);
+  WhatIfTuner tuner(what_if_config());
+  Simulator sim(machine, tuner, config);
+  (void)sim.run(contended_trace());
+
+  using obs::TraceCategory;
+  for (const auto cat :
+       {TraceCategory::kJob, TraceCategory::kSched, TraceCategory::kTuning,
+        TraceCategory::kBackfill, TraceCategory::kSnapshot,
+        TraceCategory::kTwin}) {
+    EXPECT_GT(rec.count(cat), 0u) << obs::to_string(cat);
+  }
+  // Consultations produced forks and verdicts.
+  EXPECT_EQ(rec.count(TraceCategory::kTwin, "consult"),
+            tuner.stats().evaluations);
+  EXPECT_EQ(rec.count(TraceCategory::kTwin, "fork"), tuner.stats().forks);
+  EXPECT_EQ(rec.count(TraceCategory::kSnapshot, "capture"),
+            tuner.stats().evaluations);
+}
+
+TEST(ObsIntegrationTest, IdenticalRunsSerializeIdentically) {
+  const auto trace = contended_trace();
+  std::ostringstream first;
+  std::ostringstream second;
+  for (std::ostringstream* out : {&first, &second}) {
+    obs::TraceRecorder rec;
+    SimConfig config;
+    config.trace_sink = &rec;
+    FlatMachine machine(100);
+    WhatIfTuner tuner(what_if_config());
+    Simulator sim(machine, tuner, config);
+    (void)sim.run(trace);
+    rec.write_jsonl(*out, /*include_wall=*/false);
+  }
+  EXPECT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ObsIntegrationTest, RegistryCollectsPassTimingsWhenEnabled) {
+  const bool was_enabled = obs::Registry::enabled();
+  obs::Registry::set_enabled(true);
+  obs::Registry::global().reset_values();
+
+  FlatMachine machine(100);
+  WhatIfTuner tuner(what_if_config());
+  Simulator sim(machine, tuner);
+  (void)sim.run(contended_trace());
+
+  const auto pass = obs::Registry::global().timer("sim.sched_pass").stats();
+  EXPECT_GT(pass.count, 0u);
+  EXPECT_GE(pass.max_ms, pass.p95_ms);
+  EXPECT_GE(pass.p95_ms, pass.p50_ms);
+  const auto capture =
+      obs::Registry::global().timer("sim.snapshot_capture").stats();
+  EXPECT_EQ(capture.count, tuner.stats().evaluations);
+  const auto replay =
+      obs::Registry::global().timer("twin.fork_replay").stats();
+  EXPECT_EQ(replay.count, tuner.stats().forks);
+  EXPECT_EQ(obs::Registry::global().counter("twin.forks").value(),
+            tuner.stats().forks);
+  EXPECT_GT(obs::Registry::global().counter("core.permutations").value(), 0u);
+
+  obs::Registry::global().reset_values();
+  obs::Registry::set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace amjs

@@ -1,0 +1,134 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace amjs::obs {
+namespace {
+
+/// Restores the registry's enabled flag (process-global) on scope exit so
+/// tests cannot leak instrumentation state into each other.
+class EnabledGuard {
+ public:
+  EnabledGuard() : saved_(Registry::enabled()) {}
+  ~EnabledGuard() { Registry::set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(TimerTest, EmptyTimerReportsZeros) {
+  Timer t;
+  const TimerStats s = t.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.total_ms, 0.0);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p95_ms, 0.0);
+  EXPECT_EQ(s.max_ms, 0.0);
+}
+
+TEST(TimerTest, StatsMatchQuantileOnKnownSamples) {
+  Timer t;
+  const std::vector<double> samples = {4.0, 1.0, 3.0, 2.0, 10.0};
+  for (const double s : samples) t.record_ms(s);
+  const TimerStats s = t.stats();
+  EXPECT_EQ(s.count, samples.size());
+  EXPECT_DOUBLE_EQ(s.total_ms, 20.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 10.0);
+  // The histogram must agree with the library quantile (type-7).
+  EXPECT_DOUBLE_EQ(s.p50_ms, quantile(samples, 0.5));
+  EXPECT_DOUBLE_EQ(s.p95_ms, quantile(samples, 0.95));
+  EXPECT_DOUBLE_EQ(s.p50_ms, 3.0);
+}
+
+TEST(TimerTest, ResetClearsSamples) {
+  Timer t;
+  t.record_ms(5.0);
+  t.reset();
+  EXPECT_EQ(t.stats().count, 0u);
+}
+
+TEST(RegistryTest, CounterAndTimerReferencesAreStable) {
+  Registry r;
+  Counter& a = r.counter("reg_test.stable");
+  a.add(3);
+  Counter& b = r.counter("reg_test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  Timer& ta = r.timer("reg_test.stable_timer");
+  Timer& tb = r.timer("reg_test.stable_timer");
+  EXPECT_EQ(&ta, &tb);
+}
+
+TEST(RegistryTest, ResetValuesKeepsEntriesAlive) {
+  Registry r;
+  Counter& c = r.counter("reg_test.reset");
+  Timer& t = r.timer("reg_test.reset_timer");
+  c.add(7);
+  t.record_ms(1.0);
+  r.reset_values();
+  // Old references still point at the (zeroed) entries.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(t.stats().count, 0u);
+  c.add(1);
+  EXPECT_EQ(r.counter("reg_test.reset").value(), 1u);
+}
+
+TEST(RegistryTest, JsonShapeHasCountersAndTimers) {
+  Registry r;
+  r.counter("reg_test.alpha").add(5);
+  r.timer("reg_test.beta").record_ms(2.0);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"reg_test.alpha\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"reg_test.beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_ms\""), std::string::npos);
+}
+
+TEST(RegistryTest, ScopedTimerHonorsEnabledFlag) {
+  EnabledGuard guard;
+  Timer t;
+  Registry::set_enabled(false);
+  { ScopedTimer timed(t); }
+  EXPECT_EQ(t.stats().count, 0u);
+  Registry::set_enabled(true);
+  { ScopedTimer timed(t); }
+  EXPECT_EQ(t.stats().count, 1u);
+}
+
+TEST(RegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace amjs::obs

@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace amjs::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// One instant event per category, in a fixed order.
+void record_one_per_category(TraceRecorder& rec) {
+  rec.record(TraceCategory::kJob, "submit", 0, {arg("job", 1)});
+  rec.record(TraceCategory::kSched, "pass", 10, {arg("queued", 2)});
+  rec.record(TraceCategory::kTuning, "adjust", 20, {arg("bf_after", 0.5)});
+  rec.record(TraceCategory::kBackfill, "backfill", 30, {arg("job", 2)});
+  rec.record(TraceCategory::kSnapshot, "capture", 40, {arg("check", 1)});
+  rec.record(TraceCategory::kTwin, "fork", 50, {arg("candidate", "BF=1/W=2")});
+}
+
+TEST(TraceRecorderTest, CountsByCategoryAndName) {
+  TraceRecorder rec;
+  record_one_per_category(rec);
+  rec.record(TraceCategory::kJob, "start", 5, {arg("job", 1)});
+  EXPECT_EQ(rec.size(), 7u);
+  EXPECT_EQ(rec.count(TraceCategory::kJob), 2u);
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "submit"), 1u);
+  EXPECT_EQ(rec.count(TraceCategory::kJob, "start"), 1u);
+  EXPECT_EQ(rec.count(TraceCategory::kTwin), 1u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceRecorderTest, ArgCoercionPicksTheRightAlternative) {
+  const TraceArg i = arg("n", std::size_t{7});
+  const TraceArg d = arg("x", 1.5f);
+  const TraceArg s = arg("s", "label");
+  EXPECT_EQ(std::get<std::int64_t>(i.value), 7);
+  EXPECT_DOUBLE_EQ(std::get<double>(d.value), 1.5);
+  EXPECT_EQ(std::get<std::string>(s.value), "label");
+}
+
+TEST(TraceRecorderTest, JsonlLineShape) {
+  TraceRecorder rec;
+  rec.record(TraceCategory::kJob, "submit", 42, {arg("job", 3), arg("nodes", 64)});
+  std::ostringstream out;
+  rec.write_jsonl(out, /*include_wall=*/false);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            R"({"t": 42, "cat": "job", "ph": "i", "name": "submit", )"
+            R"("args": {"job": 3, "nodes": 64}})");
+}
+
+TEST(TraceRecorderTest, SpansCarryWallFieldsOnlyWhenRequested) {
+  TraceRecorder rec;
+  rec.record_span(TraceCategory::kSched, "pass", 100, 1.25, 0.5,
+                  {arg("queued", 4)});
+  std::ostringstream with_wall;
+  rec.write_jsonl(with_wall, /*include_wall=*/true);
+  EXPECT_NE(with_wall.str().find("\"wall_start_ms\""), std::string::npos);
+  EXPECT_NE(with_wall.str().find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(with_wall.str().find("\"ph\": \"X\""), std::string::npos);
+
+  std::ostringstream without_wall;
+  rec.write_jsonl(without_wall, /*include_wall=*/false);
+  EXPECT_EQ(without_wall.str().find("wall"), std::string::npos);
+  // The span is still marked as one.
+  EXPECT_NE(without_wall.str().find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DeterministicJsonlAcrossIdenticalSequences) {
+  // Two recorders fed the same events at different wall-clock moments must
+  // serialize byte-identically once wall fields are stripped.
+  TraceRecorder a;
+  TraceRecorder b;
+  record_one_per_category(a);
+  a.record_span(TraceCategory::kSched, "pass", 60, a.now_wall_ms(), 0.1);
+  record_one_per_category(b);
+  b.record_span(TraceCategory::kSched, "pass", 60, b.now_wall_ms(), 0.2);
+
+  std::ostringstream ja;
+  std::ostringstream jb;
+  a.write_jsonl(ja, /*include_wall=*/false);
+  b.write_jsonl(jb, /*include_wall=*/false);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(TraceRecorderTest, StringsAreEscaped) {
+  TraceRecorder rec;
+  rec.record(TraceCategory::kTwin, "fork", 0,
+             {arg("candidate", std::string("a\"b\\c\nd"))});
+  std::ostringstream out;
+  rec.write_jsonl(out, /*include_wall=*/false);
+  EXPECT_NE(out.str().find(R"(a\"b\\c\nd)"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ChromeTraceShape) {
+  TraceRecorder rec;
+  record_one_per_category(rec);
+  rec.record_span(TraceCategory::kSched, "pass", 70, 2.0, 1.0,
+                  {arg("queued", 1)});
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Process/thread naming metadata for the two lanes.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("sim-time"), std::string::npos);
+  // Every category appears as a thread lane name.
+  for (const char* cat :
+       {"job", "sched", "tuning", "backfill", "snapshot", "twin"}) {
+    EXPECT_NE(json.find(std::string("\"cat\": \"") + cat + "\""),
+              std::string::npos)
+        << cat;
+  }
+  // Instants on the sim lane, the span as a complete event with a duration.
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check, no parser dep).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceRecorderTest, SaveWritesChromeAndJsonlSiblings) {
+  TraceRecorder rec;
+  record_one_per_category(rec);
+  const std::string path =
+      testing::TempDir() + "/amjs_trace_recorder_test.json";
+  ASSERT_TRUE(rec.save(path));
+  std::ifstream chrome(path);
+  ASSERT_TRUE(chrome.good());
+  std::ifstream jsonl(path + "l");
+  ASSERT_TRUE(jsonl.good());
+  std::string first_line;
+  std::getline(jsonl, first_line);
+  EXPECT_NE(first_line.find("\"cat\": \"job\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs::obs
