@@ -16,6 +16,7 @@
 
 #include "common.hpp"
 #include "core/what_if.hpp"
+#include "snapshot_io/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -40,12 +41,16 @@ int run(int argc, const char** argv) {
   flags.define("json", "BENCH_table2.json",
                "write machine-readable results here (empty disables)");
   obs::add_flags(flags);
+  snapshot_io::add_flags(flags);
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("table2_overall").c_str());
     return 1;
   }
   obs::Session obs_session(flags);
+  // Checkpoint/resume applies to the WhatIf row — the only row run outside
+  // run_spec, and the longest one (the row worth resuming after a kill).
+  const auto ckpt = snapshot_io::CheckpointOptions::from_flags(flags);
 
   const auto trace = intrepid_trace(days(flags.get_i64("horizon-days")),
                                     static_cast<std::uint64_t>(flags.get_i64("seed")));
@@ -87,10 +92,16 @@ int run(int argc, const char** argv) {
     SimConfig sim_config;
     // --trace captures the twin-consulting row — the one whose event
     // stream exercises every category (jobs, passes, tuning, twin forks).
-    sim_config.trace_sink = obs_session.recorder();
+    sim_config.trace_sink = obs_session.sink();
+    snapshot_io::arm_checkpoint_sink(sim_config, ckpt);
     Simulator sim(*machine, *scheduler, sim_config);
     const auto start = std::chrono::steady_clock::now();
-    const SimResult result = sim.run(trace);
+    const auto run = snapshot_io::run_or_resume(sim, trace, ckpt);
+    if (!run.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", run.error().to_string().c_str());
+      return 1;
+    }
+    const SimResult& result = run.value();
     wall_ms.push_back(ms_since(start));
     mean_qd.push_back(result.queue_depth.mean_value());
     if (const auto* tuner = dynamic_cast<const WhatIfTuner*>(scheduler.get())) {

@@ -24,6 +24,7 @@
 #include "platform/flat.hpp"
 #include "platform/partition.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot_io/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -60,12 +61,17 @@ int main(int argc, const char** argv) {
                     "reactive tuners instead of sweeping the (BF, W) grid");
   flags.define("what-if-horizon-hours", "6", "twin fork horizon (what-if mode)");
   obs::add_flags(flags);
+  snapshot_io::add_flags(flags);
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("policy_explorer").c_str());
     return 1;
   }
   obs::Session obs_session(flags);
+  // Checkpoint/resume applies to the *traced* run: the what-if row in
+  // --what-if mode, grid cell 0 in sweep mode (the other cells are
+  // independent re-runs a snapshot of one cell says nothing about).
+  const auto ckpt = snapshot_io::CheckpointOptions::from_flags(flags);
 
   // Load or synthesize the workload and pick the machine model.
   JobTrace trace;
@@ -116,10 +122,21 @@ int main(int argc, const char** argv) {
       SimConfig config;
       // Trace only the twin-tuner run (the last spec): one policy per
       // trace file keeps the stream deterministic and Perfetto-readable.
-      if (i + 1 == specs.size()) config.trace_sink = obs_session.recorder();
+      const bool instrumented = i + 1 == specs.size();
+      if (instrumented) {
+        config.trace_sink = obs_session.sink();
+        snapshot_io::arm_checkpoint_sink(config, ckpt);
+      }
       Simulator sim(*machine, *scheduler, config);
       const auto start = std::chrono::steady_clock::now();
-      const auto result = sim.run(trace);
+      const auto run = instrumented ? snapshot_io::run_or_resume(sim, trace, ckpt)
+                                    : Result<SimResult>(sim.run(trace));
+      if (!run.ok()) {
+        std::fprintf(stderr, "resume failed: %s\n",
+                     run.error().to_string().c_str());
+        return 1;
+      }
+      const SimResult& result = run.value();
       const double wall_ms = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - start)
                                  .count();
@@ -155,6 +172,7 @@ int main(int argc, const char** argv) {
     for (const double w : parse_list(flags.get("w"))) grid.push_back({bf, w});
   }
 
+  std::string cell0_error;
   const auto rows = parallel_map<std::vector<std::string>>(
       grid.size(), [&](std::size_t i) {
         const auto [bf, w] = grid[i];
@@ -162,11 +180,20 @@ int main(int argc, const char** argv) {
         auto machine = machine_factory();
         const auto scheduler = MetricsBalancer::make(spec);
         SimConfig config;
-        // The sweep runs cells concurrently; trace only the first cell so
-        // the event stream stays a single coherent run.
-        if (i == 0) config.trace_sink = obs_session.recorder();
+        // The sweep runs cells concurrently; trace (and checkpoint) only
+        // the first cell so the event stream stays a single coherent run.
+        if (i == 0) {
+          config.trace_sink = obs_session.sink();
+          snapshot_io::arm_checkpoint_sink(config, ckpt);
+        }
         Simulator sim(*machine, *scheduler, config);
-        const auto result = sim.run(trace);
+        const auto run = i == 0 ? snapshot_io::run_or_resume(sim, trace, ckpt)
+                                : Result<SimResult>(sim.run(trace));
+        if (!run.ok()) {
+          cell0_error = run.error().to_string();  // only cell 0 can fail
+          return std::vector<std::string>{};
+        }
+        const SimResult& result = run.value();
 
         std::string unfair = "";
         if (with_fairness) {
@@ -184,6 +211,10 @@ int main(int argc, const char** argv) {
             TextTable::num(report.avg_bounded_slowdown, 3), unfair};
       });
 
+  if (!cell0_error.empty()) {
+    std::fprintf(stderr, "resume failed: %s\n", cell0_error.c_str());
+    return 1;
+  }
   CsvWriter csv(std::cout);
   csv.write_row({"bf", "w", "avg_wait_min", "max_wait_min", "utilization",
                  "loss_of_capacity", "avg_bounded_slowdown", "unfair_jobs"});

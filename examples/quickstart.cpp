@@ -7,7 +7,10 @@
 //
 //   $ ./quickstart
 //   $ ./quickstart --trace run.json --obs-stats stats.json --log-level info
+//   $ ./quickstart --checkpoint run.snap --halt-at-check 1   # simulate a kill
+//   $ ./quickstart --resume-from run.snap                    # continue it
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "obs/session.hpp"
 #include "platform/flat.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot_io/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -26,15 +30,21 @@ using namespace amjs;
 
 int main(int argc, const char** argv) {
   // 0. Observability is opt-in per run: --trace writes a Perfetto-loadable
-  //    event file, --obs-stats a counters/timers summary.
+  //    event file, --obs-stats a counters/timers summary. Checkpointing is
+  //    likewise opt-in: --checkpoint keeps a resumable snapshot on disk.
   Flags flags;
   obs::add_flags(flags);
+  snapshot_io::add_flags(flags);
+  flags.define("result-json", "",
+               "write the full SimResult as deterministic JSON to this file "
+               "(byte-comparable across runs)");
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("quickstart").c_str());
     return 1;
   }
   obs::Session obs_session(flags);
+  const auto ckpt = snapshot_io::CheckpointOptions::from_flags(flags);
 
   // 1. Describe a workload. Times are seconds from the trace epoch;
   //    `walltime` is what the user requested (the scheduler plans with
@@ -70,11 +80,17 @@ int main(int argc, const char** argv) {
   auto spec = BalancerSpec::fixed(/*bf=*/0.5, /*w=*/2);
   const auto scheduler = MetricsBalancer::make(spec);
 
-  // 3. Simulate.
+  // 3. Simulate (or resume a checkpointed run).
   SimConfig config;
-  config.trace_sink = obs_session.recorder();
+  config.trace_sink = obs_session.sink();
+  snapshot_io::arm_checkpoint_sink(config, ckpt);
   Simulator sim(machine, *scheduler, config);
-  const SimResult result = sim.run(trace.value());
+  const auto run = snapshot_io::run_or_resume(sim, trace.value(), ckpt);
+  if (!run.ok()) {
+    std::fprintf(stderr, "resume failed: %s\n", run.error().to_string().c_str());
+    return 1;
+  }
+  const SimResult& result = run.value();
 
   // 4. Inspect the schedule.
   TextTable table({"job", "user", "nodes", "submit", "start", "end", "waited"});
@@ -92,5 +108,16 @@ int main(int argc, const char** argv) {
   std::printf("\navg wait %.1f min | utilization %.1f%% | loss of capacity %.1f%%\n",
               report.avg_wait_min, report.utilization * 100.0,
               report.loss_of_capacity * 100.0);
+
+  // 6. Optional machine-readable dump (CI diffs checkpointed-and-resumed
+  //    runs against uninterrupted ones with this).
+  if (const std::string path = flags.get("result-json"); !path.empty()) {
+    std::ofstream out(path);
+    write_result_json(out, result);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

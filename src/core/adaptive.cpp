@@ -95,17 +95,6 @@ void AdaptiveScheduler::reset() {
   adjustments_ = 0;
 }
 
-namespace {
-/// Run state of an AdaptiveScheduler: the wrapped scheduler's state plus
-/// the monitor histories.
-struct AdaptiveState final : SchedulerState {
-  std::unique_ptr<SchedulerState> inner;
-  SampledSeries bf_history;
-  SampledSeries w_history;
-  std::size_t adjustments = 0;
-};
-}  // namespace
-
 std::unique_ptr<SchedulerState> AdaptiveScheduler::save_state() const {
   auto state = std::make_unique<AdaptiveState>();
   state->inner = inner_.save_state();

@@ -78,6 +78,16 @@ struct AdaptiveScheme {
                                                     int max_w = 5);
 };
 
+/// Run state of an AdaptiveScheduler (save_state/restore_state): the
+/// wrapped scheduler's state plus the monitor histories. Public so the
+/// snapshot codec (src/snapshot_io) can serialize it.
+struct AdaptiveState final : SchedulerState {
+  std::unique_ptr<SchedulerState> inner;
+  SampledSeries bf_history;
+  SampledSeries w_history;
+  std::size_t adjustments = 0;
+};
+
 /// Wraps a MetricAwareScheduler and retunes it at every metric check
 /// (Algorithm 1: initialize tunables; at each checkpoint compare monitored
 /// metrics with thresholds and adjust, then run the scheduling pass).

@@ -29,15 +29,6 @@ std::string MetricAwareScheduler::name() const {
 
 void MetricAwareScheduler::reset() { stats_ = MetricAwareStats{}; }
 
-namespace {
-/// Run state of a MetricAwareScheduler: the live (possibly retuned)
-/// policy plus the overhead counters.
-struct MetricAwareState final : SchedulerState {
-  MetricAwarePolicy policy;
-  MetricAwareStats stats;
-};
-}  // namespace
-
 std::unique_ptr<SchedulerState> MetricAwareScheduler::save_state() const {
   auto state = std::make_unique<MetricAwareState>();
   state->policy = config_.policy;

@@ -59,6 +59,14 @@ struct MetricAwareStats {
   std::size_t permutations_tried = 0;
 };
 
+/// Run state of a MetricAwareScheduler (save_state/restore_state): the
+/// live (possibly retuned) policy plus the overhead counters. Public so
+/// the snapshot codec (src/snapshot_io) can serialize it.
+struct MetricAwareState final : SchedulerState {
+  MetricAwarePolicy policy;
+  MetricAwareStats stats;
+};
+
 class MetricAwareScheduler : public Scheduler {
  public:
   explicit MetricAwareScheduler(MetricAwareConfig config = {});

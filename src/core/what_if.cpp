@@ -63,7 +63,7 @@ void WhatIfTuner::on_metric_check(SchedContext& ctx, double queue_depth_minutes)
     // harmless; only SimConfig::snapshot_sink snapshots support kRestore.
     const SimSnapshot snapshot = ctx.capture();
     const auto candidates = make_candidates();
-    obs::TraceRecorder* tr = ctx.recorder();
+    obs::TraceSink* tr = ctx.recorder();
     const double consult_start_ms = tr != nullptr ? tr->now_wall_ms() : 0.0;
     if (tr != nullptr) {
       tr->record(obs::TraceCategory::kTwin, "consult", ctx.now(),
@@ -106,18 +106,6 @@ void WhatIfTuner::on_metric_check(SchedContext& ctx, double queue_depth_minutes)
   bf_history_.add(ctx.now(), inner_.policy().balance_factor);
   w_history_.add(ctx.now(), inner_.policy().window_size);
 }
-
-namespace {
-/// Run state of a WhatIfTuner: wrapped scheduler state plus consultation
-/// accounting and histories.
-struct WhatIfState final : SchedulerState {
-  std::unique_ptr<SchedulerState> inner;
-  WhatIfStats stats;
-  SampledSeries bf_history;
-  SampledSeries w_history;
-  std::size_t checks_seen = 0;
-};
-}  // namespace
 
 std::unique_ptr<SchedulerState> WhatIfTuner::save_state() const {
   auto state = std::make_unique<WhatIfState>();

@@ -64,6 +64,17 @@ struct WhatIfStats {
   }
 };
 
+/// Run state of a WhatIfTuner (save_state/restore_state): wrapped
+/// scheduler state plus consultation accounting and histories. Public so
+/// the snapshot codec (src/snapshot_io) can serialize it.
+struct WhatIfState final : SchedulerState {
+  std::unique_ptr<SchedulerState> inner;
+  WhatIfStats stats;
+  SampledSeries bf_history;
+  SampledSeries w_history;
+  std::size_t checks_seen = 0;
+};
+
 class WhatIfTuner final : public Scheduler {
  public:
   explicit WhatIfTuner(WhatIfConfig config);

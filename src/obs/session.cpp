@@ -11,6 +11,9 @@ void add_flags(Flags& flags) {
   flags.define("trace", "",
                "write a Chrome trace_event JSON here (load it in Perfetto or "
                "chrome://tracing); a JSONL sibling <file>l is written too");
+  flags.define("trace-stream", "",
+               "stream events to this JSONL file with a bounded in-memory "
+               "buffer (O(1) memory; for month-scale replays)");
   flags.define("obs-stats", "",
                "enable the obs registry and write its counters and timer "
                "percentiles (JSON) here");
@@ -32,14 +35,39 @@ Session::Session(const Flags& flags)
     Registry::global().reset_values();
   }
   if (!trace_path_.empty()) recorder_ = std::make_unique<TraceRecorder>();
+  if (const std::string stream_path = flags.get("trace-stream");
+      !stream_path.empty()) {
+    auto opened = JsonlStreamSink::open(stream_path);
+    if (opened.ok()) {
+      stream_ = std::move(opened).value();
+    } else {
+      log::warn("obs: {}", opened.error().to_string());
+    }
+  }
+  if (recorder_ != nullptr && stream_ != nullptr) {
+    tee_ = std::make_unique<TeeSink>(
+        std::vector<TraceSink*>{recorder_.get(), stream_.get()});
+    sink_ = tee_.get();
+  } else if (recorder_ != nullptr) {
+    sink_ = recorder_.get();
+  } else if (stream_ != nullptr) {
+    sink_ = stream_.get();
+  }
 }
 
 Session::~Session() { flush(); }
+
+TraceSink* Session::sink() { return sink_; }
 
 bool Session::flush() {
   if (flushed_) return true;
   flushed_ = true;
   bool ok = true;
+  if (stream_ != nullptr) {
+    ok = stream_->flush() && ok;
+    std::fprintf(stderr, "trace: streamed %zu events to %s\n",
+                 stream_->events_written(), stream_->path().c_str());
+  }
   if (recorder_ != nullptr) {
     ok = recorder_->save(trace_path_) && ok;
     if (ok) {

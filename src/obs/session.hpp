@@ -1,12 +1,12 @@
-// CLI wiring for the obs layer: the --trace / --obs-stats / --log-level
-// flag triple shared by the examples and bench harnesses.
+// CLI wiring for the obs layer: the --trace / --trace-stream / --obs-stats
+// / --log-level flag set shared by the examples and bench harnesses.
 //
 //   Flags flags;
 //   obs::add_flags(flags);
 //   ... flags.parse(argc, argv) ...
 //   obs::Session session(flags);       // applies log level, arms registry
 //   SimConfig config;
-//   config.trace_sink = session.recorder();   // nullptr when --trace unset
+//   config.trace_sink = session.sink();  // nullptr when no trace flag set
 //   ... run ...
 //   session.flush();                   // or let the destructor do it
 #pragma once
@@ -14,18 +14,20 @@
 #include <memory>
 #include <string>
 
+#include "obs/stream_sink.hpp"
 #include "obs/trace.hpp"
 #include "util/flags.hpp"
 
 namespace amjs::obs {
 
-/// Define --trace, --obs-stats, and --log-level on `flags`.
+/// Define --trace, --trace-stream, --obs-stats, and --log-level on `flags`.
 void add_flags(Flags& flags);
 
 /// Applies the parsed obs flags for one process run: sets the stderr log
-/// threshold, enables the Registry when --obs-stats is given, and owns the
-/// TraceRecorder when --trace is given. flush() (or the destructor) writes
-/// the requested artifacts.
+/// threshold, enables the Registry when --obs-stats is given, owns the
+/// TraceRecorder when --trace is given and the JsonlStreamSink when
+/// --trace-stream is given. flush() (or the destructor) writes the
+/// requested artifacts.
 class Session {
  public:
   explicit Session(const Flags& flags);
@@ -33,21 +35,29 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// The run's recorder, or nullptr when --trace was not given. Hand this
-  /// to SimConfig::trace_sink.
+  /// The run's event sink, or nullptr when neither trace flag was given.
+  /// Hand this to SimConfig::trace_sink. With both --trace and
+  /// --trace-stream set this is a tee into the recorder and the stream.
+  [[nodiscard]] TraceSink* sink();
+
+  /// The in-memory recorder, or nullptr when --trace was not given.
   [[nodiscard]] TraceRecorder* recorder() { return recorder_.get(); }
 
-  [[nodiscard]] bool tracing() const { return recorder_ != nullptr; }
+  [[nodiscard]] bool tracing() const { return sink_ != nullptr; }
   [[nodiscard]] bool stats_enabled() const { return !stats_path_.empty(); }
 
-  /// Write the Chrome trace (+ JSONL sibling) and the registry JSON to the
-  /// flag-given paths. Idempotent; returns false if any write failed.
+  /// Write the Chrome trace (+ JSONL sibling), flush the stream sink, and
+  /// write the registry JSON to the flag-given paths. Idempotent; returns
+  /// false if any write failed.
   bool flush();
 
  private:
   std::string trace_path_;
   std::string stats_path_;
   std::unique_ptr<TraceRecorder> recorder_;
+  std::unique_ptr<JsonlStreamSink> stream_;
+  std::unique_ptr<TeeSink> tee_;
+  TraceSink* sink_ = nullptr;
   bool flushed_ = false;
 };
 

@@ -1,0 +1,90 @@
+#include "obs/stream_sink.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace amjs::obs {
+
+Result<std::unique_ptr<JsonlStreamSink>> JsonlStreamSink::open(
+    const std::string& path, StreamSinkOptions options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error{"cannot open trace stream for writing", path};
+  return std::unique_ptr<JsonlStreamSink>(
+      new JsonlStreamSink(path, std::move(out), options));
+}
+
+JsonlStreamSink::JsonlStreamSink(std::string path, std::ofstream out,
+                                 StreamSinkOptions options)
+    : path_(std::move(path)), options_(options), out_(std::move(out)) {
+  buffer_.reserve(options_.buffer_bytes);
+}
+
+JsonlStreamSink::~JsonlStreamSink() { flush(); }
+
+void JsonlStreamSink::append_line(const TraceEvent& event) {
+  // Serialize immediately; only the compact line is retained, never the
+  // TraceEvent, so memory stays bounded by buffer_bytes + one line.
+  std::ostringstream line;
+  write_event_jsonl(line, event, options_.include_wall);
+  buffer_ += line.str();
+  ++events_;
+  if (buffer_.size() >= options_.buffer_bytes) flush_locked();
+}
+
+void JsonlStreamSink::record(TraceCategory category, std::string name,
+                             SimTime sim_time, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.sim_time = sim_time;
+  event.category = category;
+  event.name = std::move(name);
+  event.args = std::move(args);
+  std::scoped_lock lock(mutex_);
+  append_line(event);
+}
+
+void JsonlStreamSink::record_span(TraceCategory category, std::string name,
+                                  SimTime sim_time, double wall_start_ms,
+                                  double wall_ms, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.sim_time = sim_time;
+  event.category = category;
+  event.name = std::move(name);
+  event.args = std::move(args);
+  event.wall_start_ms = wall_start_ms;
+  event.wall_ms = wall_ms;
+  std::scoped_lock lock(mutex_);
+  append_line(event);
+}
+
+bool JsonlStreamSink::flush_locked() {
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  out_.flush();
+  if (!out_ && !failed_) {
+    failed_ = true;
+    log::warn("trace stream: write to {} failed; further events are dropped",
+              path_);
+  }
+  return !failed_;
+}
+
+bool JsonlStreamSink::flush() {
+  std::scoped_lock lock(mutex_);
+  return flush_locked();
+}
+
+std::size_t JsonlStreamSink::events_written() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t JsonlStreamSink::buffered_bytes() const {
+  std::scoped_lock lock(mutex_);
+  return buffer_.size();
+}
+
+}  // namespace amjs::obs

@@ -1,0 +1,80 @@
+// JsonlStreamSink — file-backed, bounded-memory trace sink.
+//
+// TraceRecorder keeps every event in memory, which is fine for a week of
+// Intrepid but not for month-scale SWF replays. This sink serializes each
+// event to its JSONL line immediately (via the shared write_event_jsonl, so
+// the on-disk stream is byte-identical to what TraceRecorder::write_jsonl
+// would have produced for the same run) and appends it to a fixed-size byte
+// buffer that is flushed to the file whenever it fills — the run traces end
+// to end in O(buffer) memory regardless of event count.
+//
+// Wall-clock fields are included by default; construct with
+// `include_wall = false` for a byte-deterministic stream (the diffable
+// form — same convention as write_jsonl's include_wall flag).
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+
+namespace amjs::obs {
+
+struct StreamSinkOptions {
+  /// Flush to disk once the pending serialized bytes reach this size. The
+  /// sink's memory footprint is O(buffer_bytes), independent of run length.
+  std::size_t buffer_bytes = 64 * 1024;
+
+  /// Emit wall_start_ms / wall_ms on spans. False = deterministic stream.
+  bool include_wall = true;
+};
+
+class JsonlStreamSink final : public TraceSink {
+ public:
+  /// Opens (truncates) `path` for streaming. Fails if the file cannot be
+  /// created.
+  [[nodiscard]] static Result<std::unique_ptr<JsonlStreamSink>> open(
+      const std::string& path, StreamSinkOptions options = {});
+
+  ~JsonlStreamSink() override;
+
+  void record(TraceCategory category, std::string name, SimTime sim_time,
+              std::vector<TraceArg> args = {}) override;
+  void record_span(TraceCategory category, std::string name, SimTime sim_time,
+                   double wall_start_ms, double wall_ms,
+                   std::vector<TraceArg> args = {}) override;
+
+  /// Write any buffered bytes to the file and sync the stream. Returns
+  /// false if the file has gone bad (also logged, once).
+  bool flush();
+
+  /// Events recorded so far (buffered or flushed).
+  [[nodiscard]] std::size_t events_written() const;
+
+  /// Bytes currently held in memory awaiting flush (test hook for the
+  /// bounded-buffer guarantee; never exceeds buffer_bytes for long).
+  [[nodiscard]] std::size_t buffered_bytes() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  JsonlStreamSink(std::string path, std::ofstream out,
+                  StreamSinkOptions options);
+
+  void append_line(const TraceEvent& event);  // caller holds mutex_
+  bool flush_locked();
+
+  std::string path_;
+  StreamSinkOptions options_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::string buffer_;
+  std::size_t events_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace amjs::obs

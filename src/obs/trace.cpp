@@ -20,7 +20,32 @@ const char* to_string(TraceCategory category) {
   return "?";
 }
 
-TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceSink::now_wall_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TeeSink::TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+void TeeSink::record(TraceCategory category, std::string name,
+                     SimTime sim_time, std::vector<TraceArg> args) {
+  for (TraceSink* sink : sinks_) {
+    if (sink != nullptr) sink->record(category, name, sim_time, args);
+  }
+}
+
+void TeeSink::record_span(TraceCategory category, std::string name,
+                          SimTime sim_time, double wall_start_ms,
+                          double wall_ms, std::vector<TraceArg> args) {
+  for (TraceSink* sink : sinks_) {
+    if (sink != nullptr) {
+      sink->record_span(category, name, sim_time, wall_start_ms, wall_ms, args);
+    }
+  }
+}
 
 void TraceRecorder::record(TraceCategory category, std::string name,
                            SimTime sim_time, std::vector<TraceArg> args) {
@@ -45,12 +70,6 @@ void TraceRecorder::record_span(TraceCategory category, std::string name,
   event.wall_ms = wall_ms;
   std::scoped_lock lock(mutex_);
   events_.push_back(std::move(event));
-}
-
-double TraceRecorder::now_wall_ms() const {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
@@ -142,22 +161,25 @@ void write_wall_ms(std::ostream& out, double ms) {
 
 }  // namespace
 
+void write_event_jsonl(std::ostream& out, const TraceEvent& e,
+                       bool include_wall) {
+  out << "{\"t\": " << e.sim_time << ", \"cat\": \"" << to_string(e.category)
+      << "\", \"ph\": \"" << (e.is_span() ? 'X' : 'i') << "\", \"name\": ";
+  write_json_string(out, e.name);
+  out << ", \"args\": ";
+  write_args_object(out, e.args);
+  if (include_wall && e.is_span()) {
+    out << ", \"wall_start_ms\": ";
+    write_wall_ms(out, e.wall_start_ms);
+    out << ", \"wall_ms\": ";
+    write_wall_ms(out, e.wall_ms);
+  }
+  out << "}\n";
+}
+
 void TraceRecorder::write_jsonl(std::ostream& out, bool include_wall) const {
   std::scoped_lock lock(mutex_);
-  for (const auto& e : events_) {
-    out << "{\"t\": " << e.sim_time << ", \"cat\": \"" << to_string(e.category)
-        << "\", \"ph\": \"" << (e.is_span() ? 'X' : 'i') << "\", \"name\": ";
-    write_json_string(out, e.name);
-    out << ", \"args\": ";
-    write_args_object(out, e.args);
-    if (include_wall && e.is_span()) {
-      out << ", \"wall_start_ms\": ";
-      write_wall_ms(out, e.wall_start_ms);
-      out << ", \"wall_ms\": ";
-      write_wall_ms(out, e.wall_ms);
-    }
-    out << "}\n";
-  }
+  for (const auto& e : events_) write_event_jsonl(out, e, include_wall);
 }
 
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {

@@ -22,6 +22,9 @@
 // The recorder buffers in memory (a 7-day Intrepid run is tens of
 // thousands of events); attach it via SimConfig::trace_sink. A null sink
 // is the disabled state — the simulator's hot path pays one pointer test.
+// Month-scale replays that cannot afford the buffer stream through
+// JsonlStreamSink (obs/stream_sink.hpp) instead; both implement the
+// TraceSink interface, so producer call sites are identical.
 #pragma once
 
 #include <chrono>
@@ -87,23 +90,70 @@ struct TraceEvent {
   [[nodiscard]] bool is_span() const { return wall_ms >= 0.0; }
 };
 
-class TraceRecorder {
+/// Serialize one event as a single JSONL line (the shared ground-truth
+/// format of TraceRecorder::write_jsonl and JsonlStreamSink — one
+/// implementation, so the two sinks' outputs are byte-identical). With
+/// `include_wall` false the wall fields are omitted and the line is
+/// deterministic for identical runs.
+void write_event_jsonl(std::ostream& out, const TraceEvent& event,
+                       bool include_wall);
+
+/// Consumer interface of the structured event stream. Producers (the
+/// simulator, schedulers, the twin engine) hold a TraceSink* and emit
+/// through record / record_span; implementations decide whether events are
+/// buffered in memory (TraceRecorder), streamed to disk with a bounded
+/// buffer (JsonlStreamSink), or fanned out (TeeSink).
+class TraceSink {
  public:
-  TraceRecorder();
+  TraceSink();
+  virtual ~TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
 
   /// Instant event at `sim_time`.
-  void record(TraceCategory category, std::string name, SimTime sim_time,
-              std::vector<TraceArg> args = {});
+  virtual void record(TraceCategory category, std::string name,
+                      SimTime sim_time, std::vector<TraceArg> args = {}) = 0;
 
-  /// Timed span: `wall_start_ms` is recorder-relative (see now_wall_ms),
+  /// Timed span: `wall_start_ms` is sink-relative (see now_wall_ms),
   /// `wall_ms` the duration.
+  virtual void record_span(TraceCategory category, std::string name,
+                           SimTime sim_time, double wall_start_ms,
+                           double wall_ms, std::vector<TraceArg> args = {}) = 0;
+
+  /// Milliseconds of wall clock since the sink was constructed (the epoch
+  /// of every wall_start_ms recorded into it).
+  [[nodiscard]] double now_wall_ms() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Fans every event out to several sinks (e.g. an in-memory recorder and a
+/// disk stream in the same run). Borrowed pointers; null entries ignored.
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks);
+
+  void record(TraceCategory category, std::string name, SimTime sim_time,
+              std::vector<TraceArg> args = {}) override;
   void record_span(TraceCategory category, std::string name, SimTime sim_time,
                    double wall_start_ms, double wall_ms,
-                   std::vector<TraceArg> args = {});
+                   std::vector<TraceArg> args = {}) override;
 
-  /// Milliseconds of wall clock since the recorder was constructed (the
-  /// epoch of every wall_start_ms).
-  [[nodiscard]] double now_wall_ms() const;
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+class TraceRecorder final : public TraceSink {
+ public:
+  TraceRecorder() = default;
+
+  void record(TraceCategory category, std::string name, SimTime sim_time,
+              std::vector<TraceArg> args = {}) override;
+
+  void record_span(TraceCategory category, std::string name, SimTime sim_time,
+                   double wall_start_ms, double wall_ms,
+                   std::vector<TraceArg> args = {}) override;
 
   [[nodiscard]] std::vector<TraceEvent> events() const;
   [[nodiscard]] std::size_t size() const;
@@ -130,7 +180,6 @@ class TraceRecorder {
  private:
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
-  std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace amjs::obs

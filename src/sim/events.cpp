@@ -15,4 +15,26 @@ Event EventQueue::pop() {
   return e;
 }
 
+std::vector<Event> EventQueue::sorted() const {
+  auto heap = heap_;  // drain a copy; the live queue is untouched
+  std::vector<Event> events;
+  events.reserve(heap.size());
+  while (!heap.empty()) {
+    events.push_back(heap.top());
+    heap.pop();
+  }
+  return events;
+}
+
+EventQueue EventQueue::restore(const std::vector<Event>& events,
+                               std::uint64_t next_seq) {
+  EventQueue q;
+  for (const Event& e : events) {
+    assert(e.seq < next_seq && "restore: event seq past next_seq");
+    q.heap_.push(e);
+  }
+  q.next_seq_ = next_seq;
+  return q;
+}
+
 }  // namespace amjs

@@ -39,6 +39,20 @@ class EventQueue {
   Event pop();
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
+  /// Pending events in ascending (time, type, seq) order — the order pop()
+  /// would return them. O(n log n) copy-and-drain; serialization and
+  /// inspection only, the queue itself is untouched.
+  [[nodiscard]] std::vector<Event> sorted() const;
+
+  /// Insertion counter the next push() will assign (snapshot codec state).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Rebuild a queue from events saved by sorted(), preserving their
+  /// original seq numbers so tie-breaking replays identically. `next_seq`
+  /// must exceed every restored event's seq (asserted in debug builds).
+  [[nodiscard]] static EventQueue restore(const std::vector<Event>& events,
+                                          std::uint64_t next_seq);
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -1,6 +1,31 @@
 #include "sim/result.hpp"
 
+#include <cstdio>
+#include <ostream>
+
 namespace amjs {
+namespace {
+
+void put_f64(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void put_series(std::ostream& out, const SampledSeries& series) {
+  out << "[";
+  bool first = true;
+  for (const TimePoint& p : series.points()) {
+    if (!first) out << ",";
+    first = false;
+    out << "[" << p.time << ",";
+    put_f64(out, p.value);
+    out << "]";
+  }
+  out << "]";
+}
+
+}  // namespace
 
 std::size_t SimResult::started_count() const {
   std::size_t n = 0;
@@ -16,6 +41,52 @@ std::size_t SimResult::finished_count() const {
     if (e.end != kNever) ++n;
   }
   return n;
+}
+
+void write_result_json(std::ostream& out, const SimResult& result) {
+  out << "{\"schedule\":[";
+  bool first = true;
+  for (const ScheduleEntry& e : result.schedule) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"job\":" << e.job << ",\"submit\":" << e.submit
+        << ",\"start\":" << e.start << ",\"end\":" << e.end
+        << ",\"requested\":" << e.requested << ",\"occupied\":" << e.occupied
+        << ",\"skipped\":" << (e.skipped ? "true" : "false")
+        << ",\"attempts\":" << e.attempts
+        << ",\"abandoned\":" << (e.abandoned ? "true" : "false") << "}";
+  }
+  out << "],\"events\":[";
+  first = true;
+  for (const SchedEventRecord& e : result.events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"time\":" << e.time << ",\"idle\":" << e.idle
+        << ",\"min_waiting_occupancy\":" << e.min_waiting_occupancy
+        << ",\"any_waiting\":" << (e.any_waiting ? "true" : "false") << "}";
+  }
+  out << "],\"queue_depth\":";
+  put_series(out, result.queue_depth);
+  out << ",\"busy_nodes\":{\"initial\":";
+  put_f64(out, result.busy_nodes.initial());
+  out << ",\"points\":[";
+  first = true;
+  for (const TimePoint& p : result.busy_nodes.points()) {
+    if (!first) out << ",";
+    first = false;
+    out << "[" << p.time << ",";
+    put_f64(out, p.value);
+    out << "]";
+  }
+  out << "]},\"machine_nodes\":" << result.machine_nodes
+      << ",\"end_time\":" << result.end_time
+      << ",\"skipped_jobs\":" << result.skipped_jobs
+      << ",\"failure_stats\":{\"failures\":" << result.failure_stats.failures
+      << ",\"restarts\":" << result.failure_stats.restarts
+      << ",\"abandoned\":" << result.failure_stats.abandoned
+      << ",\"wasted_node_seconds\":";
+  put_f64(out, result.failure_stats.wasted_node_seconds);
+  out << "}}\n";
 }
 
 }  // namespace amjs

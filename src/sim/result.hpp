@@ -2,6 +2,7 @@
 // paper's metrics are computed from.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -71,5 +72,11 @@ struct SimResult {
   [[nodiscard]] std::size_t started_count() const;
   [[nodiscard]] std::size_t finished_count() const;
 };
+
+/// Dump the full result as deterministic JSON: fixed key order, doubles
+/// printed with %.17g so equal results produce byte-equal files. Two runs
+/// are behaviourally identical iff their dumps diff clean — the
+/// checkpoint-resume smoke test in CI compares runs this way.
+void write_result_json(std::ostream& out, const SimResult& result);
 
 }  // namespace amjs

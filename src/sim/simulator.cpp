@@ -28,7 +28,7 @@ Duration SchedContext::waited(JobId id) const {
   return sim_.now_ - sim_.trace_->job(id).submit;
 }
 
-obs::TraceRecorder* SchedContext::recorder() const { return sim_.config_.trace_sink; }
+obs::TraceSink* SchedContext::recorder() const { return sim_.config_.trace_sink; }
 
 const StepSeries& SchedContext::busy_series() const {
   return sim_.result_.busy_nodes;
@@ -205,7 +205,7 @@ SimSnapshot Simulator::capture() const {
 }
 
 void Simulator::run_sched_pass(SchedContext& ctx) {
-  obs::TraceRecorder* tr = config_.trace_sink;
+  obs::TraceSink* tr = config_.trace_sink;
   const bool registry_on = obs::Registry::enabled();
   if (tr == nullptr && !registry_on) {
     scheduler_.schedule(ctx);

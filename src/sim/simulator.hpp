@@ -23,7 +23,7 @@
 namespace amjs {
 
 namespace obs {
-class TraceRecorder;
+class TraceSink;
 }
 
 class Simulator;
@@ -58,10 +58,10 @@ class SchedContext {
   /// Time the job has been waiting so far.
   [[nodiscard]] Duration waited(JobId id) const;
 
-  /// The run's structured-event recorder, or nullptr when tracing is off
+  /// The run's structured-event sink, or nullptr when tracing is off
   /// (SimConfig::trace_sink). Schedulers emit tuning / backfill / twin
   /// events through this; always null-check.
-  [[nodiscard]] obs::TraceRecorder* recorder() const;
+  [[nodiscard]] obs::TraceSink* recorder() const;
 
   /// Busy-node history of the run so far (step function; divide by
   /// machine().total_nodes() for utilization). Adaptive policies read
@@ -150,9 +150,11 @@ struct SimConfig {
 
   /// If set, structured run events (job lifecycle, scheduler passes,
   /// metric checks, snapshots, tuning decisions) are recorded here; see
-  /// src/obs/trace.hpp. Borrowed, not owned. Null keeps the hot path
+  /// src/obs/trace.hpp. Any TraceSink works: the in-memory TraceRecorder
+  /// or the bounded-memory JsonlStreamSink (obs/stream_sink.hpp) for
+  /// month-scale runs. Borrowed, not owned. Null keeps the hot path
   /// branch-cheap: the only cost of disabled tracing is pointer tests.
-  obs::TraceRecorder* trace_sink = nullptr;
+  obs::TraceSink* trace_sink = nullptr;
 
   /// Failure injection (disabled by default; see sim/failures.hpp).
   FailureModel failures;

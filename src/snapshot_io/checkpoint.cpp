@@ -1,0 +1,59 @@
+#include "snapshot_io/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/snapshot.hpp"
+#include "snapshot_io/snapshot_codec.hpp"
+
+namespace amjs::snapshot_io {
+
+void add_flags(Flags& flags) {
+  flags.define("checkpoint", "",
+               "write a resumable snapshot to this file at every metric check "
+               "(atomic overwrite)");
+  flags.define("resume-from", "",
+               "continue a checkpointed run from this snapshot file");
+  flags.define("halt-at-check", "0",
+               "with --checkpoint: exit right after the snapshot for this "
+               "metric check (1-based) is written; simulates a mid-run kill");
+}
+
+CheckpointOptions CheckpointOptions::from_flags(const Flags& flags) {
+  CheckpointOptions options;
+  options.checkpoint_path = flags.get("checkpoint");
+  options.resume_path = flags.get("resume-from");
+  options.halt_at_check = flags.get_i64("halt-at-check");
+  return options;
+}
+
+void arm_checkpoint_sink(SimConfig& config, const CheckpointOptions& options) {
+  if (options.checkpoint_path.empty()) return;
+  auto previous = std::move(config.snapshot_sink);
+  config.snapshot_sink = [options, previous](const SimSnapshot& snapshot) {
+    if (previous) previous(snapshot);
+    if (const Status st = write_snapshot_file(snapshot, options.checkpoint_path);
+        !st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.error().to_string().c_str());
+      return;
+    }
+    if (options.halt_at_check > 0 &&
+        snapshot.check_index >= static_cast<std::size_t>(options.halt_at_check)) {
+      std::fprintf(stderr,
+                   "checkpoint: halting after metric check %zu (snapshot in %s)\n",
+                   snapshot.check_index, options.checkpoint_path.c_str());
+      std::exit(0);
+    }
+  };
+}
+
+Result<SimResult> run_or_resume(Simulator& sim, const JobTrace& trace,
+                                const CheckpointOptions& options) {
+  if (options.resume_path.empty()) return sim.run(trace);
+  auto snapshot = read_snapshot_file(options.resume_path);
+  if (!snapshot) return snapshot.error();
+  return sim.resume(trace, snapshot.value(), ResumeScheduler::kRestore);
+}
+
+}  // namespace amjs::snapshot_io

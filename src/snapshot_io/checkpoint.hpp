@@ -1,0 +1,60 @@
+// CLI wiring for durable checkpoints: the --checkpoint / --resume-from /
+// --halt-at-check flag set shared by the examples and bench harnesses.
+//
+//   Flags flags;
+//   snapshot_io::add_flags(flags);
+//   ... flags.parse(argc, argv) ...
+//   const auto ckpt = snapshot_io::CheckpointOptions::from_flags(flags);
+//   SimConfig config;
+//   snapshot_io::arm_checkpoint_sink(config, ckpt);
+//   Simulator sim(machine, *scheduler, config);
+//   const auto result = snapshot_io::run_or_resume(sim, trace, ckpt);
+//
+// A checkpointed run overwrites the snapshot file (atomically) at every
+// metric check; killing the process at any point leaves a valid file to
+// --resume-from, and the resumed run's SimResult is bit-identical to the
+// uninterrupted one's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/result.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/result.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs::snapshot_io {
+
+/// Define --checkpoint, --resume-from, and --halt-at-check on `flags`.
+void add_flags(Flags& flags);
+
+struct CheckpointOptions {
+  /// Snapshot file written (atomic overwrite) at every metric check.
+  /// Empty = checkpointing off.
+  std::string checkpoint_path;
+
+  /// Snapshot file to continue from. Empty = fresh run.
+  std::string resume_path;
+
+  /// If > 0, exit the process (successfully) right after the checkpoint
+  /// for this metric check (1-based) is durable — a deterministic
+  /// stand-in for a mid-run kill; CI's resume smoke test uses it.
+  /// Requires checkpoint_path.
+  std::int64_t halt_at_check = 0;
+
+  [[nodiscard]] static CheckpointOptions from_flags(const Flags& flags);
+};
+
+/// Install a SimConfig::snapshot_sink per `options` (no-op when
+/// checkpointing is off). Chains with any sink already installed.
+void arm_checkpoint_sink(SimConfig& config, const CheckpointOptions& options);
+
+/// Fresh run, or — when options.resume_path is set — load the snapshot and
+/// continue it (ResumeScheduler::kRestore). A missing or corrupt snapshot
+/// file surfaces as the Result error.
+[[nodiscard]] Result<SimResult> run_or_resume(Simulator& sim, const JobTrace& trace,
+                                              const CheckpointOptions& options);
+
+}  // namespace amjs::snapshot_io

@@ -5,6 +5,16 @@
 
 namespace amjs {
 
+StepSeries StepSeries::from_points(double initial, std::vector<TimePoint> points) {
+  assert(std::is_sorted(points.begin(), points.end(),
+                        [](const TimePoint& a, const TimePoint& b) {
+                          return a.time < b.time;
+                        }));
+  StepSeries series(initial);
+  series.points_ = std::move(points);
+  return series;
+}
+
 void StepSeries::set(SimTime time, double value) {
   assert(points_.empty() || time >= points_.back().time);
   if (!points_.empty() && points_.back().time == time) {

@@ -30,7 +30,16 @@ class StepSeries {
   /// `initial` is the value before the first explicit set.
   explicit StepSeries(double initial) : initial_(initial) {}
 
+  /// Serialization restore: adopt recorded points verbatim. set() compacts
+  /// no-op transitions, so replaying points through it is lossy when the
+  /// original run overwrote a same-timestamp point back to the prior value;
+  /// this keeps a decode/re-encode cycle byte-identical.
+  static StepSeries from_points(double initial, std::vector<TimePoint> points);
+
   void set(SimTime time, double value);
+
+  /// The value before the first explicit set (serialization access).
+  [[nodiscard]] double initial() const { return initial_; }
 
   [[nodiscard]] bool empty() const { return points_.empty(); }
   [[nodiscard]] std::size_t size() const { return points_.size(); }

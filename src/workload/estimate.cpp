@@ -56,7 +56,10 @@ Duration BucketedEstimate::estimate(Duration runtime, Rng& rng) const {
 }
 
 double estimate_accuracy(Duration runtime, Duration walltime) {
-  assert(walltime > 0);
+  // Malformed records (walltime <= 0) reach this in release builds, where
+  // the old assert-only guard let them produce inf/NaN that poisoned
+  // whole-trace accuracy means. Define them as 0 instead.
+  if (walltime <= 0) return 0.0;
   return static_cast<double>(runtime) / static_cast<double>(walltime);
 }
 

@@ -58,7 +58,9 @@ class BucketedEstimate final : public EstimateModel {
   std::vector<Duration> buckets_;
 };
 
-/// Accuracy = runtime / walltime in (0, 1]; convenience for reports.
+/// Accuracy = runtime / walltime in [0, 1]; convenience for reports.
+/// Defined for any input: a non-positive walltime (malformed record)
+/// yields 0 rather than inf/NaN, in release and debug builds alike.
 [[nodiscard]] double estimate_accuracy(Duration runtime, Duration walltime);
 
 }  // namespace amjs

@@ -92,7 +92,10 @@ Result<JobTrace> read_swf(std::istream& in, const SwfReadOptions& options) {
       return Error{"negative submit time", amjs::format("line {}", lineno)};
     }
     const std::int64_t runtime = std::max<std::int64_t>(r.runtime, 0);
-    if (options.drop_cancelled && r.status == 5 && runtime == 0) continue;
+    if (options.drop_cancelled && r.status == 5 &&
+        !(options.keep_partial_cancelled && runtime > 0)) {
+      continue;
+    }
 
     std::int64_t procs = r.requested_procs > 0 ? r.requested_procs : r.allocated_procs;
     if (procs <= 0) continue;  // no size information: unschedulable record
@@ -131,9 +134,12 @@ Result<JobTrace> read_swf_file(const std::string& path, const SwfReadOptions& op
   return result;
 }
 
-void write_swf(std::ostream& out, const JobTrace& trace, const std::string& header_note) {
+void write_swf(std::ostream& out, const JobTrace& trace, const SwfWriteOptions& options) {
+  // Processor fields carry procs, not nodes: undo the read-side division
+  // so a read-with-divisor / write-with-multiplier pair round-trips.
+  const std::int64_t per_node = std::max(options.procs_per_node, 1);
   out << "; SWF v2 written by amjs\n";
-  if (!header_note.empty()) out << "; " << header_note << "\n";
+  if (!options.header_note.empty()) out << "; " << options.header_note << "\n";
   out << "; MaxJobs: " << trace.size() << "\n";
   for (const auto& j : trace.jobs()) {
     // Field order per the SWF spec; unknowns are -1. User ids are parsed
@@ -142,15 +148,16 @@ void write_swf(std::ostream& out, const JobTrace& trace, const std::string& head
     if (j.user.size() > 1 && j.user.front() == 'u') {
       if (const auto v = parse_i64(std::string_view(j.user).substr(1))) user_id = *v;
     }
+    const std::int64_t procs = j.nodes * per_node;
     out << amjs::format("{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
                        j.id + 1,    // 1 job number (1-based in archives)
                        j.submit,    // 2 submit
                        -1,          // 3 wait (outcome, not an input)
                        j.runtime,   // 4 run time
-                       j.nodes,     // 5 allocated procs
+                       procs,       // 5 allocated procs
                        -1,          // 6 avg cpu
                        -1,          // 7 used memory
-                       j.nodes,     // 8 requested procs
+                       procs,       // 8 requested procs
                        j.walltime,  // 9 requested time
                        -1,          // 10 requested memory
                        1,           // 11 status: completed
@@ -165,11 +172,20 @@ void write_swf(std::ostream& out, const JobTrace& trace, const std::string& head
 }
 
 Status write_swf_file(const std::string& path, const JobTrace& trace,
-                      const std::string& header_note) {
+                      const SwfWriteOptions& options) {
   std::ofstream out(path);
   if (!out) return Error{"cannot open file for writing", path};
-  write_swf(out, trace, header_note);
+  write_swf(out, trace, options);
   return Status::success();
+}
+
+void write_swf(std::ostream& out, const JobTrace& trace, const std::string& header_note) {
+  write_swf(out, trace, SwfWriteOptions{1, header_note});
+}
+
+Status write_swf_file(const std::string& path, const JobTrace& trace,
+                      const std::string& header_note) {
+  return write_swf_file(path, trace, SwfWriteOptions{1, header_note});
 }
 
 }  // namespace amjs

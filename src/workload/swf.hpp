@@ -30,10 +30,14 @@ struct SwfReadOptions {
   /// nodes.
   int procs_per_node = 1;
 
-  /// Drop jobs whose status field says they were cancelled before starting
-  /// (status 5 with no runtime). Jobs that ran and failed are kept: they
-  /// occupied the machine.
+  /// Drop cancelled jobs (status 5).
   bool drop_cancelled = true;
+
+  /// With drop_cancelled: keep cancelled jobs that accumulated runtime —
+  /// they occupied the machine before being killed, so replays that model
+  /// machine pressure may want them. Off by default (a cancelled job is
+  /// not a scheduling request the policy should be judged on).
+  bool keep_partial_cancelled = false;
 
   /// When the requested-time field is missing (-1), substitute
   /// `fallback_walltime_factor * runtime` (the usual archive convention).
@@ -50,12 +54,31 @@ struct SwfReadOptions {
 [[nodiscard]] Result<JobTrace> read_swf_file(const std::string& path,
                                              const SwfReadOptions& options = {});
 
+/// Serialization knobs, mirroring SwfReadOptions.
+struct SwfWriteOptions {
+  /// Multiplier applied to node counts when writing the processor fields
+  /// (5 and 8) — the inverse of SwfReadOptions::procs_per_node, so a trace
+  /// read with procs_per_node = k round-trips through a write with the
+  /// same k. 1 = write nodes as procs.
+  int procs_per_node = 1;
+
+  /// Free-text comment emitted into the file header.
+  std::string header_note;
+};
+
 /// Serialize a trace as SWF (wait/allocated fields written as the trace's
-/// requested values; status 1). Round-trips through read_swf.
+/// requested values; status 1). Round-trips through read_swf when the
+/// read and write procs_per_node agree.
 void write_swf(std::ostream& out, const JobTrace& trace,
-               const std::string& header_note = "");
+               const SwfWriteOptions& options = {});
 
 [[nodiscard]] Status write_swf_file(const std::string& path, const JobTrace& trace,
-                                    const std::string& header_note = "");
+                                    const SwfWriteOptions& options = {});
+
+/// Legacy spellings: a bare header note, procs written as nodes.
+void write_swf(std::ostream& out, const JobTrace& trace,
+               const std::string& header_note);
+[[nodiscard]] Status write_swf_file(const std::string& path, const JobTrace& trace,
+                                    const std::string& header_note);
 
 }  // namespace amjs

@@ -1,0 +1,132 @@
+// JsonlStreamSink: the bounded-memory streaming sibling of TraceRecorder.
+// Its output (wall fields stripped) must be byte-identical to
+// TraceRecorder::write_jsonl for the same event sequence — both go through
+// write_event_jsonl — and its buffer must stay bounded regardless of how
+// many events flow through.
+#include "obs/stream_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace amjs::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void record_mixed_sequence(TraceSink& sink, int n) {
+  for (int i = 0; i < n; ++i) {
+    sink.record(TraceCategory::kJob, "submit", i * 10,
+                {arg("job", i), arg("nodes", 64 + i)});
+    if (i % 3 == 0) {
+      sink.record_span(TraceCategory::kSched, "pass", i * 10, 1.0, 0.5,
+                       {arg("queued", i)});
+    }
+    if (i % 7 == 0) {
+      sink.record(TraceCategory::kTwin, "fork", i * 10,
+                  {arg("candidate", std::string("BF=1/W=2")),
+                   arg("objective", 0.125 * i)});
+    }
+  }
+}
+
+TEST(JsonlStreamSink, StrippedOutputMatchesRecorderByteForByte) {
+  const std::string path = temp_path("amjs_stream_identity.jsonl");
+  StreamSinkOptions options;
+  options.include_wall = false;  // strip the only nondeterministic fields
+  {
+    auto sink = JsonlStreamSink::open(path, options);
+    ASSERT_TRUE(sink.ok()) << sink.error().to_string();
+    record_mixed_sequence(*sink.value(), 50);
+  }  // destructor flushes
+
+  TraceRecorder recorder;
+  record_mixed_sequence(recorder, 50);
+  std::ostringstream expected;
+  recorder.write_jsonl(expected, /*include_wall=*/false);
+
+  EXPECT_EQ(slurp(path), expected.str());
+  std::remove(path.c_str());
+}
+
+TEST(JsonlStreamSink, BufferStaysBounded) {
+  const std::string path = temp_path("amjs_stream_bounded.jsonl");
+  StreamSinkOptions options;
+  options.buffer_bytes = 512;  // tiny buffer: flush every few events
+  options.include_wall = false;
+  auto sink = JsonlStreamSink::open(path, options);
+  ASSERT_TRUE(sink.ok());
+  for (int i = 0; i < 2000; ++i) {
+    sink.value()->record(TraceCategory::kJob, "submit", i,
+                         {arg("job", i), arg("nodes", 64)});
+    // One serialized event is well under the buffer cap, so the high-water
+    // mark is buffer_bytes + one event, never the whole stream.
+    EXPECT_LT(sink.value()->buffered_bytes(), options.buffer_bytes + 256)
+        << "at event " << i;
+  }
+  EXPECT_EQ(sink.value()->events_written(), 2000u);
+  sink.value()->flush();
+  EXPECT_EQ(sink.value()->buffered_bytes(), 0u);
+
+  // Everything reached the file.
+  std::istringstream lines(slurp(path));
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) ++n;
+  EXPECT_EQ(n, 2000u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlStreamSink, FlushMakesEventsDurableMidStream) {
+  const std::string path = temp_path("amjs_stream_flush.jsonl");
+  StreamSinkOptions options;
+  options.include_wall = false;
+  auto sink = JsonlStreamSink::open(path, options);
+  ASSERT_TRUE(sink.ok());
+  sink.value()->record(TraceCategory::kJob, "submit", 0, {arg("job", 1)});
+  EXPECT_GT(sink.value()->buffered_bytes(), 0u);  // below cap: not yet on disk
+  sink.value()->flush();
+  const std::string on_disk = slurp(path);
+  EXPECT_NE(on_disk.find("\"submit\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlStreamSink, OpenFailureIsAResultError) {
+  const auto sink = JsonlStreamSink::open("/nonexistent-dir/amjs/x.jsonl");
+  ASSERT_FALSE(sink.ok());
+  EXPECT_FALSE(sink.error().to_string().empty());
+}
+
+TEST(TeeSink, FansOutToRecorderAndStream) {
+  const std::string path = temp_path("amjs_stream_tee.jsonl");
+  StreamSinkOptions options;
+  options.include_wall = false;
+  auto stream = JsonlStreamSink::open(path, options);
+  ASSERT_TRUE(stream.ok());
+  TraceRecorder recorder;
+  TeeSink tee({&recorder, stream.value().get()});
+  record_mixed_sequence(tee, 10);
+  stream.value()->flush();
+
+  std::ostringstream expected;
+  recorder.write_jsonl(expected, /*include_wall=*/false);
+  EXPECT_EQ(recorder.size(), stream.value()->events_written());
+  EXPECT_EQ(slurp(path), expected.str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace amjs::obs

@@ -84,6 +84,14 @@ TEST(EstimateAccuracyTest, Ratio) {
   EXPECT_DOUBLE_EQ(estimate_accuracy(600, 600), 1.0);
 }
 
+TEST(EstimateAccuracyTest, NonPositiveWalltimeYieldsZero) {
+  // Malformed records must not poison accuracy means with inf/NaN; the
+  // guard is a defined value, not an assert, so it holds in release too.
+  EXPECT_DOUBLE_EQ(estimate_accuracy(600, 0), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_accuracy(600, -5), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_accuracy(0, 0), 0.0);
+}
+
 TEST(EstimateDeterminismTest, SameSeedSameEstimates) {
   BucketedEstimate model(3.0);
   Rng a(99), b(99);

@@ -83,6 +83,33 @@ TEST(SwfReadTest, KeepsFailedJobsThatRan) {
   EXPECT_EQ(trace.value().job(0).runtime, 120);
 }
 
+TEST(SwfReadTest, DropsPartiallyRunCancelledJobs) {
+  // A status-5 job that ran for a while before cancellation is still
+  // cancelled: drop_cancelled removes it regardless of runtime.
+  std::istringstream in(
+      "1 0 -1 300 8 -1 -1 8 600 -1 5 -1 -1 -1 0 -1 -1 -1\n"
+      "2 10 -1 60 8 -1 -1 8 600 -1 1 -1 -1 -1 0 -1 -1 -1\n");
+  const auto trace = read_swf(in, SwfReadOptions{});
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().size(), 1u);
+  EXPECT_EQ(trace.value().job(0).runtime, 60);
+}
+
+TEST(SwfReadTest, KeepPartialCancelledOptIn) {
+  // keep_partial_cancelled retains cancelled jobs that consumed machine
+  // time (they occupied nodes and matter for utilization studies) while
+  // still dropping the zero-runtime ones that never ran.
+  std::istringstream in(
+      "1 0 -1 300 8 -1 -1 8 600 -1 5 -1 -1 -1 0 -1 -1 -1\n"
+      "2 10 -1 0 8 -1 -1 8 600 -1 5 -1 -1 -1 0 -1 -1 -1\n");
+  SwfReadOptions opts;
+  opts.keep_partial_cancelled = true;
+  const auto trace = read_swf(in, opts);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().size(), 1u);
+  EXPECT_EQ(trace.value().job(0).runtime, 300);
+}
+
 TEST(SwfReadTest, SkipsRecordsWithoutSize) {
   std::istringstream in("1 0 -1 60 -1 -1 -1 -1 600 -1 1 -1 -1 -1 0 -1 -1 -1\n");
   const auto trace = read_swf(in, SwfReadOptions{});
@@ -141,6 +168,40 @@ TEST(SwfRoundTripTest, WriteThenReadIsIdentity) {
     EXPECT_EQ(a.nodes, b.nodes);
     EXPECT_EQ(a.user, b.user);
     EXPECT_EQ(a.queue, b.queue);
+  }
+}
+
+TEST(SwfRoundTripTest, ProcsPerNodeRoundTrips) {
+  // Regression: write_swf used to emit the *node* count into the processor
+  // fields, so a read-with-divisor pass over its own output shrank every
+  // job by procs_per_node. Writing with a matching multiplier must be the
+  // exact inverse of reading with the divisor.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    Job j;
+    j.submit = i * 100;
+    j.runtime = 120;
+    j.walltime = 600;
+    j.nodes = 1 + i * 3;
+    jobs.push_back(j);
+  }
+  auto original = JobTrace::from_jobs(std::move(jobs));
+  ASSERT_TRUE(original.ok());
+
+  SwfWriteOptions write_opts;
+  write_opts.procs_per_node = 4;
+  std::stringstream buffer;
+  write_swf(buffer, original.value(), write_opts);
+
+  SwfReadOptions read_opts;
+  read_opts.procs_per_node = 4;
+  read_opts.rebase_to_zero = false;
+  const auto reread = read_swf(buffer, read_opts);
+  ASSERT_TRUE(reread.ok()) << reread.error().to_string();
+  ASSERT_EQ(reread.value().size(), original.value().size());
+  for (JobId id = 0; id < static_cast<JobId>(original.value().size()); ++id) {
+    EXPECT_EQ(reread.value().job(id).nodes, original.value().job(id).nodes)
+        << "job " << id;
   }
 }
 
