@@ -100,6 +100,14 @@ Result<bool> ByteReader::boolean() {
 Result<std::string> ByteReader::str() {
   auto len = count(remaining());
   if (!len) return len.error();
+  // count() capped the length against remaining() as measured *before* it
+  // consumed its own 8-byte field, so values up to 8 past the true end
+  // pass the cap. Re-check against what is actually left; otherwise
+  // substr would clamp silently and pos_ would run past the buffer,
+  // underflowing remaining() for every later read.
+  if (len.value() > remaining()) {
+    return truncated(static_cast<std::size_t>(len.value()));
+  }
   std::string s(data_.substr(pos_, len.value()));
   pos_ += len.value();
   return s;

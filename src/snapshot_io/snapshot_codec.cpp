@@ -5,12 +5,31 @@
 #include <sstream>
 #include <utility>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "snapshot_io/binio.hpp"
 #include "snapshot_io/state_codec.hpp"
 #include "util/fmt.hpp"
 
 namespace amjs::snapshot_io {
 namespace {
+
+#ifndef _WIN32
+// Flush `path` (a file or a directory) to stable storage. Without this
+// the rename below can hit disk before the data it points at, leaving a
+// truncated checkpoint after a crash despite the atomic-overwrite scheme.
+Status fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Error{"open for fsync failed", path};
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Error{"fsync failed", path};
+  return Status::success();
+}
+#endif
 
 void write_events(ByteWriter& w, const EventQueue& events) {
   w.u64(events.next_seq());
@@ -353,10 +372,24 @@ Status write_snapshot_file(const SimSnapshot& snapshot, const std::string& path)
     out.flush();
     if (!out) return Error{"write failed", tmp};
   }
+#ifndef _WIN32
+  if (Status st = fsync_path(tmp); !st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Error{"rename failed", path};
   }
+#ifndef _WIN32
+  // Persist the rename itself: the directory entry is durable only once
+  // the containing directory has been synced.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  if (Status st = fsync_path(dir); !st.ok()) return st;
+#endif
   return Status::success();
 }
 

@@ -1,6 +1,5 @@
 #include "snapshot_io/state_codec.hpp"
 
-#include <cassert>
 #include <utility>
 #include <vector>
 
@@ -67,7 +66,7 @@ Result<PartitionMachine::LeafMask> read_leaf_mask(ByteReader& r) {
 
 // --- Machine state codecs. ---------------------------------------------
 
-void encode_flat(ByteWriter& w, const MachineState& state) {
+Status encode_flat(ByteWriter& w, const MachineState& state) {
   const auto& s = dynamic_cast<const FlatMachineState&>(state);
   w.i64(s.total);
   w.i64(s.busy);
@@ -76,6 +75,7 @@ void encode_flat(ByteWriter& w, const MachineState& state) {
     w.i64(job);
     write_alloc(w, alloc);
   }
+  return Status::success();
 }
 
 Result<std::unique_ptr<MachineState>> decode_flat(ByteReader& r) {
@@ -98,7 +98,7 @@ Result<std::unique_ptr<MachineState>> decode_flat(ByteReader& r) {
   return {std::move(s)};
 }
 
-void encode_partition(ByteWriter& w, const MachineState& state) {
+Status encode_partition(ByteWriter& w, const MachineState& state) {
   const auto& s = dynamic_cast<const PartitionMachineState&>(state);
   w.i64(s.config.leaf_nodes);
   w.i64(s.config.row_leaves);
@@ -111,6 +111,7 @@ void encode_partition(ByteWriter& w, const MachineState& state) {
     write_alloc(w, live.alloc);
     w.i64(live.partition);
   }
+  return Status::success();
 }
 
 Result<std::unique_ptr<MachineState>> decode_partition(ByteReader& r) {
@@ -149,7 +150,7 @@ Result<std::unique_ptr<MachineState>> decode_partition(ByteReader& r) {
 
 // --- Scheduler state codecs. -------------------------------------------
 
-void encode_metric_aware(ByteWriter& w, const SchedulerState& state) {
+Status encode_metric_aware(ByteWriter& w, const SchedulerState& state) {
   const auto& s = dynamic_cast<const MetricAwareState&>(state);
   w.f64(s.policy.balance_factor);
   w.i64(s.policy.window_size);
@@ -157,6 +158,7 @@ void encode_metric_aware(ByteWriter& w, const SchedulerState& state) {
   w.u64(s.stats.jobs_started);
   w.u64(s.stats.jobs_backfilled);
   w.u64(s.stats.permutations_tried);
+  return Status::success();
 }
 
 Result<std::unique_ptr<SchedulerState>> decode_metric_aware(ByteReader& r) {
@@ -182,14 +184,15 @@ Result<std::unique_ptr<SchedulerState>> decode_metric_aware(ByteReader& r) {
   return {std::move(s)};
 }
 
-void encode_adaptive(ByteWriter& w, const SchedulerState& state) {
+Status encode_adaptive(ByteWriter& w, const SchedulerState& state) {
   const auto& s = dynamic_cast<const AdaptiveState&>(state);
-  const Status inner = write_scheduler_state(w, s.inner.get());
-  assert(inner.ok() && "inner scheduler state has no registered codec");
-  (void)inner;
+  if (Status inner = write_scheduler_state(w, s.inner.get()); !inner.ok()) {
+    return inner;
+  }
   write_series(w, s.bf_history);
   write_series(w, s.w_history);
   w.u64(s.adjustments);
+  return Status::success();
 }
 
 Result<std::unique_ptr<SchedulerState>> decode_adaptive(ByteReader& r) {
@@ -209,11 +212,11 @@ Result<std::unique_ptr<SchedulerState>> decode_adaptive(ByteReader& r) {
   return {std::move(s)};
 }
 
-void encode_what_if(ByteWriter& w, const SchedulerState& state) {
+Status encode_what_if(ByteWriter& w, const SchedulerState& state) {
   const auto& s = dynamic_cast<const WhatIfState&>(state);
-  const Status inner = write_scheduler_state(w, s.inner.get());
-  assert(inner.ok() && "inner scheduler state has no registered codec");
-  (void)inner;
+  if (Status inner = write_scheduler_state(w, s.inner.get()); !inner.ok()) {
+    return inner;
+  }
   w.u64(s.stats.evaluations);
   w.u64(s.stats.forks);
   w.u64(s.stats.adoptions);
@@ -221,6 +224,7 @@ void encode_what_if(ByteWriter& w, const SchedulerState& state) {
   write_series(w, s.bf_history);
   write_series(w, s.w_history);
   w.u64(s.checks_seen);
+  return Status::success();
 }
 
 Result<std::unique_ptr<SchedulerState>> decode_what_if(ByteReader& r) {
@@ -290,8 +294,7 @@ Status write_tagged(std::vector<Codec>& registry, ByteWriter& w,
   for (const Codec& codec : registry) {
     if (!codec.matches(*state)) continue;
     w.str(codec.tag);
-    codec.encode(w, *state);
-    return Status::success();
+    return codec.encode(w, *state);
   }
   return Error{amjs::format("no {} state codec registered for this type", kind)};
 }

@@ -29,14 +29,17 @@ struct MachineStateCodec {
   std::string tag;
   /// Does this codec handle the concrete type of `state`?
   std::function<bool(const MachineState&)> matches;
-  std::function<void(ByteWriter&, const MachineState&)> encode;
+  /// Returns Status so wrapper codecs can propagate a nested-encode
+  /// failure (e.g. an unregistered inner state) instead of emitting a
+  /// structurally corrupt payload under a valid CRC.
+  std::function<Status(ByteWriter&, const MachineState&)> encode;
   std::function<Result<std::unique_ptr<MachineState>>(ByteReader&)> decode;
 };
 
 struct SchedulerStateCodec {
   std::string tag;
   std::function<bool(const SchedulerState&)> matches;
-  std::function<void(ByteWriter&, const SchedulerState&)> encode;
+  std::function<Status(ByteWriter&, const SchedulerState&)> encode;
   std::function<Result<std::unique_ptr<SchedulerState>>(ByteReader&)> decode;
 };
 

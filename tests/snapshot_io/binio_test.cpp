@@ -1,0 +1,86 @@
+// ByteReader hardening: a corrupt length field must surface as a clean
+// Error, never move the cursor past the buffer end (which would underflow
+// remaining() and defeat every later bounds check).
+#include "snapshot_io/binio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/adaptive.hpp"
+#include "snapshot_io/state_codec.hpp"
+
+namespace amjs::snapshot_io {
+namespace {
+
+TEST(ByteReader, StrRoundtrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  w.str("world");
+  ByteReader r(w.data());
+  auto a = r.str();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), "hello");
+  auto b = r.str();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), "");
+  auto c = r.str();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), "world");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, StrLengthExactlyRemainingAccepted) {
+  ByteWriter w;
+  w.str("abc");
+  ByteReader r(w.data());
+  auto s = r.str();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), "abc");
+}
+
+// Regression: the length claims up to 8 bytes more than the data that
+// follows it. count() used to cap against remaining() measured before its
+// own 8-byte field was consumed, so such lengths slipped through, substr
+// clamped silently, and pos_ ran past the end — remaining() underflowed
+// to ~2^64 and every later read became an out-of-bounds access.
+TEST(ByteReader, StrLengthJustPastEndRejected) {
+  for (std::uint64_t excess = 1; excess <= 8; ++excess) {
+    ByteWriter w;
+    w.u64(3 + excess);  // claims more than the 3 bytes actually present
+    w.bytes("abc");
+    ByteReader r(w.data());
+    auto s = r.str();
+    ASSERT_FALSE(s.ok()) << "excess " << excess;
+    // The cursor must still be inside the buffer so remaining() is sane.
+    EXPECT_LE(r.offset(), w.data().size()) << "excess " << excess;
+    EXPECT_LE(r.remaining(), w.data().size()) << "excess " << excess;
+  }
+}
+
+TEST(ByteReader, StrLengthFarPastEndRejected) {
+  ByteWriter w;
+  w.u64(1ULL << 60);
+  w.bytes("abc");
+  ByteReader r(w.data());
+  EXPECT_FALSE(r.str().ok());
+}
+
+// An inner state with no registered codec must fail the outer encode with
+// a Status error in every build mode — not just trip an assert that
+// vanishes under NDEBUG while the encoder keeps appending fields.
+TEST(StateCodec, UnregisteredInnerStateFailsEncode) {
+  struct AlienState final : SchedulerState {};
+  AdaptiveState state;
+  state.inner = std::make_unique<AlienState>();
+  ByteWriter w;
+  const Status st = write_scheduler_state(w, &state);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.error().message.find("no scheduler state codec"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs::snapshot_io
