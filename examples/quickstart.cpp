@@ -38,6 +38,10 @@ int main(int argc, const char** argv) {
   flags.define("result-json", "",
                "write the full SimResult as deterministic JSON to this file "
                "(byte-comparable across runs)");
+  flags.define_bool("adaptive",
+                    "use the adaptive-BF policy instead of fixed(0.5, 2); "
+                    "pair with the default run to get a diverging trace pair "
+                    "for trace_explain diff");
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("quickstart").c_str());
@@ -77,7 +81,9 @@ int main(int argc, const char** argv) {
   //    paper's Table II varies; here: balance factor 0.5, allocation
   //    window 2, EASY backfilling.
   FlatMachine machine(100);
-  auto spec = BalancerSpec::fixed(/*bf=*/0.5, /*w=*/2);
+  auto spec = flags.get_bool("adaptive")
+                  ? BalancerSpec::bf_adaptive(/*threshold_minutes=*/10.0)
+                  : BalancerSpec::fixed(/*bf=*/0.5, /*w=*/2);
   const auto scheduler = MetricsBalancer::make(spec);
 
   // 3. Simulate (or resume a checkpointed run).

@@ -1,0 +1,109 @@
+// trace_explain: turn deterministic JSONL traces into explanations.
+//
+// Works on the JSONL traces every example/bench emits via --trace (the
+// <file>l sibling) or --trace-stream.
+//
+//   # Which scheduler decision made run B deviate from run A?
+//   $ ./trace_explain diff a.jsonl b.jsonl [--json report.json]
+//
+//   # Where did each job's time go (submit -> eligible -> reserved ->
+//   # start -> end), and what are the segment percentiles?
+//   $ ./trace_explain critical-path run.jsonl [--json paths.json]
+//
+// Exit status: 0 on successful analysis (diff prints "no divergence" for
+// identical runs), 1 on malformed input or usage errors — CI relies on the
+// nonzero exit to catch trace corruption.
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/diff.hpp"
+#include "util/flags.hpp"
+
+using namespace amjs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_explain diff <a.jsonl> <b.jsonl> [--json file]\n"
+               "       trace_explain critical-path <run.jsonl> [--json file]\n");
+  return 1;
+}
+
+bool write_json_file(const std::string& path,
+                     const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path, std::ios::binary);
+  if (out) writer(out);
+  if (!out) {
+    std::fprintf(stderr, "trace_explain: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b,
+             const std::string& json_path) {
+  auto report = analysis::diff_trace_files(path_a, path_b);
+  if (!report.ok()) {
+    std::fprintf(stderr, "trace_explain: %s\n",
+                 report.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", analysis::explain(report.value(), path_a, path_b).c_str());
+  if (!json_path.empty()) {
+    if (!write_json_file(json_path, [&](std::ostream& out) {
+          analysis::write_diff_json(out, report.value());
+        })) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_critical_path(const std::string& path, const std::string& json_path) {
+  auto report = analysis::critical_paths_file(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "trace_explain: %s\n",
+                 report.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", analysis::render_summary(report.value()).c_str());
+  if (!json_path.empty()) {
+    if (!write_json_file(json_path, [&](std::ostream& out) {
+          analysis::write_critical_paths_json(out, report.value());
+        })) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  Flags flags;
+  flags.define("json", "", "also write the machine-readable report here");
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
+    return usage();
+  }
+  const auto& args = flags.positional();
+  if (args.empty()) return usage();
+  const std::string& command = args[0];
+  const std::string json_path = flags.get("json");
+
+  if (command == "diff") {
+    if (args.size() != 3) return usage();
+    return cmd_diff(args[1], args[2], json_path);
+  }
+  if (command == "critical-path") {
+    if (args.size() != 2) return usage();
+    return cmd_critical_path(args[1], json_path);
+  }
+  std::fprintf(stderr, "trace_explain: unknown command '%s'\n",
+               command.c_str());
+  return usage();
+}

@@ -1,0 +1,52 @@
+# Smoke script for trace_explain (run via `cmake -P` so it works on any
+# CTest platform without a shell): traces quickstart runs and checks the
+# diff / critical-path / malformed-input paths end to end.
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Two identical runs -> no divergence.
+run_checked(${QUICKSTART} --trace ${WORK_DIR}/base1.json)
+run_checked(${QUICKSTART} --trace ${WORK_DIR}/base2.json)
+execute_process(
+  COMMAND ${TRACE_EXPLAIN} diff ${WORK_DIR}/base1.jsonl ${WORK_DIR}/base2.jsonl
+  RESULT_VARIABLE code OUTPUT_VARIABLE out)
+if(NOT code EQUAL 0 OR NOT out MATCHES "no divergence")
+  message(FATAL_ERROR "identical runs must report no divergence: ${out}")
+endif()
+
+# Baseline vs adaptive -> a pinpointed divergence.
+run_checked(${QUICKSTART} --adaptive --trace ${WORK_DIR}/adaptive.json)
+execute_process(
+  COMMAND ${TRACE_EXPLAIN} diff ${WORK_DIR}/base1.jsonl
+          ${WORK_DIR}/adaptive.jsonl --json ${WORK_DIR}/diff.json
+  RESULT_VARIABLE code OUTPUT_VARIABLE out)
+if(NOT code EQUAL 0 OR NOT out MATCHES "first divergence")
+  message(FATAL_ERROR "baseline vs adaptive must diverge: ${out}")
+endif()
+
+# Critical paths on a traced run.
+run_checked(${TRACE_EXPLAIN} critical-path ${WORK_DIR}/base1.jsonl
+            --json ${WORK_DIR}/paths.json)
+
+# Malformed input must exit nonzero.
+file(WRITE ${WORK_DIR}/garbage.jsonl "{\"t\": not-json\n")
+execute_process(
+  COMMAND ${TRACE_EXPLAIN} critical-path ${WORK_DIR}/garbage.jsonl
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "malformed input must fail")
+endif()
+execute_process(
+  COMMAND ${TRACE_EXPLAIN} diff ${WORK_DIR}/garbage.jsonl ${WORK_DIR}/base1.jsonl
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "malformed diff input must fail")
+endif()

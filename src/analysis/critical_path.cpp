@@ -1,0 +1,312 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/jsonl_reader.hpp"
+#include "util/fmt.hpp"
+#include "util/stats.hpp"
+
+namespace amjs::analysis {
+
+namespace {
+
+std::optional<std::int64_t> int_arg(const obs::TraceEvent& event,
+                                    std::string_view key) {
+  for (const auto& a : event.args) {
+    if (a.key != key) continue;
+    if (const auto* i = std::get_if<std::int64_t>(&a.value)) return *i;
+  }
+  return std::nullopt;
+}
+
+/// Incremental reconstruction state, fed one event at a time so the
+/// stream variant never materializes the trace.
+struct Builder {
+  std::map<JobId, JobPath> jobs;
+  std::vector<SimTime> pass_times;  // ascending (events arrive in time order)
+
+  Status feed(const obs::TraceEvent& event) {
+    if (event.category == obs::TraceCategory::kSched && event.name == "pass") {
+      pass_times.push_back(event.sim_time);
+      return Status::success();
+    }
+    if (event.category == obs::TraceCategory::kJob) {
+      const auto id = int_arg(event, "job");
+      if (!id.has_value()) {
+        return Error{amjs::format("job event '{}' without a job arg at t={}",
+                                  event.name, event.sim_time)};
+      }
+      JobPath& path = jobs[static_cast<JobId>(*id)];
+      path.job = static_cast<JobId>(*id);
+      if (event.name == "submit") {
+        path.submit = event.sim_time;
+      } else if (event.name == "start") {
+        // Keep the first attempt's start (failure restarts re-emit it),
+        // matching ScheduleEntry::start.
+        if (path.started == kNever) path.started = event.sim_time;
+      } else if (event.name == "end") {
+        path.ended = event.sim_time;
+      } else if (event.name == "abandon") {
+        path.ended = event.sim_time;
+        path.abandoned = true;
+      } else if (event.name == "fail_retry") {
+        ++path.retries;
+      } else if (event.name == "skip") {
+        path.submit = event.sim_time;
+        path.skipped = true;
+      }
+      return Status::success();
+    }
+    if (event.category == obs::TraceCategory::kBackfill) {
+      if (event.name == "reservation") {
+        const auto id = int_arg(event, "job");
+        if (!id.has_value()) {
+          return Error{amjs::format("reservation without a job arg at t={}",
+                                    event.sim_time)};
+        }
+        JobPath& path = jobs[static_cast<JobId>(*id)];
+        path.job = static_cast<JobId>(*id);
+        if (path.reserved == kNever) path.reserved = event.sim_time;
+        // Track the latest promise; head reservations are re-derived every
+        // pass and only the final one reflects when the job actually ran.
+        if (const auto start = int_arg(event, "start")) {
+          path.reserved_start = *start;
+        }
+      } else if (event.name == "backfill") {
+        if (const auto id = int_arg(event, "job")) {
+          JobPath& path = jobs[static_cast<JobId>(*id)];
+          path.job = static_cast<JobId>(*id);
+          path.backfilled = true;
+        }
+      }
+      // Conservative's per-pass "reservations" summary carries no per-job
+      // detail; it is intentionally not reconstructed.
+      return Status::success();
+    }
+    return Status::success();  // tuning / snapshot / twin: not path events
+  }
+};
+
+SegmentStats segment_stats(std::vector<double> sample) {
+  SegmentStats stats;
+  stats.count = sample.size();
+  if (sample.empty()) return stats;
+  double sum = 0.0;
+  double max = sample.front();
+  for (const double x : sample) {
+    sum += x;
+    max = std::max(max, x);
+  }
+  stats.mean = sum / static_cast<double>(sample.size());
+  stats.max = max;
+  stats.p50 = quantile(sample, 0.5);
+  stats.p95 = quantile(sample, 0.95);
+  return stats;
+}
+
+CriticalPathReport finish(Builder&& builder) {
+  CriticalPathReport report;
+  report.jobs.reserve(builder.jobs.size());
+
+  std::vector<double> pending;
+  std::vector<double> queued;
+  std::vector<double> reserve;
+  std::vector<double> service;
+  std::vector<double> total;
+  for (auto& [id, path] : builder.jobs) {
+    if (path.submit != kNever && !path.skipped) {
+      // First pass at/after submission. Passes are recorded in time order,
+      // so a binary search gives the eligibility instant.
+      const auto it = std::lower_bound(builder.pass_times.begin(),
+                                       builder.pass_times.end(), path.submit);
+      if (it != builder.pass_times.end()) path.eligible = *it;
+    }
+    if (path.eligible != kNever) {
+      pending.push_back(static_cast<double>(path.eligible - path.submit));
+      if (path.was_started()) {
+        queued.push_back(static_cast<double>(path.started - path.eligible));
+      }
+    }
+    if (path.reserved != kNever && path.was_started()) {
+      reserve.push_back(static_cast<double>(path.started - path.reserved));
+    }
+    if (path.was_started() && path.ended != kNever) {
+      service.push_back(static_cast<double>(path.run()));
+      total.push_back(static_cast<double>(path.ended - path.submit));
+    }
+    report.jobs.push_back(std::move(path));
+  }
+  report.pending = segment_stats(std::move(pending));
+  report.queued = segment_stats(std::move(queued));
+  report.reserve = segment_stats(std::move(reserve));
+  report.service = segment_stats(std::move(service));
+  report.total = segment_stats(std::move(total));
+  return report;
+}
+
+}  // namespace
+
+const JobPath* CriticalPathReport::find(JobId job) const {
+  const auto it = std::lower_bound(
+      jobs.begin(), jobs.end(), job,
+      [](const JobPath& path, JobId id) { return path.job < id; });
+  return it != jobs.end() && it->job == job ? &*it : nullptr;
+}
+
+Result<CriticalPathReport> critical_paths(
+    const std::vector<obs::TraceEvent>& events) {
+  Builder builder;
+  for (const auto& event : events) {
+    if (auto st = builder.feed(event); !st.ok()) return st.error();
+  }
+  return finish(std::move(builder));
+}
+
+Result<CriticalPathReport> critical_paths(std::istream& trace) {
+  obs::JsonlReader reader(trace);
+  Builder builder;
+  while (true) {
+    auto next = reader.next();
+    if (!next.ok()) return next.error();
+    if (!next.value().has_value()) break;
+    if (auto st = builder.feed(*next.value()); !st.ok()) return st.error();
+  }
+  return finish(std::move(builder));
+}
+
+Result<CriticalPathReport> critical_paths_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"cannot open trace", path};
+  auto report = critical_paths(in);
+  if (!report.ok()) return Error{report.error().to_string(), path};
+  return report;
+}
+
+Status cross_check(const CriticalPathReport& report, const SimResult& result) {
+  std::size_t matched = 0;
+  for (const auto& entry : result.schedule) {
+    const JobPath* path = report.find(entry.job);
+    if (entry.skipped) continue;  // skip events carry no lifecycle chain
+    if (path == nullptr) {
+      if (!entry.started()) continue;  // never queued-visible, e.g. truncated
+      return Error{amjs::format("job {} in schedule but absent from trace",
+                                entry.job)};
+    }
+    if (path->submit != entry.submit) {
+      return Error{amjs::format("job {}: trace submit {} != schedule {}",
+                                entry.job, path->submit, entry.submit)};
+    }
+    if (path->started != entry.start) {
+      return Error{amjs::format("job {}: trace start {} != schedule {}",
+                                entry.job, path->started, entry.start)};
+    }
+    if (path->ended != entry.end) {
+      return Error{amjs::format("job {}: trace end {} != schedule {}",
+                                entry.job, path->ended, entry.end)};
+    }
+    if (entry.started() && path->wait() != entry.wait()) {
+      return Error{amjs::format("job {}: trace wait {} != schedule {}",
+                                entry.job, path->wait(), entry.wait())};
+    }
+    ++matched;
+  }
+  if (matched == 0 && !result.schedule.empty()) {
+    return Error{"no schedule entry could be cross-checked"};
+  }
+  return Status::success();
+}
+
+namespace {
+
+void write_time_field(std::ostream& out, const char* key, SimTime t) {
+  out << "\"" << key << "\": ";
+  if (t == kNever) out << "null";
+  else out << t;
+}
+
+void write_segment_json(std::ostream& out, const char* key,
+                        const SegmentStats& stats) {
+  char p50[32];
+  char p95[32];
+  char mean[32];
+  char max[32];
+  std::snprintf(p50, sizeof p50, "%.17g", stats.p50);
+  std::snprintf(p95, sizeof p95, "%.17g", stats.p95);
+  std::snprintf(mean, sizeof mean, "%.17g", stats.mean);
+  std::snprintf(max, sizeof max, "%.17g", stats.max);
+  out << "\"" << key << "\": {\"count\": " << stats.count
+      << ", \"p50\": " << p50 << ", \"p95\": " << p95 << ", \"mean\": " << mean
+      << ", \"max\": " << max << "}";
+}
+
+}  // namespace
+
+void write_critical_paths_json(std::ostream& out,
+                               const CriticalPathReport& report) {
+  out << "{\"jobs\": [";
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const JobPath& path = report.jobs[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"job\": " << path.job << ", ";
+    write_time_field(out, "submit", path.submit);
+    out << ", ";
+    write_time_field(out, "eligible", path.eligible);
+    out << ", ";
+    write_time_field(out, "reserved", path.reserved);
+    out << ", ";
+    write_time_field(out, "reserved_start", path.reserved_start);
+    out << ", ";
+    write_time_field(out, "started", path.started);
+    out << ", ";
+    write_time_field(out, "ended", path.ended);
+    out << ", \"wait_s\": " << path.wait() << ", \"run_s\": " << path.run()
+        << ", \"backfilled\": " << (path.backfilled ? "true" : "false")
+        << ", \"skipped\": " << (path.skipped ? "true" : "false")
+        << ", \"abandoned\": " << (path.abandoned ? "true" : "false")
+        << ", \"retries\": " << path.retries << "}";
+  }
+  out << "\n], \"segments\": {";
+  write_segment_json(out, "pending", report.pending);
+  out << ", ";
+  write_segment_json(out, "queued", report.queued);
+  out << ", ";
+  write_segment_json(out, "reserve", report.reserve);
+  out << ", ";
+  write_segment_json(out, "service", report.service);
+  out << ", ";
+  write_segment_json(out, "total", report.total);
+  out << "}}\n";
+}
+
+std::string render_summary(const CriticalPathReport& report) {
+  std::size_t started = 0;
+  std::size_t backfilled = 0;
+  std::size_t reserved = 0;
+  for (const auto& path : report.jobs) {
+    if (path.was_started()) ++started;
+    if (path.backfilled) ++backfilled;
+    if (path.reserved != kNever) ++reserved;
+  }
+  std::string out = amjs::format(
+      "critical paths: {} jobs ({} started, {} backfilled, {} ever "
+      "reserved)\n",
+      report.jobs.size(), started, backfilled, reserved);
+  const auto row = [](const char* name, const SegmentStats& s) {
+    return amjs::format(
+        "  {}  n={}  p50={} s  p95={} s  mean={} s  max={} s\n", name, s.count,
+        static_cast<std::int64_t>(s.p50), static_cast<std::int64_t>(s.p95),
+        static_cast<std::int64_t>(s.mean), static_cast<std::int64_t>(s.max));
+  };
+  out += row("pending (submit->eligible)", report.pending);
+  out += row("queued  (eligible->start) ", report.queued);
+  out += row("reserve (reserved->start) ", report.reserve);
+  out += row("service (start->end)      ", report.service);
+  out += row("total   (submit->end)     ", report.total);
+  return out;
+}
+
+}  // namespace amjs::analysis

@@ -1,0 +1,109 @@
+// Per-job critical paths reconstructed from a structured trace.
+//
+// A scheduler trace answers "what happened"; the critical path answers
+// "where did each job's time go". This module replays the kJob / kSched /
+// kBackfill events of one JSONL trace (TraceRecorder::write_jsonl or
+// JsonlStreamSink output — parsed by obs/jsonl_reader) into per-job
+// submit → eligible → reserved → started → ended chains, then aggregates
+// each segment into p50/p95 distributions via util/stats.
+//
+// Segment definitions (all integral sim seconds):
+//   pending   submit → eligible: submission to the first scheduler pass at
+//             or after it — the window in which no decision about the job
+//             was even possible. The simulator runs a pass at every event
+//             instant, so nonzero pendings flag a broken trace.
+//   queued    eligible → started: time spent losing scheduling decisions.
+//   reserve   reserved → started: tail of `queued` spent holding a
+//             backfill reservation (EASY/metric-aware head-of-queue
+//             promise; only jobs that were ever reserved contribute).
+//   service   started → ended: execution (first attempt's start, matching
+//             ScheduleEntry semantics under failure injection).
+//   total     submit → ended.
+//
+// The reconstruction is cross-checked against the authoritative
+// SimResult.schedule by cross_check(): every reconstructed start/end/wait
+// must match to the second, making the trace pipeline itself testable —
+// a trace that no longer reproduces the schedule is a serialization bug.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/result.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace amjs::analysis {
+
+/// One job's reconstructed lifecycle chain.
+struct JobPath {
+  JobId job = kInvalidJob;
+  SimTime submit = kNever;
+  SimTime eligible = kNever;        ///< first sched pass at/after submit
+  SimTime reserved = kNever;        ///< first backfill reservation naming it
+  SimTime reserved_start = kNever;  ///< the promised start of that reservation
+  SimTime started = kNever;         ///< first attempt's start
+  SimTime ended = kNever;           ///< end or abandon instant
+  bool backfilled = false;          ///< started via a backfill event
+  bool skipped = false;             ///< never fit the machine
+  bool abandoned = false;           ///< exhausted failure restarts
+  int retries = 0;                  ///< fail_retry count
+
+  [[nodiscard]] bool was_started() const { return started != kNever; }
+  [[nodiscard]] Duration wait() const {
+    return was_started() ? started - submit : 0;
+  }
+  [[nodiscard]] Duration run() const {
+    return was_started() && ended != kNever ? ended - started : 0;
+  }
+};
+
+/// Distribution of one segment over the jobs that have it.
+struct SegmentStats {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+struct CriticalPathReport {
+  std::vector<JobPath> jobs;  ///< ascending job id
+  SegmentStats pending;       ///< submit → eligible
+  SegmentStats queued;        ///< eligible → started
+  SegmentStats reserve;       ///< reserved → started
+  SegmentStats service;       ///< started → ended
+  SegmentStats total;         ///< submit → ended
+
+  [[nodiscard]] const JobPath* find(JobId job) const;
+};
+
+/// Reconstruct critical paths from already-parsed events (e.g. straight
+/// from a TraceRecorder in tests).
+[[nodiscard]] Result<CriticalPathReport> critical_paths(
+    const std::vector<obs::TraceEvent>& events);
+
+/// Stream variant over a JSONL trace.
+[[nodiscard]] Result<CriticalPathReport> critical_paths(std::istream& trace);
+
+/// File variant; error context names the path.
+[[nodiscard]] Result<CriticalPathReport> critical_paths_file(
+    const std::string& path);
+
+/// Verify the reconstruction against the authoritative schedule: per job,
+/// submit/start/end (and hence wait and runtime) must match to the second.
+/// The first mismatch is reported in the error message.
+[[nodiscard]] Status cross_check(const CriticalPathReport& report,
+                                 const SimResult& result);
+
+/// Deterministic JSON: {"jobs": [...], "segments": {...}}, fixed key
+/// order, one job object per line.
+void write_critical_paths_json(std::ostream& out,
+                               const CriticalPathReport& report);
+
+/// Human-readable per-segment summary table.
+[[nodiscard]] std::string render_summary(const CriticalPathReport& report);
+
+}  // namespace amjs::analysis

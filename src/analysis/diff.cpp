@@ -1,0 +1,315 @@
+#include "analysis/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/jsonl_reader.hpp"
+#include "util/fmt.hpp"
+
+namespace amjs::analysis {
+
+namespace {
+
+/// Canonical comparison form: the wall-stripped JSONL line. Two events are
+/// "the same decision" iff these strings are byte-equal.
+std::string stripped_line(const obs::TraceEvent& event) {
+  std::ostringstream out;
+  obs::write_event_jsonl(out, event, /*include_wall=*/false);
+  return out.str();
+}
+
+std::optional<std::int64_t> int_arg(const obs::TraceEvent& event,
+                                    std::string_view key) {
+  for (const auto& a : event.args) {
+    if (a.key != key) continue;
+    if (const auto* i = std::get_if<std::int64_t>(&a.value)) return *i;
+  }
+  return std::nullopt;
+}
+
+/// Per-side running context: the nearest preceding pass / check / adjust,
+/// plus every job's first start (the cascade raw material).
+struct SideState {
+  DivergenceSide context;
+  std::map<JobId, SimTime> first_start;
+
+  void observe(const obs::TraceEvent& event) {
+    if (event.category == obs::TraceCategory::kSched && event.name == "pass") {
+      context.last_pass = event;
+    } else if (event.category == obs::TraceCategory::kTuning) {
+      if (event.name == "metric_check") context.last_check = event;
+      else if (event.name == "adjust") context.last_adjust = event;
+    } else if (event.category == obs::TraceCategory::kJob &&
+               event.name == "start") {
+      if (const auto job = int_arg(event, "job")) {
+        first_start.emplace(static_cast<JobId>(*job), event.sim_time);
+      }
+    }
+  }
+};
+
+/// Drain the rest of one stream, feeding only the start map (the context
+/// trackers are frozen at the divergence point).
+Status drain_starts(obs::JsonlReader& reader, SideState& side) {
+  while (true) {
+    auto next = reader.next();
+    if (!next.ok()) return next.error();
+    if (!next.value().has_value()) return Status::success();
+    const obs::TraceEvent& event = *next.value();
+    if (event.category == obs::TraceCategory::kJob && event.name == "start") {
+      if (const auto job = int_arg(event, "job")) {
+        side.first_start.emplace(static_cast<JobId>(*job), event.sim_time);
+      }
+    }
+  }
+}
+
+CascadeSummary summarize_cascade(const SideState& a, const SideState& b) {
+  CascadeSummary cascade;
+  cascade.starts_a = a.first_start.size();
+  cascade.starts_b = b.first_start.size();
+  for (const auto& [job, start_a] : a.first_start) {
+    const auto it = b.first_start.find(job);
+    if (it == b.first_start.end()) {
+      ++cascade.only_a;
+      continue;
+    }
+    ++cascade.common;
+    const Duration shift = it->second - start_a;
+    cascade.net_wait_delta_s += static_cast<double>(shift);
+    if (shift != 0) {
+      ++cascade.shifted;
+      if (cascade.shifted_jobs.size() < CascadeSummary::kMaxListedJobs) {
+        cascade.shifted_jobs.push_back(job);
+      }
+      const Duration magnitude = shift < 0 ? -shift : shift;
+      if (magnitude > cascade.max_shift_s) {
+        cascade.max_shift_s = magnitude;
+        cascade.max_shift_job = job;
+      }
+    }
+  }
+  cascade.only_b = cascade.starts_b - cascade.common;
+  return cascade;
+}
+
+/// Compact single-line rendering for the human explanation.
+std::string render_event(const obs::TraceEvent& event) {
+  std::string out = amjs::format("[{}] {} {{", obs::to_string(event.category),
+                                 event.name);
+  for (std::size_t i = 0; i < event.args.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += event.args[i].key;
+    out += "=";
+    if (const auto* v = std::get_if<std::int64_t>(&event.args[i].value)) {
+      out += amjs::format("{}", *v);
+    } else if (const auto* d = std::get_if<double>(&event.args[i].value)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", *d);
+      out += buf;
+    } else {
+      out += std::get<std::string>(event.args[i].value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void append_side(std::string& out, const std::string& label,
+                 const DivergenceSide& side) {
+  if (side.event.has_value()) {
+    out += amjs::format("  {} line {}: t={}  {}\n", label, side.line,
+                        side.event->sim_time, render_event(*side.event));
+  } else {
+    out += amjs::format("  {}: stream ended (no further events)\n", label);
+  }
+  if (side.last_pass.has_value()) {
+    out += amjs::format("    last sched pass: t={}  {}\n",
+                        side.last_pass->sim_time, render_event(*side.last_pass));
+  }
+  if (side.last_check.has_value()) {
+    out += amjs::format("    last metric check: t={}  {}\n",
+                        side.last_check->sim_time,
+                        render_event(*side.last_check));
+  }
+  if (side.last_adjust.has_value()) {
+    out += amjs::format("    last tuning adjust: t={}  {}\n",
+                        side.last_adjust->sim_time,
+                        render_event(*side.last_adjust));
+  }
+}
+
+void write_json_event_field(std::ostream& out, const char* key,
+                            const std::optional<obs::TraceEvent>& event) {
+  out << "\"" << key << "\": ";
+  if (!event.has_value()) {
+    out << "null";
+    return;
+  }
+  std::string line = stripped_line(*event);
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  out << line;
+}
+
+void write_json_side(std::ostream& out, const char* key,
+                     const DivergenceSide& side) {
+  out << "\"" << key << "\": {\"line\": " << side.line << ", ";
+  write_json_event_field(out, "event", side.event);
+  out << ", ";
+  write_json_event_field(out, "last_pass", side.last_pass);
+  out << ", ";
+  write_json_event_field(out, "last_check", side.last_check);
+  out << ", ";
+  write_json_event_field(out, "last_adjust", side.last_adjust);
+  out << "}";
+}
+
+}  // namespace
+
+SimTime DiffReport::divergence_time() const {
+  if (!diverged) return 0;
+  if (a.event.has_value() && b.event.has_value()) {
+    return std::min(a.event->sim_time, b.event->sim_time);
+  }
+  if (a.event.has_value()) return a.event->sim_time;
+  if (b.event.has_value()) return b.event->sim_time;
+  return 0;
+}
+
+Result<DiffReport> diff_traces(std::istream& in_a, std::istream& in_b) {
+  obs::JsonlReader reader_a(in_a);
+  obs::JsonlReader reader_b(in_b);
+  SideState side_a;
+  SideState side_b;
+  DiffReport report;
+
+  while (true) {
+    auto next_a = reader_a.next();
+    if (!next_a.ok()) return Error{next_a.error().to_string(), "trace A"};
+    auto next_b = reader_b.next();
+    if (!next_b.ok()) return Error{next_b.error().to_string(), "trace B"};
+    auto& event_a = next_a.value();
+    auto& event_b = next_b.value();
+
+    if (!event_a.has_value() && !event_b.has_value()) {
+      // Clean simultaneous end: identical runs.
+      report.diverged = false;
+      report.cascade = summarize_cascade(side_a, side_b);
+      return report;
+    }
+
+    if (event_a.has_value() && event_b.has_value() &&
+        stripped_line(*event_a) == stripped_line(*event_b)) {
+      side_a.observe(*event_a);
+      side_b.observe(*event_b);
+      ++report.events_compared;
+      continue;
+    }
+
+    // First divergence (mismatching events, or one side truncated).
+    report.diverged = true;
+    report.a = side_a.context;
+    report.b = side_b.context;
+    if (event_a.has_value()) {
+      report.a.line = reader_a.line_number();
+      report.a.event = *event_a;
+      side_a.observe(*event_a);
+    }
+    if (event_b.has_value()) {
+      report.b.line = reader_b.line_number();
+      report.b.event = *event_b;
+      side_b.observe(*event_b);
+    }
+    if (auto st = drain_starts(reader_a, side_a); !st.ok()) {
+      return Error{st.error().to_string(), "trace A"};
+    }
+    if (auto st = drain_starts(reader_b, side_b); !st.ok()) {
+      return Error{st.error().to_string(), "trace B"};
+    }
+    report.cascade = summarize_cascade(side_a, side_b);
+    return report;
+  }
+}
+
+Result<DiffReport> diff_trace_files(const std::string& path_a,
+                                    const std::string& path_b) {
+  std::ifstream in_a(path_a, std::ios::binary);
+  if (!in_a) return Error{"cannot open trace", path_a};
+  std::ifstream in_b(path_b, std::ios::binary);
+  if (!in_b) return Error{"cannot open trace", path_b};
+  auto report = diff_traces(in_a, in_b);
+  if (!report.ok()) {
+    return Error{report.error().message,
+                 report.error().context == "trace A" ? path_a : path_b};
+  }
+  return report;
+}
+
+void write_diff_json(std::ostream& out, const DiffReport& report) {
+  out << "{\"diverged\": " << (report.diverged ? "true" : "false")
+      << ", \"events_compared\": " << report.events_compared
+      << ", \"divergence_time\": " << report.divergence_time() << ", ";
+  write_json_side(out, "a", report.a);
+  out << ", ";
+  write_json_side(out, "b", report.b);
+  const auto& c = report.cascade;
+  char wait_delta[32];
+  std::snprintf(wait_delta, sizeof wait_delta, "%.17g", c.net_wait_delta_s);
+  out << ", \"cascade\": {\"starts_a\": " << c.starts_a
+      << ", \"starts_b\": " << c.starts_b << ", \"common\": " << c.common
+      << ", \"shifted\": " << c.shifted << ", \"only_a\": " << c.only_a
+      << ", \"only_b\": " << c.only_b
+      << ", \"net_wait_delta_s\": " << wait_delta
+      << ", \"max_shift_s\": " << c.max_shift_s
+      << ", \"max_shift_job\": " << c.max_shift_job << ", \"shifted_jobs\": [";
+  for (std::size_t i = 0; i < c.shifted_jobs.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << c.shifted_jobs[i];
+  }
+  out << "]}}\n";
+}
+
+std::string explain(const DiffReport& report, const std::string& label_a,
+                    const std::string& label_b) {
+  if (!report.diverged) {
+    return amjs::format(
+        "no divergence: {} identical events (wall-clock fields excluded)\n",
+        report.events_compared);
+  }
+  std::string out = amjs::format(
+      "first divergence after {} identical events, at sim t={} s:\n",
+      report.events_compared, report.divergence_time());
+  append_side(out, label_a, report.a);
+  append_side(out, label_b, report.b);
+
+  const auto& c = report.cascade;
+  out += amjs::format(
+      "cascade: {} of {} common job starts shifted; net wait delta {} s "
+      "({} minutes)\n",
+      c.shifted, c.common, static_cast<std::int64_t>(c.net_wait_delta_s),
+      static_cast<std::int64_t>(c.net_wait_delta_s / 60.0));
+  if (c.max_shift_job != kInvalidJob) {
+    out += amjs::format("  largest shift: job {} moved {} s\n", c.max_shift_job,
+                        c.max_shift_s);
+  }
+  if (c.only_a != 0 || c.only_b != 0) {
+    out += amjs::format("  started on one side only: {} in {}, {} in {}\n",
+                        c.only_a, label_a, c.only_b, label_b);
+  }
+  if (!c.shifted_jobs.empty()) {
+    out += "  shifted jobs:";
+    for (const JobId job : c.shifted_jobs) out += amjs::format(" {}", job);
+    if (c.shifted > c.shifted_jobs.size()) {
+      out += amjs::format(" … (+{} more)", c.shifted - c.shifted_jobs.size());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace amjs::analysis

@@ -1,0 +1,101 @@
+// Run-diff explainer — "these two runs differ" made actionable.
+//
+// Two simulations of the same workload are behaviourally identical iff
+// their wall-stripped JSONL traces are byte-identical (DESIGN.md
+// "Observability"). When they are *not*, a plain `diff` names a line; this
+// tool names a *decision*. It streams both traces in lockstep, finds the
+// first event where they disagree, and packages everything a person needs
+// to understand why the trajectories forked:
+//
+//   - the diverging event on each side (with its 1-based line number),
+//   - the nearest preceding scheduler pass (queue depth, starts, idle
+//     nodes at the last decision point before the fork),
+//   - the nearest preceding kTuning events — the periodic metric check
+//     and, separately, the last tunable adjustment with its before/after
+//     values (the usual root cause when comparing adaptive vs. fixed),
+//   - a cascade summary of everything downstream: how many job starts
+//     shifted, which jobs, the largest shift, and the net wait delta.
+//
+// Comparison is always on the wall-stripped form: wall-clock span fields
+// are nondeterministic by design and never count as divergence.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace amjs::analysis {
+
+/// One side's view of the first divergence.
+struct DivergenceSide {
+  /// 1-based line of the diverging event; 0 when this side's stream ended
+  /// before the other's (divergence-by-truncation).
+  std::size_t line = 0;
+  /// The diverging event; nullopt when the stream ended early.
+  std::optional<obs::TraceEvent> event;
+  /// Nearest preceding scheduler pass (kSched "pass"): queue depth /
+  /// starts / idle nodes at the last decision before the fork.
+  std::optional<obs::TraceEvent> last_pass;
+  /// Nearest preceding periodic metric check (kTuning "metric_check").
+  std::optional<obs::TraceEvent> last_check;
+  /// Nearest preceding tunable adjustment (kTuning "adjust") — carries the
+  /// bf/w before/after values.
+  std::optional<obs::TraceEvent> last_adjust;
+};
+
+/// What happened downstream of the fork, summarized over job starts.
+struct CascadeSummary {
+  std::size_t starts_a = 0;         ///< job starts seen in trace A (whole run)
+  std::size_t starts_b = 0;         ///< job starts seen in trace B
+  std::size_t common = 0;           ///< jobs started in both
+  std::size_t shifted = 0;          ///< common jobs whose start time differs
+  std::size_t only_a = 0;           ///< started in A only
+  std::size_t only_b = 0;           ///< started in B only
+  /// Σ over common jobs of (wait_B − wait_A), seconds. Negative = B made
+  /// the queue wait less overall.
+  double net_wait_delta_s = 0.0;
+  Duration max_shift_s = 0;         ///< largest |start_B − start_A|
+  JobId max_shift_job = kInvalidJob;
+  /// Shifted job ids, ascending, capped at kMaxListedJobs.
+  std::vector<JobId> shifted_jobs;
+
+  static constexpr std::size_t kMaxListedJobs = 32;
+};
+
+struct DiffReport {
+  bool diverged = false;
+  /// Length of the identical event prefix (= 0-based index of the first
+  /// diverging event).
+  std::size_t events_compared = 0;
+  DivergenceSide a;
+  DivergenceSide b;
+  CascadeSummary cascade;
+
+  /// Sim time of the first divergence (the earlier side when the two
+  /// diverging events carry different stamps); 0 when not diverged.
+  [[nodiscard]] SimTime divergence_time() const;
+};
+
+/// Stream both traces and report the first divergence plus its cascade.
+/// Fails on malformed input (line-numbered context names the side).
+[[nodiscard]] Result<DiffReport> diff_traces(std::istream& a, std::istream& b);
+
+/// File variant; error context names the offending path.
+[[nodiscard]] Result<DiffReport> diff_trace_files(const std::string& path_a,
+                                                  const std::string& path_b);
+
+/// Deterministic JSON report (fixed key order; embedded events use the
+/// wall-stripped write_event_jsonl form).
+void write_diff_json(std::ostream& out, const DiffReport& report);
+
+/// Multi-line human-readable explanation ("run B first deviated at …").
+[[nodiscard]] std::string explain(const DiffReport& report,
+                                  const std::string& label_a = "A",
+                                  const std::string& label_b = "B");
+
+}  // namespace amjs::analysis

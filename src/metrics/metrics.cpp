@@ -60,7 +60,19 @@ double loss_of_capacity(const SimResult& result) {
   // waits whose (partition-rounded) footprint is no larger than the idle
   // node count n_i.
   const auto& events = result.events;
-  if (events.size() < 2) return 0.0;
+  if (events.empty()) return 0.0;
+  if (events.size() == 1) {
+    // Eq. (4)'s t_m needs a second event, but a single recorded event is
+    // still an open interval: close it at the run end rather than silently
+    // reporting zero. A lone waiting-while-idle snapshot thus yields
+    // idle/N, the loss rate that actually held until end_time. With no
+    // elapsed time (end_time <= t_1) there is nothing to integrate.
+    const auto& e = events.front();
+    if (result.end_time <= e.time) return 0.0;
+    if (!e.any_waiting || e.min_waiting_occupancy > e.idle) return 0.0;
+    return static_cast<double>(e.idle) /
+           static_cast<double>(result.machine_nodes);
+  }
   double lost = 0.0;
   for (std::size_t i = 0; i + 1 < events.size(); ++i) {
     const auto& e = events[i];
@@ -85,9 +97,15 @@ std::vector<UtilizationSample> utilization_samples(const SimResult& result,
     UtilizationSample s;
     s.time = t;
     s.instant = result.busy_nodes.at(t) / nodes;
-    s.h1 = result.busy_nodes.trailing_mean(t, hours(1)) / nodes;
-    s.h10 = result.busy_nodes.trailing_mean(t, hours(10)) / nodes;
-    s.h24 = result.busy_nodes.trailing_mean(t, hours(24)) / nodes;
+    // Clamp each trailing window to the series start: early samples must
+    // average over the time that actually elapsed, not dilute with the
+    // implicit zeros a full window would reach back into.
+    const auto window_mean = [&](Duration window) {
+      return result.busy_nodes.mean(std::max(begin, t - window), t) / nodes;
+    };
+    s.h1 = window_mean(hours(1));
+    s.h10 = window_mean(hours(10));
+    s.h24 = window_mean(hours(24));
     samples.push_back(s);
   }
   return samples;

@@ -29,6 +29,9 @@ namespace amjs {
 
 /// Loss of Capacity, eq. (4): the fraction of node-time left idle while
 /// jobs small enough to use it were waiting — fragmentation cost.
+/// Boundary: with a single recorded event the open interval is closed at
+/// `result.end_time` (a lone waiting-while-idle snapshot is real loss);
+/// with no events, or no elapsed time, the loss is 0.
 [[nodiscard]] double loss_of_capacity(const SimResult& result);
 
 /// One checkpointed utilization observation (Fig. 5's four lines).
@@ -41,7 +44,10 @@ struct UtilizationSample {
 };
 
 /// Sample instant + trailing-window utilization every `interval` across
-/// the run (paper checks every 30 minutes).
+/// the run (paper checks every 30 minutes). Trailing windows are clamped
+/// to the series start, so a sample taken before a full window has
+/// elapsed averages only the recorded span instead of diluting it with
+/// implicit zeros from before the run began.
 [[nodiscard]] std::vector<UtilizationSample> utilization_samples(
     const SimResult& result, Duration interval = minutes(30));
 

@@ -1,0 +1,329 @@
+#include "obs/jsonl_reader.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+
+#include "util/fmt.hpp"
+
+namespace amjs::obs {
+
+std::optional<TraceCategory> category_from_string(std::string_view name) {
+  constexpr TraceCategory kAll[] = {
+      TraceCategory::kJob,      TraceCategory::kSched,
+      TraceCategory::kTuning,   TraceCategory::kBackfill,
+      TraceCategory::kSnapshot, TraceCategory::kTwin,
+  };
+  for (const TraceCategory c : kAll) {
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Recursive-descent parser over one line. The grammar is the small JSON
+/// subset write_event_jsonl emits: one flat object whose values are
+/// numbers, strings, or (for "args") one nested object of scalars.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  Result<TraceEvent> parse() {
+    TraceEvent event;
+    bool saw_time = false;
+    bool saw_cat = false;
+    bool saw_name = false;
+    bool span = false;
+    double wall_start = 0.0;
+    double wall = 0.0;
+    bool saw_wall_start = false;
+    bool saw_wall = false;
+
+    skip_ws();
+    if (!consume('{')) return fail("expected '{'");
+    skip_ws();
+    if (!consume('}')) {
+      while (true) {
+        std::string key;
+        if (auto st = parse_string(key); !st.ok()) return st.error();
+        skip_ws();
+        if (!consume(':')) return fail("expected ':' after key");
+        skip_ws();
+        if (key == "t") {
+          std::int64_t t = 0;
+          if (auto st = parse_int(t); !st.ok()) return st.error();
+          event.sim_time = t;
+          saw_time = true;
+        } else if (key == "cat") {
+          std::string cat;
+          if (auto st = parse_string(cat); !st.ok()) return st.error();
+          const auto parsed = category_from_string(cat);
+          if (!parsed) return fail("unknown category '" + cat + "'");
+          event.category = *parsed;
+          saw_cat = true;
+        } else if (key == "ph") {
+          std::string ph;
+          if (auto st = parse_string(ph); !st.ok()) return st.error();
+          if (ph != "i" && ph != "X") return fail("unknown ph '" + ph + "'");
+          span = ph == "X";
+        } else if (key == "name") {
+          if (auto st = parse_string(event.name); !st.ok()) return st.error();
+          saw_name = true;
+        } else if (key == "args") {
+          if (auto st = parse_args(event.args); !st.ok()) return st.error();
+        } else if (key == "wall_start_ms") {
+          if (auto st = parse_double(wall_start); !st.ok()) return st.error();
+          saw_wall_start = true;
+        } else if (key == "wall_ms") {
+          if (auto st = parse_double(wall); !st.ok()) return st.error();
+          saw_wall = true;
+        } else {
+          return fail("unknown field '" + key + "'");
+        }
+        skip_ws();
+        if (consume(',')) {
+          skip_ws();
+          continue;
+        }
+        if (consume('}')) break;
+        return fail("expected ',' or '}'");
+      }
+    }
+    skip_ws();
+    // Tolerate the single trailing newline write_event_jsonl emits, so
+    // parse(write(e)) holds on whole lines, not only getline-stripped ones.
+    if (pos_ < s_.size() && s_[pos_] == '\r') ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '\n') ++pos_;
+    if (pos_ != s_.size()) return fail("trailing bytes after event object");
+    if (!saw_time || !saw_cat || !saw_name) {
+      return fail("missing required field (t/cat/name)");
+    }
+    if (saw_wall_start != saw_wall) {
+      return fail("wall_start_ms and wall_ms must appear together");
+    }
+    if (span) {
+      // Stripped spans keep is_span() via zeroed wall fields.
+      event.wall_start_ms = saw_wall ? wall_start : 0.0;
+      event.wall_ms = saw_wall ? wall : 0.0;
+    } else if (saw_wall) {
+      return fail("wall fields on a non-span event");
+    }
+    return event;
+  }
+
+ private:
+  Error fail(std::string message) const {
+    return Error{std::move(message),
+                 amjs::format("jsonl byte {}", pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status parse_string(std::string& out) {
+    out.clear();
+    if (!consume('"')) return fail("expected '\"'");
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return Status::success();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // The writer only emits \u for control bytes; decode the BMP
+          // range as UTF-8 so any hand-written input survives too.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  /// Scan one JSON number token; `is_double` reports whether it had a
+  /// fraction or exponent (the writer never prints int64s with either).
+  Status scan_number(std::string& token, bool& is_double) {
+    token.clear();
+    is_double = false;
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      if (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E') is_double = true;
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a number");
+    token.assign(s_.substr(start, pos_ - start));
+    return Status::success();
+  }
+
+  Status parse_int(std::int64_t& out) {
+    std::string token;
+    bool is_double = false;
+    if (auto st = scan_number(token, is_double); !st.ok()) return st;
+    if (is_double) return fail("expected an integer");
+    errno = 0;
+    char* end = nullptr;
+    out = std::strtoll(token.c_str(), &end, 10);
+    if (errno != 0 || end != token.c_str() + token.size()) {
+      return fail("bad integer '" + token + "'");
+    }
+    return Status::success();
+  }
+
+  Status parse_double(double& out) {
+    std::string token;
+    bool is_double = false;
+    if (auto st = scan_number(token, is_double); !st.ok()) return st;
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return fail("bad number '" + token + "'");
+    }
+    return Status::success();
+  }
+
+  Status parse_value(TraceValue& out) {
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      std::string str;
+      if (auto st = parse_string(str); !st.ok()) return st;
+      out = std::move(str);
+      return Status::success();
+    }
+    std::string token;
+    bool is_double = false;
+    if (auto st = scan_number(token, is_double); !st.ok()) return st;
+    char* end = nullptr;
+    if (is_double) {
+      const double d = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) return fail("bad number");
+      out = d;
+    } else {
+      errno = 0;
+      const std::int64_t i = std::strtoll(token.c_str(), &end, 10);
+      if (errno != 0 || end != token.c_str() + token.size()) {
+        return fail("bad integer");
+      }
+      out = i;
+    }
+    return Status::success();
+  }
+
+  Status parse_args(std::vector<TraceArg>& out) {
+    out.clear();
+    if (!consume('{')) return fail("expected '{' for args");
+    skip_ws();
+    if (consume('}')) return Status::success();
+    while (true) {
+      TraceArg arg;
+      if (auto st = parse_string(arg.key); !st.ok()) return st;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in args");
+      skip_ws();
+      if (auto st = parse_value(arg.value); !st.ok()) return st;
+      out.push_back(std::move(arg));
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      if (consume('}')) return Status::success();
+      return fail("expected ',' or '}' in args");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TraceEvent> parse_event_jsonl(std::string_view line) {
+  return LineParser(line).parse();
+}
+
+Result<std::optional<TraceEvent>> JsonlReader::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_;
+    if (line.empty()) continue;
+    auto event = parse_event_jsonl(line);
+    if (!event.ok()) {
+      return Error{event.error().to_string(),
+                   amjs::format("line {}", line_)};
+    }
+    return std::optional<TraceEvent>(std::move(event).value());
+  }
+  if (in_.bad()) return Error{"read failure", amjs::format("line {}", line_)};
+  return std::optional<TraceEvent>(std::nullopt);
+}
+
+Result<std::vector<TraceEvent>> read_events_jsonl(std::istream& in) {
+  std::vector<TraceEvent> events;
+  JsonlReader reader(in);
+  while (true) {
+    auto next = reader.next();
+    if (!next.ok()) return next.error();
+    if (!next.value().has_value()) return events;
+    events.push_back(std::move(*next.value()));
+  }
+}
+
+Result<std::vector<TraceEvent>> read_events_jsonl_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"cannot open trace", path};
+  auto events = read_events_jsonl(in);
+  if (!events.ok()) {
+    return Error{events.error().to_string(), path};
+  }
+  return events;
+}
+
+}  // namespace amjs::obs

@@ -1,0 +1,67 @@
+// JSONL trace reader — the parsing inverse of write_event_jsonl.
+//
+// The analysis tools (src/analysis: the run-diff explainer and the
+// critical-path extractor) consume traces that TraceRecorder::write_jsonl
+// or JsonlStreamSink streamed to disk. This reader turns those lines back
+// into TraceEvent values: one self-contained parser shared by every
+// consumer, so "what a trace line means" is defined exactly once on each
+// side of the serialization boundary.
+//
+// The parser accepts the full shape write_event_jsonl emits — instant and
+// span events, int/double/string args, escaped strings (\" \\ \n \t
+// \uXXXX), and the optional wall fields — in any key order, and rejects
+// everything else with a line-numbered error. Round-trip guarantee (tested
+// in tests/obs/jsonl_reader_test.cpp): parse(write(e)) reproduces `e`
+// field-for-field, and write(parse(line)) reproduces `line` byte-for-byte
+// for writer-produced input.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+
+namespace amjs::obs {
+
+/// Inverse of to_string(TraceCategory); nullopt for unknown names.
+[[nodiscard]] std::optional<TraceCategory> category_from_string(
+    std::string_view name);
+
+/// Parse one JSONL line (as emitted by write_event_jsonl) into an event.
+/// A span line whose wall fields were stripped parses with
+/// wall_start_ms = wall_ms = 0 so is_span() still holds.
+[[nodiscard]] Result<TraceEvent> parse_event_jsonl(std::string_view line);
+
+/// Streaming line-by-line reader over an open stream; O(one line) memory,
+/// which is what lets the diff explainer walk month-scale traces without
+/// loading either side.
+class JsonlReader {
+ public:
+  explicit JsonlReader(std::istream& in) : in_(in) {}
+
+  /// The next event, nullopt at clean end-of-stream. Blank lines are
+  /// skipped. Parse failures carry the 1-based line number as context.
+  [[nodiscard]] Result<std::optional<TraceEvent>> next();
+
+  /// 1-based line number of the most recently returned event.
+  [[nodiscard]] std::size_t line_number() const { return line_; }
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 0;
+};
+
+/// Read a whole stream of JSONL events (small traces / tests).
+[[nodiscard]] Result<std::vector<TraceEvent>> read_events_jsonl(
+    std::istream& in);
+
+/// Read a whole trace file; the error context names the path and line.
+[[nodiscard]] Result<std::vector<TraceEvent>> read_events_jsonl_file(
+    const std::string& path);
+
+}  // namespace amjs::obs

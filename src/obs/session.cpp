@@ -65,8 +65,16 @@ bool Session::flush() {
   bool ok = true;
   if (stream_ != nullptr) {
     ok = stream_->flush() && ok;
-    std::fprintf(stderr, "trace: streamed %zu events to %s\n",
-                 stream_->events_written(), stream_->path().c_str());
+    if (const std::size_t dropped = stream_->events_dropped(); dropped > 0) {
+      std::fprintf(stderr,
+                   "trace: streamed %zu events to %s (%zu DROPPED after a "
+                   "write failure; the stream is incomplete)\n",
+                   stream_->events_written(), stream_->path().c_str(),
+                   dropped);
+    } else {
+      std::fprintf(stderr, "trace: streamed %zu events to %s\n",
+                   stream_->events_written(), stream_->path().c_str());
+    }
   }
   if (recorder_ != nullptr) {
     ok = recorder_->save(trace_path_) && ok;

@@ -24,12 +24,19 @@ JsonlStreamSink::JsonlStreamSink(std::string path, std::ofstream out,
 JsonlStreamSink::~JsonlStreamSink() { flush(); }
 
 void JsonlStreamSink::append_line(const TraceEvent& event) {
+  if (failed_) {
+    // The file is gone; serializing or buffering would only grow memory
+    // for bytes that can never land. Count the loss and move on.
+    ++dropped_;
+    return;
+  }
   // Serialize immediately; only the compact line is retained, never the
   // TraceEvent, so memory stays bounded by buffer_bytes + one line.
   std::ostringstream line;
   write_event_jsonl(line, event, options_.include_wall);
   buffer_ += line.str();
   ++events_;
+  ++buffered_events_;
   if (buffer_.size() >= options_.buffer_bytes) flush_locked();
 }
 
@@ -59,17 +66,28 @@ void JsonlStreamSink::record_span(TraceCategory category, std::string name,
 }
 
 bool JsonlStreamSink::flush_locked() {
+  if (failed_) return false;
   if (!buffer_.empty()) {
     out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    buffer_.clear();
   }
   out_.flush();
-  if (!out_ && !failed_) {
+  if (!out_) {
     failed_ = true;
-    log::warn("trace stream: write to {} failed; further events are dropped",
-              path_);
+    // The buffered lines never (fully) reached the file; report them as
+    // dropped rather than written, and release the buffer for good.
+    dropped_ += buffered_events_;
+    events_ -= buffered_events_;
+    buffered_events_ = 0;
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    log::warn("trace stream: write to {} failed after {} events; this and "
+              "further events are dropped",
+              path_, events_);
+    return false;
   }
-  return !failed_;
+  buffer_.clear();
+  buffered_events_ = 0;
+  return true;
 }
 
 bool JsonlStreamSink::flush() {
@@ -80,6 +98,11 @@ bool JsonlStreamSink::flush() {
 std::size_t JsonlStreamSink::events_written() const {
   std::scoped_lock lock(mutex_);
   return events_;
+}
+
+std::size_t JsonlStreamSink::events_dropped() const {
+  std::scoped_lock lock(mutex_);
+  return dropped_;
 }
 
 std::size_t JsonlStreamSink::buffered_bytes() const {

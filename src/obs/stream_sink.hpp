@@ -49,11 +49,19 @@ class JsonlStreamSink final : public TraceSink {
                    std::vector<TraceArg> args = {}) override;
 
   /// Write any buffered bytes to the file and sync the stream. Returns
-  /// false if the file has gone bad (also logged, once).
+  /// false if the file has gone bad (also logged, once). After a write
+  /// failure the sink stops buffering entirely: later events are counted
+  /// in events_dropped() and never serialized, so a dead disk cannot grow
+  /// the process.
   bool flush();
 
-  /// Events recorded so far (buffered or flushed).
+  /// Events handed to the file so far (flushed, or buffered before any
+  /// failure). Excludes dropped events.
   [[nodiscard]] std::size_t events_written() const;
+
+  /// Events lost to a write failure: everything buffered when the write
+  /// failed plus everything recorded afterwards. Zero on a healthy sink.
+  [[nodiscard]] std::size_t events_dropped() const;
 
   /// Bytes currently held in memory awaiting flush (test hook for the
   /// bounded-buffer guarantee; never exceeds buffer_bytes for long).
@@ -73,7 +81,9 @@ class JsonlStreamSink final : public TraceSink {
   mutable std::mutex mutex_;
   std::ofstream out_;
   std::string buffer_;
-  std::size_t events_ = 0;
+  std::size_t events_ = 0;           // written or buffered (never dropped)
+  std::size_t buffered_events_ = 0;  // events currently in buffer_
+  std::size_t dropped_ = 0;
   bool failed_ = false;
 };
 

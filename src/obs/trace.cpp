@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 
@@ -136,6 +137,9 @@ void write_json_value(std::ostream& out, const TraceValue& value) {
   } else if (const auto* d = std::get_if<double>(&value)) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.6g", *d);
+    // %.6g prints integral doubles without a point ("1"), which would read
+    // back as int64; keep the type distinction through the round trip.
+    if (std::strpbrk(buf, ".eEnN") == nullptr) std::strcat(buf, ".0");
     out << buf;
   } else {
     write_json_string(out, std::get<std::string>(value));

@@ -1,0 +1,260 @@
+// Critical-path reconstruction: synthetic traces with hand-known chains,
+// plus a real simulation whose reconstruction must match SimResult.schedule
+// to the second (the cross_check contract).
+#include "analysis/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "obs/trace.hpp"
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs::analysis {
+namespace {
+
+using obs::TraceCategory;
+using obs::arg;
+
+obs::TraceEvent instant(SimTime t, TraceCategory cat, std::string name,
+                        std::vector<obs::TraceArg> args) {
+  obs::TraceEvent e;
+  e.sim_time = t;
+  e.category = cat;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  return e;
+}
+
+obs::TraceEvent pass_at(SimTime t) {
+  return instant(t, TraceCategory::kSched, "pass", {arg("queued", 0)});
+}
+
+TEST(CriticalPathTest, ReconstructsTheFullChain) {
+  // Job 1: submitted at 100, first pass at 100 (eligible immediately),
+  // reserved at 150 with a promise revised at 200, started at 300 via
+  // backfill, ended at 900.
+  const std::vector<obs::TraceEvent> events = {
+      instant(100, TraceCategory::kJob, "submit", {arg("job", 1), arg("nodes", 8)}),
+      pass_at(100),
+      instant(150, TraceCategory::kBackfill, "reservation",
+              {arg("job", 1), arg("start", 500)}),
+      pass_at(150),
+      instant(200, TraceCategory::kBackfill, "reservation",
+              {arg("job", 1), arg("start", 320)}),
+      pass_at(200),
+      instant(300, TraceCategory::kBackfill, "backfill", {arg("job", 1)}),
+      instant(300, TraceCategory::kJob, "start",
+              {arg("job", 1), arg("nodes", 8), arg("wait_s", 200)}),
+      pass_at(300),
+      instant(900, TraceCategory::kJob, "end", {arg("job", 1)}),
+      pass_at(900),
+  };
+  const auto result = critical_paths(events);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const CriticalPathReport& report = result.value();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const JobPath* path = report.find(1);
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->submit, 100);
+  EXPECT_EQ(path->eligible, 100);
+  EXPECT_EQ(path->reserved, 150);        // first reservation wins
+  EXPECT_EQ(path->reserved_start, 320);  // latest promise wins
+  EXPECT_EQ(path->started, 300);
+  EXPECT_EQ(path->ended, 900);
+  EXPECT_TRUE(path->backfilled);
+  EXPECT_FALSE(path->skipped);
+  EXPECT_EQ(path->wait(), 200);
+  EXPECT_EQ(path->run(), 600);
+
+  EXPECT_EQ(report.pending.count, 1u);
+  EXPECT_DOUBLE_EQ(report.pending.max, 0.0);
+  EXPECT_EQ(report.queued.count, 1u);
+  EXPECT_DOUBLE_EQ(report.queued.p50, 200.0);
+  EXPECT_EQ(report.reserve.count, 1u);
+  EXPECT_DOUBLE_EQ(report.reserve.p50, 150.0);  // 300 - 150
+  EXPECT_EQ(report.service.count, 1u);
+  EXPECT_DOUBLE_EQ(report.service.p50, 600.0);
+  EXPECT_EQ(report.total.count, 1u);
+  EXPECT_DOUBLE_EQ(report.total.p50, 800.0);
+}
+
+TEST(CriticalPathTest, RetriesKeepTheFirstStart) {
+  const std::vector<obs::TraceEvent> events = {
+      instant(0, TraceCategory::kJob, "submit", {arg("job", 7), arg("nodes", 4)}),
+      pass_at(0),
+      instant(10, TraceCategory::kJob, "start", {arg("job", 7), arg("nodes", 4)}),
+      instant(50, TraceCategory::kJob, "fail_retry",
+              {arg("job", 7), arg("attempt", 1)}),
+      instant(60, TraceCategory::kJob, "start", {arg("job", 7), arg("nodes", 4)}),
+      instant(200, TraceCategory::kJob, "end", {arg("job", 7)}),
+  };
+  const auto result = critical_paths(events);
+  ASSERT_TRUE(result.ok());
+  const JobPath* path = result.value().find(7);
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->started, 10);  // ScheduleEntry semantics: first attempt
+  EXPECT_EQ(path->retries, 1);
+  EXPECT_EQ(path->ended, 200);
+}
+
+TEST(CriticalPathTest, SkippedAndAbandonedJobsAreFlagged) {
+  const std::vector<obs::TraceEvent> events = {
+      instant(0, TraceCategory::kJob, "skip", {arg("job", 1), arg("nodes", 999)}),
+      instant(0, TraceCategory::kJob, "submit", {arg("job", 2), arg("nodes", 4)}),
+      pass_at(0),
+      instant(5, TraceCategory::kJob, "start", {arg("job", 2), arg("nodes", 4)}),
+      instant(30, TraceCategory::kJob, "abandon", {arg("job", 2)}),
+  };
+  const auto result = critical_paths(events);
+  ASSERT_TRUE(result.ok());
+  const JobPath* skipped = result.value().find(1);
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_TRUE(skipped->skipped);
+  EXPECT_FALSE(skipped->was_started());
+  const JobPath* abandoned = result.value().find(2);
+  ASSERT_NE(abandoned, nullptr);
+  EXPECT_TRUE(abandoned->abandoned);
+  EXPECT_EQ(abandoned->ended, 30);
+  // Skipped jobs carry no pending/queued samples.
+  EXPECT_EQ(result.value().pending.count, 1u);
+}
+
+TEST(CriticalPathTest, JobEventWithoutIdIsAnError) {
+  const std::vector<obs::TraceEvent> events = {
+      instant(0, TraceCategory::kJob, "submit", {arg("nodes", 4)}),
+  };
+  const auto result = critical_paths(events);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().to_string().find("without a job arg"),
+            std::string::npos);
+}
+
+TEST(CriticalPathTest, StreamVariantParsesJsonl) {
+  obs::TraceRecorder rec;
+  rec.record(TraceCategory::kJob, "submit", 0, {arg("job", 3), arg("nodes", 2)});
+  rec.record_span(TraceCategory::kSched, "pass", 0, 0.0, 0.1, {arg("queued", 1)});
+  rec.record(TraceCategory::kJob, "start", 40, {arg("job", 3), arg("nodes", 2)});
+  rec.record(TraceCategory::kJob, "end", 100, {arg("job", 3)});
+  std::ostringstream jsonl;
+  rec.write_jsonl(jsonl, /*include_wall=*/false);
+  std::istringstream in(jsonl.str());
+  const auto result = critical_paths(in);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const JobPath* path = result.value().find(3);
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->wait(), 40);
+  EXPECT_EQ(path->run(), 60);
+}
+
+TEST(CriticalPathTest, MalformedStreamIsAnError) {
+  std::istringstream in("{\"t\": broken\n");
+  EXPECT_FALSE(critical_paths(in).ok());
+}
+
+TEST(CriticalPathTest, JsonUsesNullForMissingStages) {
+  const std::vector<obs::TraceEvent> events = {
+      instant(0, TraceCategory::kJob, "submit", {arg("job", 1), arg("nodes", 4)}),
+      pass_at(0),
+  };
+  const auto result = critical_paths(events);
+  ASSERT_TRUE(result.ok());
+  std::ostringstream out;
+  write_critical_paths_json(out, result.value());
+  EXPECT_NE(out.str().find("\"started\": null"), std::string::npos);
+  EXPECT_NE(out.str().find("\"reserved\": null"), std::string::npos);
+  EXPECT_NE(out.str().find("\"segments\""), std::string::npos);
+  // Deterministic across invocations.
+  std::ostringstream again;
+  write_critical_paths_json(again, result.value());
+  EXPECT_EQ(out.str(), again.str());
+}
+
+// ---------------------------------------------------------------------------
+// Integration: reconstruct a real run's paths and hold them against the
+// authoritative schedule, second for second.
+
+JobTrace toy_workload() {
+  std::vector<Job> jobs;
+  const auto add = [&jobs](SimTime submit, Duration runtime, Duration walltime,
+                           NodeCount nodes) {
+    Job j;
+    j.submit = submit;
+    j.runtime = runtime;
+    j.walltime = walltime;
+    j.nodes = nodes;
+    jobs.push_back(j);
+  };
+  add(0, 3000, 3600, 64);   // long, wide
+  add(10, 1200, 1800, 48);  // blocked behind it
+  add(20, 480, 600, 16);    // backfill candidate
+  add(30, 2700, 3600, 32);
+  add(40, 300, 600, 8);
+  add(3600, 900, 1200, 96);
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).value();
+}
+
+TEST(CriticalPathIntegrationTest, MatchesScheduleToTheSecond) {
+  obs::TraceRecorder recorder;
+  FlatMachine machine(100);
+  const auto scheduler = MetricsBalancer::make(BalancerSpec::fixed(0.5, 2));
+  SimConfig config;
+  config.trace_sink = &recorder;
+  Simulator sim(machine, *scheduler, config);
+  const SimResult result = sim.run(toy_workload());
+
+  const auto report = critical_paths(recorder.events());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  ASSERT_TRUE(cross_check(report.value(), result).ok());
+
+  // The same contract, spelled out: wait and runtime reproduce the
+  // schedule exactly for every started job.
+  std::size_t checked = 0;
+  for (const auto& entry : result.schedule) {
+    if (!entry.started()) continue;
+    const JobPath* path = report.value().find(entry.job);
+    ASSERT_NE(path, nullptr) << "job " << entry.job;
+    EXPECT_EQ(path->submit, entry.submit) << "job " << entry.job;
+    EXPECT_EQ(path->wait(), entry.wait()) << "job " << entry.job;
+    EXPECT_EQ(path->run(), entry.end - entry.start) << "job " << entry.job;
+    // Eligibility == submission here: the simulator passes at every event.
+    EXPECT_EQ(path->eligible, entry.submit) << "job " << entry.job;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 6u);
+  EXPECT_EQ(report.value().service.count, 6u);
+
+  // And the summary renders a row per segment.
+  const std::string summary = render_summary(report.value());
+  for (const char* needle : {"pending", "queued", "reserve", "service", "total"}) {
+    EXPECT_NE(summary.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(CriticalPathIntegrationTest, CrossCheckCatchesTampering) {
+  obs::TraceRecorder recorder;
+  FlatMachine machine(100);
+  const auto scheduler = MetricsBalancer::make(BalancerSpec::fixed(0.5, 2));
+  SimConfig config;
+  config.trace_sink = &recorder;
+  Simulator sim(machine, *scheduler, config);
+  const SimResult result = sim.run(toy_workload());
+  auto report = critical_paths(recorder.events());
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report.value().jobs.empty());
+  // Shift one reconstructed start: the cross-check must reject it.
+  report.value().jobs.front().started += 1;
+  const auto status = cross_check(report.value(), result);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().to_string().find("trace"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs::analysis

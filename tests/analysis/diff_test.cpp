@@ -1,0 +1,303 @@
+// Run-diff explainer: synthetic streams with hand-known divergence points,
+// plus a real baseline-vs-adaptive simulation pair cross-checked against
+// the authoritative SimResults.
+#include "analysis/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "obs/trace.hpp"
+#include "platform/flat.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs::analysis {
+namespace {
+
+using obs::TraceCategory;
+using obs::arg;
+
+std::string jsonl_of(const obs::TraceRecorder& recorder) {
+  std::ostringstream out;
+  recorder.write_jsonl(out, /*include_wall=*/false);
+  return out.str();
+}
+
+Result<DiffReport> diff_strings(const std::string& a, const std::string& b) {
+  std::istringstream in_a(a);
+  std::istringstream in_b(b);
+  return diff_traces(in_a, in_b);
+}
+
+/// The synthetic scenario: both sides share a 4-event prefix (two submits,
+/// a pass, a metric check); then A starts job 1 first while B — after a
+/// tuning adjustment — starts job 2 first.
+void record_prefix(obs::TraceRecorder& rec) {
+  rec.record(TraceCategory::kJob, "submit", 0, {arg("job", 1), arg("nodes", 8)});
+  rec.record(TraceCategory::kJob, "submit", 0, {arg("job", 2), arg("nodes", 8)});
+  rec.record_span(TraceCategory::kSched, "pass", 0, 1.0, 0.5,
+                  {arg("queued", 2), arg("started", 0), arg("idle_nodes", 4)});
+  rec.record(TraceCategory::kTuning, "metric_check", 300,
+             {arg("check", 1), arg("queue_depth_min", 5.0), arg("queued", 2)});
+}
+
+TEST(DiffTest, IdenticalStreamsReportNoDivergence) {
+  obs::TraceRecorder rec;
+  record_prefix(rec);
+  rec.record(TraceCategory::kJob, "start", 300, {arg("job", 1)});
+  const std::string trace = jsonl_of(rec);
+  const auto report = diff_strings(trace, trace);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_FALSE(report.value().diverged);
+  EXPECT_EQ(report.value().events_compared, 5u);
+  EXPECT_EQ(report.value().divergence_time(), 0);
+  EXPECT_NE(explain(report.value()).find("no divergence: 5 identical events"),
+            std::string::npos);
+}
+
+TEST(DiffTest, PinpointsFirstDivergenceWithContext) {
+  obs::TraceRecorder rec_a;
+  record_prefix(rec_a);
+  rec_a.record(TraceCategory::kJob, "start", 300, {arg("job", 1)});
+  rec_a.record(TraceCategory::kJob, "start", 600, {arg("job", 2)});
+
+  obs::TraceRecorder rec_b;
+  record_prefix(rec_b);
+  rec_b.record(TraceCategory::kTuning, "adjust", 300,
+               {arg("bf_before", 1.0), arg("bf_after", 0.5),
+                arg("w_before", 1), arg("w_after", 1)});
+  rec_b.record(TraceCategory::kJob, "start", 300, {arg("job", 2)});
+  rec_b.record(TraceCategory::kJob, "start", 600, {arg("job", 1)});
+
+  const auto result = diff_strings(jsonl_of(rec_a), jsonl_of(rec_b));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const DiffReport& report = result.value();
+
+  ASSERT_TRUE(report.diverged);
+  EXPECT_EQ(report.events_compared, 4u);  // the shared prefix
+  EXPECT_EQ(report.divergence_time(), 300);
+  // Side A's diverging event is its first start; side B's is the adjust.
+  ASSERT_TRUE(report.a.event.has_value());
+  EXPECT_EQ(report.a.line, 5u);
+  EXPECT_EQ(report.a.event->name, "start");
+  ASSERT_TRUE(report.b.event.has_value());
+  EXPECT_EQ(report.b.line, 5u);
+  EXPECT_EQ(report.b.event->name, "adjust");
+  EXPECT_EQ(report.b.event->category, TraceCategory::kTuning);
+  // Context trackers froze at the shared prefix.
+  ASSERT_TRUE(report.a.last_pass.has_value());
+  EXPECT_EQ(report.a.last_pass->sim_time, 0);
+  ASSERT_TRUE(report.a.last_check.has_value());
+  EXPECT_EQ(report.a.last_check->sim_time, 300);
+  EXPECT_FALSE(report.a.last_adjust.has_value());
+  EXPECT_FALSE(report.b.last_adjust.has_value());  // the adjust IS the fork
+
+  // Cascade: both jobs started on both sides, both shifted by 300 s in
+  // opposite directions — net zero, largest shift job 1.
+  EXPECT_EQ(report.cascade.starts_a, 2u);
+  EXPECT_EQ(report.cascade.starts_b, 2u);
+  EXPECT_EQ(report.cascade.common, 2u);
+  EXPECT_EQ(report.cascade.shifted, 2u);
+  EXPECT_EQ(report.cascade.only_a, 0u);
+  EXPECT_EQ(report.cascade.only_b, 0u);
+  EXPECT_DOUBLE_EQ(report.cascade.net_wait_delta_s, 0.0);
+  EXPECT_EQ(report.cascade.max_shift_s, 300);
+  EXPECT_EQ(report.cascade.max_shift_job, 1);
+  EXPECT_EQ(report.cascade.shifted_jobs, (std::vector<JobId>{1, 2}));
+
+  const std::string text = explain(report, "base", "tuned");
+  EXPECT_NE(text.find("first divergence after 4 identical events"),
+            std::string::npos);
+  EXPECT_NE(text.find("at sim t=300 s"), std::string::npos);
+  EXPECT_NE(text.find("base line 5"), std::string::npos);
+  EXPECT_NE(text.find("tuned line 5"), std::string::npos);
+}
+
+TEST(DiffTest, TruncationCountsAsDivergence) {
+  obs::TraceRecorder rec;
+  record_prefix(rec);
+  rec.record(TraceCategory::kJob, "start", 300, {arg("job", 1)});
+  const std::string full = jsonl_of(rec);
+  // Drop the last line to truncate side B.
+  std::string truncated = full;
+  truncated.erase(truncated.find_last_of('\n', truncated.size() - 2) + 1);
+
+  const auto result = diff_strings(full, truncated);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const DiffReport& report = result.value();
+  ASSERT_TRUE(report.diverged);
+  EXPECT_EQ(report.events_compared, 4u);
+  ASSERT_TRUE(report.a.event.has_value());
+  EXPECT_EQ(report.a.event->name, "start");
+  EXPECT_FALSE(report.b.event.has_value());
+  EXPECT_EQ(report.b.line, 0u);
+  EXPECT_EQ(report.divergence_time(), 300);  // the surviving side's stamp
+  EXPECT_EQ(report.cascade.only_a, 1u);
+  EXPECT_NE(explain(report).find("stream ended"), std::string::npos);
+}
+
+TEST(DiffTest, MalformedInputNamesTheSide) {
+  obs::TraceRecorder rec;
+  record_prefix(rec);
+  const std::string good = jsonl_of(rec);
+  const auto result = diff_strings(good, "garbage\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().to_string().find("trace B"), std::string::npos);
+}
+
+TEST(DiffTest, MissingFileNamesThePath) {
+  const auto result =
+      diff_trace_files("/nonexistent/a.jsonl", "/nonexistent/b.jsonl");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().to_string().find("/nonexistent/a.jsonl"),
+            std::string::npos);
+}
+
+TEST(DiffTest, JsonReportIsDeterministic) {
+  obs::TraceRecorder rec_a;
+  record_prefix(rec_a);
+  rec_a.record(TraceCategory::kJob, "start", 300, {arg("job", 1)});
+  obs::TraceRecorder rec_b;
+  record_prefix(rec_b);
+  rec_b.record(TraceCategory::kJob, "start", 600, {arg("job", 1)});
+  const auto report = diff_strings(jsonl_of(rec_a), jsonl_of(rec_b));
+  ASSERT_TRUE(report.ok());
+  std::ostringstream once;
+  std::ostringstream twice;
+  write_diff_json(once, report.value());
+  write_diff_json(twice, report.value());
+  EXPECT_EQ(once.str(), twice.str());
+  for (const char* key :
+       {"\"diverged\": true", "\"events_compared\": 4", "\"divergence_time\": 300",
+        "\"cascade\"", "\"shifted_jobs\"", "\"last_pass\"", "\"last_adjust\""}) {
+    EXPECT_NE(once.str().find(key), std::string::npos) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integration: a real fixed-vs-adaptive simulation pair. The adaptive run
+// starts from the same policy as the fixed baseline, so the traces are
+// byte-identical until the tuner's first mid-run adjustment — exactly the
+// "which decision made run B deviate" scenario the tool exists for.
+
+struct TracedRun {
+  SimResult result;
+  std::string jsonl;
+  std::vector<obs::TraceEvent> events;
+};
+
+JobTrace contended_workload() {
+  std::vector<Job> jobs;
+  const auto add = [&jobs](SimTime submit, Duration runtime, Duration walltime,
+                           NodeCount nodes) {
+    Job j;
+    j.submit = submit;
+    j.runtime = runtime;
+    j.walltime = walltime;
+    j.nodes = nodes;
+    jobs.push_back(j);
+  };
+  // j0 fills the machine for 2 h; a diverse backlog piles up behind it so
+  // the queue depth trips the adaptive monitor at the first metric check
+  // and the retuned balance factor reorders the drain.
+  add(0, hours(2), hours(2), 64);
+  add(60, hours(1), hours(1), 32);
+  add(120, 600, 900, 16);
+  add(180, 1800, 2400, 48);
+  add(240, 300, 600, 8);
+  add(300, 5400, 5400, 64);
+  add(360, 900, 1200, 24);
+  auto trace = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).value();
+}
+
+TracedRun run_traced(const BalancerSpec& spec) {
+  TracedRun run;
+  obs::TraceRecorder recorder;
+  FlatMachine machine(64);
+  const auto scheduler = MetricsBalancer::make(spec);
+  SimConfig config;
+  config.trace_sink = &recorder;
+  Simulator sim(machine, *scheduler, config);
+  run.result = sim.run(contended_workload());
+  run.jsonl = jsonl_of(recorder);
+  run.events = recorder.events();
+  return run;
+}
+
+TEST(DiffIntegrationTest, IdenticalRunsAreIdentical) {
+  const auto a = run_traced(BalancerSpec::fixed(1.0, 1));
+  const auto b = run_traced(BalancerSpec::fixed(1.0, 1));
+  const auto report = diff_strings(a.jsonl, b.jsonl);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_FALSE(report.value().diverged);
+  EXPECT_EQ(report.value().events_compared, a.events.size());
+}
+
+TEST(DiffIntegrationTest, MidRunTuningChangeIsPinpointed) {
+  // Baseline: the adaptive scheme's relaxed policy, held fixed. Adaptive:
+  // same starting point, but a queue-depth monitor that will retune
+  // mid-run (tiny threshold: the backlog trips it at the first check).
+  const auto base = run_traced(BalancerSpec::fixed(1.0, 1));
+  const auto tuned = run_traced(BalancerSpec::bf_adaptive(
+      /*threshold_minutes=*/1.0));
+
+  // Ground truth, computed independently of the tool: the first "adjust"
+  // event in the tuned trace is the first possible divergence instant.
+  const auto first_adjust = std::find_if(
+      tuned.events.begin(), tuned.events.end(), [](const obs::TraceEvent& e) {
+        return e.category == TraceCategory::kTuning && e.name == "adjust";
+      });
+  ASSERT_NE(first_adjust, tuned.events.end())
+      << "workload failed to trip the adaptive monitor";
+
+  const auto result = diff_strings(base.jsonl, tuned.jsonl);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const DiffReport& report = result.value();
+  ASSERT_TRUE(report.diverged);
+
+  // The reported fork is the tuner's adjustment, at its exact sim time.
+  ASSERT_TRUE(report.b.event.has_value());
+  EXPECT_EQ(report.b.event->name, "adjust");
+  EXPECT_EQ(report.b.event->sim_time, first_adjust->sim_time);
+  EXPECT_EQ(report.divergence_time(), first_adjust->sim_time);
+  // The metric check that triggered it is in both sides' context.
+  ASSERT_TRUE(report.b.last_check.has_value());
+  EXPECT_EQ(report.b.last_check->sim_time, first_adjust->sim_time);
+
+  // Cascade vs. the authoritative schedules: the shifted-job set reported
+  // by the tool must equal the set computed from the two SimResults.
+  std::map<JobId, SimTime> starts_a;
+  std::map<JobId, SimTime> starts_b;
+  for (const auto& e : base.result.schedule) {
+    if (e.started()) starts_a[e.job] = e.start;
+  }
+  for (const auto& e : tuned.result.schedule) {
+    if (e.started()) starts_b[e.job] = e.start;
+  }
+  std::vector<JobId> expected_shifted;
+  double expected_delta = 0.0;
+  for (const auto& [job, start] : starts_a) {
+    const auto it = starts_b.find(job);
+    if (it == starts_b.end()) continue;
+    if (it->second != start) expected_shifted.push_back(job);
+    expected_delta += static_cast<double>(it->second - start);
+  }
+  ASSERT_FALSE(expected_shifted.empty())
+      << "retune did not reorder the drain; workload needs more contention";
+  EXPECT_EQ(report.cascade.shifted, expected_shifted.size());
+  EXPECT_EQ(report.cascade.shifted_jobs, expected_shifted);
+  EXPECT_DOUBLE_EQ(report.cascade.net_wait_delta_s, expected_delta);
+  EXPECT_EQ(report.cascade.starts_a, starts_a.size());
+  EXPECT_EQ(report.cascade.starts_b, starts_b.size());
+}
+
+}  // namespace
+}  // namespace amjs::analysis

@@ -56,11 +56,32 @@ TEST(LocEq4Test, MultiIntervalWeightedSum) {
   EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.26);
 }
 
-TEST(LocEq4Test, FewerThanTwoEventsIsZero) {
+TEST(LocEq4Test, NoEventsOrNoElapsedTimeIsZero) {
   SimResult result;
   result.machine_nodes = 10;
   EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+  // One event but end_time never advanced past it: nothing to integrate.
   result.events = {rec(0, 5, 1, true)};
+  result.end_time = 0;
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+}
+
+TEST(LocEq4Test, SingleOpenEventClosedByEndTime) {
+  // A run whose only scheduling event leaves a small waiter next to idle
+  // nodes loses capacity from that event until end_time. This used to
+  // silently report 0.0 for events.size() < 2.
+  SimResult result;
+  result.machine_nodes = 10;
+  result.end_time = 500;
+  result.events = {rec(100, 5, 1, true)};
+  // 5 idle * (500-100) / (10 * (500-100)) = 0.5.
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.5);
+
+  // Same shape, but the waiter cannot fit: no loss.
+  result.events = {rec(100, 5, 8, true)};
+  EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
+  // And with no waiter at all: no loss.
+  result.events = {rec(100, 5, 0, false)};
   EXPECT_DOUBLE_EQ(loss_of_capacity(result), 0.0);
 }
 

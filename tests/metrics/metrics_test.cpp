@@ -109,14 +109,31 @@ TEST(MetricsTest, UtilizationSamplesWindows) {
   ASSERT_EQ(samples.size(), 4u);  // 2 hours / 30 min
   // While the job runs, instant utilization is 1.
   EXPECT_DOUBLE_EQ(samples[0].instant, 1.0);
-  // First sample is 30 min in: the trailing 1 h window is half idle
-  // prehistory, half full load.
-  EXPECT_DOUBLE_EQ(samples[0].h1, 0.5);
+  // First sample is 30 min in. Every trailing window clamps to the series
+  // start, so all of them average the fully-loaded first half hour — none
+  // reaches back before t=0 to dilute the mean with implicit idle zeros.
+  EXPECT_DOUBLE_EQ(samples[0].h1, 1.0);
+  EXPECT_DOUBLE_EQ(samples[0].h10, 1.0);
+  EXPECT_DOUBLE_EQ(samples[0].h24, 1.0);
   // One hour in, the 1 h window is fully covered by the run.
   EXPECT_DOUBLE_EQ(samples[1].h1, 1.0);
-  // The 10H/24H windows reach before t=0 where the machine was idle.
-  EXPECT_LT(samples[0].h10, 1.0);
-  EXPECT_LT(samples[0].h24, samples[0].h10);
+}
+
+TEST(MetricsTest, UtilizationSamplesClampedWindowSeesLoadDrop) {
+  // 1 h full load, then 1 h idle (a second tiny job at t=2h-600 keeps the
+  // run alive): the clamp must not freeze windows at the series start —
+  // once real history exists, the window is genuinely trailing.
+  const auto result = run_on(10, trace_of({
+                                     make_job(0, hours(1), 10),
+                                     make_job(hours(2) - 600, 600, 1),
+                                 }));
+  const auto samples = utilization_samples(result, minutes(30));
+  ASSERT_GE(samples.size(), 4u);
+  // t=90 min: 1 h window covers [30,90] min = half loaded.
+  EXPECT_DOUBLE_EQ(samples[2].h1, 0.5);
+  // t=90 min: 10 h window clamps to [0,90] min = 60/90 loaded.
+  EXPECT_DOUBLE_EQ(samples[2].h10, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(samples[2].h24, samples[2].h10);
 }
 
 TEST(MetricsTest, EmptyResultSafeDefaults) {

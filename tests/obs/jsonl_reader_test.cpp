@@ -1,0 +1,211 @@
+// JsonlReader: the parsing inverse of write_event_jsonl. The contract is
+// a two-way round trip — parse(write(e)) == e field-for-field, and
+// write(parse(line)) == line byte-for-byte for writer-produced lines —
+// plus loud, line-numbered rejection of anything malformed.
+#include "obs/jsonl_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace amjs::obs {
+namespace {
+
+std::string line_of(const TraceEvent& event, bool include_wall) {
+  std::ostringstream out;
+  write_event_jsonl(out, event, include_wall);
+  return out.str();
+}
+
+TraceEvent instant(SimTime t, TraceCategory cat, std::string name,
+                   std::vector<TraceArg> args = {}) {
+  TraceEvent e;
+  e.sim_time = t;
+  e.category = cat;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  return e;
+}
+
+void expect_same_event(const TraceEvent& parsed, const TraceEvent& original) {
+  EXPECT_EQ(parsed.sim_time, original.sim_time);
+  EXPECT_EQ(parsed.category, original.category);
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.is_span(), original.is_span());
+  ASSERT_EQ(parsed.args.size(), original.args.size());
+  for (std::size_t i = 0; i < parsed.args.size(); ++i) {
+    EXPECT_EQ(parsed.args[i].key, original.args[i].key);
+    EXPECT_EQ(parsed.args[i].value, original.args[i].value) << "arg " << i;
+  }
+}
+
+TEST(JsonlReader, CategoryNamesRoundTrip) {
+  for (const TraceCategory c :
+       {TraceCategory::kJob, TraceCategory::kSched, TraceCategory::kTuning,
+        TraceCategory::kBackfill, TraceCategory::kSnapshot,
+        TraceCategory::kTwin}) {
+    const auto back = category_from_string(to_string(c));
+    ASSERT_TRUE(back.has_value()) << to_string(c);
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(category_from_string("gpu").has_value());
+  EXPECT_FALSE(category_from_string("").has_value());
+}
+
+TEST(JsonlReader, InstantEventRoundTrips) {
+  const auto original =
+      instant(1234, TraceCategory::kJob, "start",
+              {arg("job", 42), arg("nodes", 64), arg("wait_s", 17)});
+  const auto parsed = parse_event_jsonl(line_of(original, false));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  expect_same_event(parsed.value(), original);
+}
+
+TEST(JsonlReader, StringArgsWithQuotesAndBackslashesRoundTrip) {
+  // The nasty string payloads: every escape class the writer can emit.
+  const auto original = instant(
+      0, TraceCategory::kTwin, "fork \"deep\"",
+      {arg("candidate", std::string("BF=\"1.0\" \\ W=2")),
+       arg("path", std::string("C:\\traces\\run.jsonl")),
+       arg("multiline", std::string("a\nb\tc")),
+       arg("control", std::string("bell\aend"))});
+  const std::string line = line_of(original, false);
+  const auto parsed = parse_event_jsonl(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string() << "\nline: " << line;
+  expect_same_event(parsed.value(), original);
+  // And the reserialized form is byte-identical to the input line.
+  EXPECT_EQ(line_of(parsed.value(), false), line);
+}
+
+TEST(JsonlReader, DoubleAndNegativeArgsRoundTrip) {
+  const auto original =
+      instant(-5, TraceCategory::kTuning, "adjust",
+              {arg("bf_before", 0.5), arg("bf_after", 1.0),
+               arg("delta", -0.125), arg("w_before", -3)});
+  const auto parsed = parse_event_jsonl(line_of(original, false));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  expect_same_event(parsed.value(), original);
+}
+
+TEST(JsonlReader, SpanWithWallFieldsRoundTrips) {
+  TraceEvent original = instant(90, TraceCategory::kSched, "pass",
+                                {arg("queued", 3), arg("started", 1)});
+  original.wall_start_ms = 12.5;
+  original.wall_ms = 0.75;
+  const std::string line = line_of(original, true);
+  const auto parsed = parse_event_jsonl(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  expect_same_event(parsed.value(), original);
+  EXPECT_DOUBLE_EQ(parsed.value().wall_start_ms, 12.5);
+  EXPECT_DOUBLE_EQ(parsed.value().wall_ms, 0.75);
+  EXPECT_EQ(line_of(parsed.value(), true), line);
+}
+
+TEST(JsonlReader, StrippedSpanStaysASpan) {
+  // Deterministic (wall-stripped) output keeps ph "X"; the parsed event
+  // must still report is_span() so span/instant shape survives the strip.
+  TraceEvent original = instant(90, TraceCategory::kSched, "pass");
+  original.wall_start_ms = 12.5;
+  original.wall_ms = 0.75;
+  const auto parsed = parse_event_jsonl(line_of(original, false));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(parsed.value().is_span());
+  EXPECT_DOUBLE_EQ(parsed.value().wall_ms, 0.0);
+}
+
+TEST(JsonlReader, AcceptsAnyKeyOrder) {
+  const auto parsed = parse_event_jsonl(
+      R"({"name": "submit", "args": {"job": 1}, "cat": "job", "ph": "i", "t": 7})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().sim_time, 7);
+  EXPECT_EQ(parsed.value().name, "submit");
+  EXPECT_EQ(parsed.value().category, TraceCategory::kJob);
+}
+
+TEST(JsonlReader, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",                                               // empty
+      "not json",                                       // no object
+      R"({"t": 1, "cat": "job"})",                      // missing name
+      R"({"t": 1, "name": "x"})",                       // missing cat
+      R"({"cat": "job", "name": "x"})",                 // missing t
+      R"({"t": 1, "cat": "nope", "name": "x"})",        // unknown category
+      R"({"t": 1, "cat": "job", "name": "x", "extra": 1})",   // unknown field
+      R"({"t": 1, "cat": "job", "ph": "B", "name": "x"})",    // unknown ph
+      R"({"t": 1.5, "cat": "job", "name": "x"})",       // non-integer t
+      R"({"t": 1, "cat": "job", "name": "x"} trailing)",      // trailing bytes
+      R"({"t": 1, "cat": "job", "name": "unterminated)",      // bad string
+      R"({"t": 1, "cat": "job", "ph": "X", "name": "x", "wall_ms": 1.0})",
+      // ^ wall fields must appear together
+      R"({"t": 1, "cat": "job", "ph": "i", "name": "x", "wall_start_ms": 0.0, "wall_ms": 1.0})",
+      // ^ wall fields on a non-span
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_event_jsonl(line).ok()) << "accepted: " << line;
+  }
+}
+
+TEST(JsonlReader, StreamReaderSkipsBlanksAndNumbersLines) {
+  std::istringstream in(
+      "\n" + line_of(instant(1, TraceCategory::kJob, "submit"), false) + "\n" +
+      line_of(instant(2, TraceCategory::kJob, "start"), false));
+  JsonlReader reader(in);
+  auto first = reader.next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().has_value());
+  EXPECT_EQ(first.value()->sim_time, 1);
+  EXPECT_EQ(reader.line_number(), 2u);  // blank line 1 was skipped
+  auto second = reader.next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(second.value()->sim_time, 2);
+  auto end = reader.next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end.value().has_value());
+}
+
+TEST(JsonlReader, ParseErrorsCarryTheLineNumber) {
+  std::istringstream in(
+      line_of(instant(1, TraceCategory::kJob, "submit"), false) +
+      "garbage\n");
+  auto events = read_events_jsonl(in);
+  ASSERT_FALSE(events.ok());
+  EXPECT_NE(events.error().to_string().find("line 2"), std::string::npos)
+      << events.error().to_string();
+}
+
+TEST(JsonlReader, WholeRecorderOutputRoundTrips) {
+  TraceRecorder recorder;
+  for (int i = 0; i < 25; ++i) {
+    recorder.record(TraceCategory::kJob, "submit", i * 10,
+                    {arg("job", i), arg("nodes", 64 + i)});
+    if (i % 3 == 0) {
+      recorder.record_span(TraceCategory::kSched, "pass", i * 10, 1.5 * i,
+                           0.25, {arg("queued", i)});
+    }
+  }
+  std::ostringstream out;
+  recorder.write_jsonl(out, /*include_wall=*/true);
+  std::istringstream in(out.str());
+  auto events = read_events_jsonl(in);
+  ASSERT_TRUE(events.ok()) << events.error().to_string();
+  const auto original = recorder.events();
+  ASSERT_EQ(events.value().size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    expect_same_event(events.value()[i], original[i]);
+  }
+}
+
+TEST(JsonlReader, MissingFileIsAnError) {
+  const auto events = read_events_jsonl_file("/nonexistent/amjs.jsonl");
+  ASSERT_FALSE(events.ok());
+  EXPECT_NE(events.error().to_string().find("/nonexistent/amjs.jsonl"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs::obs

@@ -104,6 +104,43 @@ TEST(JsonlStreamSink, FlushMakesEventsDurableMidStream) {
   std::remove(path.c_str());
 }
 
+TEST(JsonlStreamSink, WriteFailureStopsBufferingAndCountsDrops) {
+  // /dev/full opens fine but every write fails with ENOSPC — the exact
+  // mid-run failure mode (disk filled up) the sink must survive without
+  // growing memory or over-reporting what landed on disk.
+  if (!std::ifstream("/dev/full")) GTEST_SKIP() << "no /dev/full here";
+  StreamSinkOptions options;
+  options.buffer_bytes = 256;  // tiny: the failure surfaces within a few events
+  options.include_wall = false;
+  auto sink = JsonlStreamSink::open("/dev/full", options);
+  ASSERT_TRUE(sink.ok()) << sink.error().to_string();
+  for (int i = 0; i < 100; ++i) {
+    sink.value()->record(TraceCategory::kJob, "submit", i,
+                         {arg("job", i), arg("nodes", 64)});
+  }
+  EXPECT_FALSE(sink.value()->flush());
+  // Nothing reached the file, so nothing may be reported as written, and
+  // every recorded event must be accounted for as dropped.
+  EXPECT_EQ(sink.value()->events_written(), 0u);
+  EXPECT_EQ(sink.value()->events_dropped(), 100u);
+  // After the failure the sink must not buffer (or serialize) anything.
+  EXPECT_EQ(sink.value()->buffered_bytes(), 0u);
+  sink.value()->record(TraceCategory::kJob, "end", 999, {arg("job", 0)});
+  EXPECT_EQ(sink.value()->buffered_bytes(), 0u);
+  EXPECT_EQ(sink.value()->events_dropped(), 101u);
+  EXPECT_FALSE(sink.value()->flush());
+}
+
+TEST(JsonlStreamSink, HealthySinkReportsZeroDropped) {
+  const std::string path = temp_path("amjs_stream_nodrop.jsonl");
+  auto sink = JsonlStreamSink::open(path);
+  ASSERT_TRUE(sink.ok());
+  record_mixed_sequence(*sink.value(), 10);
+  EXPECT_TRUE(sink.value()->flush());
+  EXPECT_EQ(sink.value()->events_dropped(), 0u);
+  std::remove(path.c_str());
+}
+
 TEST(JsonlStreamSink, OpenFailureIsAResultError) {
   const auto sink = JsonlStreamSink::open("/nonexistent-dir/amjs/x.jsonl");
   ASSERT_FALSE(sink.ok());

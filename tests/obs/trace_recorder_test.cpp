@@ -139,6 +139,41 @@ TEST(TraceRecorderTest, ChromeTraceShape) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(TraceRecorderTest, ChromeTraceGolden) {
+  // Byte-exact golden for the Chrome export: one instant plus one span
+  // (whose wall fields are given explicitly, so the output is fully
+  // deterministic). Guards lane metadata, field order, the 1-sim-second =
+  // 1 µs ts mapping, and the %.3f wall formatting — the shape Perfetto
+  // actually loads.
+  TraceRecorder rec;
+  rec.record(TraceCategory::kJob, "submit", 1, {arg("job", 1)});
+  rec.record_span(TraceCategory::kSched, "pass", 2, 1.5, 0.25,
+                  {arg("queued", 2)});
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"name\": \"sim-time\"}},\n"
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"args\": {\"name\": \"wall-clock scheduler work\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"args\": {\"name\": \"job\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 1, \"args\": {\"name\": \"job\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 2, \"args\": {\"name\": \"sched\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 2, \"args\": {\"name\": \"sched\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 3, \"args\": {\"name\": \"tuning\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 3, \"args\": {\"name\": \"tuning\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 4, \"args\": {\"name\": \"backfill\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 4, \"args\": {\"name\": \"backfill\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 5, \"args\": {\"name\": \"snapshot\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 5, \"args\": {\"name\": \"snapshot\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 6, \"args\": {\"name\": \"twin\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 6, \"args\": {\"name\": \"twin\"}},\n"
+      "  {\"name\": \"submit\", \"cat\": \"job\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 1, \"pid\": 1, \"tid\": 1, \"args\": {\"job\": 1}},\n"
+      "  {\"name\": \"pass\", \"cat\": \"sched\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 2, \"pid\": 1, \"tid\": 2, \"args\": {\"queued\": 2}},\n"
+      "  {\"name\": \"pass\", \"cat\": \"sched\", \"ph\": \"X\", \"ts\": 1500.000, \"dur\": 250.000, \"pid\": 2, \"tid\": 2, \"args\": {\"queued\": 2}}\n"
+      "], \"displayTimeUnit\": \"ms\"}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
 TEST(TraceRecorderTest, SaveWritesChromeAndJsonlSiblings) {
   TraceRecorder rec;
   record_one_per_category(rec);
