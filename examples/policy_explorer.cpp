@@ -11,6 +11,7 @@
 //   $ ./policy_explorer --what-if                # twin tuner vs reactive
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -22,9 +23,12 @@
 #include "metrics/report.hpp"
 #include "obs/session.hpp"
 #include "platform/flat.hpp"
+#include "platform/machine_spec.hpp"
 #include "platform/partition.hpp"
+#include "sim/result.hpp"
 #include "sim/simulator.hpp"
 #include "snapshot_io/checkpoint.hpp"
+#include "twinsvc/client.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -60,6 +64,14 @@ int main(int argc, const char** argv) {
                     "compare the digital-twin WhatIfTuner against the "
                     "reactive tuners instead of sweeping the (BF, W) grid");
   flags.define("what-if-horizon-hours", "6", "twin fork horizon (what-if mode)");
+  flags.define("twin-remote", "",
+               "comma-separated twin_worker endpoints (unix:/path or "
+               "tcp:host:port); what-if consults run remotely, degrading to "
+               "the in-process engine when no worker answers");
+  flags.define("twin-timeout-ms", "60000", "per-attempt remote consult deadline");
+  flags.define("result-json", "",
+               "write the traced run's deterministic SimResult JSON here "
+               "(what-if mode: the twin-tuner run; sweep mode: grid cell 0)");
   obs::add_flags(flags);
   snapshot_io::add_flags(flags);
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
@@ -73,8 +85,12 @@ int main(int argc, const char** argv) {
   // independent re-runs a snapshot of one cell says nothing about).
   const auto ckpt = snapshot_io::CheckpointOptions::from_flags(flags);
 
-  // Load or synthesize the workload and pick the machine model.
+  // Load or synthesize the workload and pick the machine model. The model
+  // is kept as a MachineSpec (data, not a closure) so --twin-remote can
+  // ship it to workers; the factory is derived from the spec, keeping the
+  // local and remote fork machines one definition.
   JobTrace trace;
+  MachineSpec machine_spec;
   std::function<std::unique_ptr<Machine>()> machine_factory;
   if (!flags.positional().empty()) {
     SwfReadOptions options;
@@ -87,7 +103,8 @@ int main(int argc, const char** argv) {
     trace = std::move(loaded).value();
     NodeCount nodes = flags.get_i64("nodes");
     if (nodes <= 0) nodes = trace.stats().max_nodes;
-    machine_factory = [nodes] { return std::make_unique<FlatMachine>(nodes); };
+    machine_spec = MachineSpec::flat(nodes);
+    machine_factory = machine_spec.factory();
     std::fprintf(stderr, "replaying %zu jobs on a %lld-node flat machine\n",
                  trace.size(), static_cast<long long>(nodes));
   } else {
@@ -98,7 +115,8 @@ int main(int argc, const char** argv) {
     cfg.runtime_log_sigma = 1.3;
     cfg.bursts = {{96.0, 12.0, 4.5}};
     trace = SyntheticTraceBuilder(cfg).build();
-    machine_factory = [] { return std::make_unique<PartitionMachine>(); };
+    machine_spec = MachineSpec::partitioned();
+    machine_factory = machine_spec.factory();
     std::fprintf(stderr, "synthetic Intrepid workload: %zu jobs, load %.2f\n",
                  trace.size(), trace.stats().offered_load(kIntrepidNodes));
   }
@@ -106,12 +124,31 @@ int main(int argc, const char** argv) {
   // --what-if: head-to-head of the digital-twin tuner against the paper's
   // reactive schemes on this workload, with the twin's overhead reported.
   if (flags.get_bool("what-if")) {
-    const std::vector<BalancerSpec> specs = {
+    std::vector<BalancerSpec> specs = {
         BalancerSpec::bf_adaptive(),
         BalancerSpec::two_d(),
         BalancerSpec::what_if(machine_factory,
                               hours(flags.get_i64("what-if-horizon-hours"))),
     };
+    // --twin-remote: the what-if row consults twin_worker processes
+    // instead of forking in-process. Remote verdicts are bit-identical,
+    // so this changes who does the work, never the schedule.
+    if (const std::string remote = flags.get("twin-remote"); !remote.empty()) {
+      twinsvc::RemoteTwinConfig remote_config;
+      for (const auto field : split(remote, ',')) {
+        auto endpoint = twinsvc::Endpoint::parse(field);
+        if (!endpoint.ok()) {
+          std::fprintf(stderr, "%s\n", endpoint.error().to_string().c_str());
+          return 1;
+        }
+        remote_config.workers.push_back(std::move(endpoint).value());
+      }
+      remote_config.twin.horizon = specs.back().wi_horizon;
+      remote_config.request_timeout_ms =
+          static_cast<int>(flags.get_i64("twin-timeout-ms"));
+      specs.back().wi_backend = std::make_shared<twinsvc::RemoteTwinEngine>(
+          machine_spec, remote_config);
+    }
     CsvWriter csv(std::cout);
     csv.write_row({"policy", "avg_wait_min", "utilization", "loss_of_capacity",
                    "mean_queue_depth_min", "wall_ms"});
@@ -140,6 +177,12 @@ int main(int argc, const char** argv) {
       const double wall_ms = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - start)
                                  .count();
+      if (instrumented) {
+        if (const std::string path = flags.get("result-json"); !path.empty()) {
+          std::ofstream out(path);
+          write_result_json(out, result);
+        }
+      }
       const auto report = make_report(spec.display_name(), trace, result);
       csv.write_row({spec.display_name(), TextTable::num(report.avg_wait_min, 2),
                      TextTable::num(report.utilization, 4),
@@ -194,6 +237,12 @@ int main(int argc, const char** argv) {
           return std::vector<std::string>{};
         }
         const SimResult& result = run.value();
+        if (i == 0) {
+          if (const std::string path = flags.get("result-json"); !path.empty()) {
+            std::ofstream out(path);
+            write_result_json(out, result);
+          }
+        }
 
         std::string unfair = "";
         if (with_fairness) {

@@ -1,0 +1,214 @@
+// twin_worker: the server binary of the twin service (src/twinsvc).
+//
+// Listens on a unix or tcp endpoint for framed twinsvc.v1 eval requests
+// and streams back fork verdicts — the remote half of
+// `policy_explorer --what-if --twin-remote <endpoint>`.
+//
+//   $ ./twin_worker --listen unix:/tmp/twin.sock
+//   $ ./twin_worker --listen tcp:127.0.0.1:7701 --threads 4
+//   $ ./twin_worker --selfcheck          # loopback conformance proof
+//
+// --ready-file PATH writes the resolved endpoint (ephemeral tcp ports
+// included) once the worker is accepting, so scripts can wait for it.
+//
+// The --fail-first / --fail-after / --stall-ms / --garbage flags are the
+// fault-injection harness used by tests/twinsvc and CI: they make the
+// worker abort mid-stream, blow deadlines, or corrupt frame CRCs on a
+// deterministic schedule.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+#include "obs/session.hpp"
+#include "platform/machine_spec.hpp"
+#include "sim/snapshot.hpp"
+#include "twinsvc/client.hpp"
+#include "twinsvc/worker.hpp"
+#include "util/flags.hpp"
+#include "workload/trace.hpp"
+
+using namespace amjs;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+/// Loopback conformance proof: serve a synthetic consult through a real
+/// socket pair and require the verdicts to be bit-identical to the
+/// in-process engine's. Exercises the full frame codec, the worker, and
+/// the client in one process — the "is this build's service sane" check.
+int selfcheck() {
+  const MachineSpec machine = MachineSpec::flat(100);
+
+  // A contended workload the machine can actually run: enough overlap
+  // that every fork sees a non-trivial queue, so the comparison is not
+  // vacuous.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    Job j;
+    j.submit = i * 350;
+    j.runtime = 1200 + (i % 5) * 900;
+    j.walltime = j.runtime + 600;
+    j.nodes = 20 + (i % 4) * 15;
+    jobs.push_back(j);
+  }
+  auto built = JobTrace::from_jobs(std::move(jobs));
+  if (!built.ok()) {
+    std::fprintf(stderr, "selfcheck: %s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  const JobTrace trace = std::move(built).value();
+
+  SimSnapshot snapshot;
+  SimConfig sim_config;
+  sim_config.snapshot_sink = [&](const SimSnapshot& s) {
+    if (s.check_index == 4) snapshot = s;
+  };
+  auto live = machine.make();
+  MetricAwareScheduler sched;
+  Simulator sim(*live, sched, sim_config);
+  (void)sim.run(trace);
+  if (!snapshot.valid()) {
+    std::fprintf(stderr, "selfcheck: run produced no snapshot\n");
+    return 1;
+  }
+
+  std::vector<TwinCandidateSpec> candidates;
+  for (const double bf : {0.2, 0.5, 1.0}) {
+    for (const int w : {1, 4}) {
+      MetricAwareConfig cfg;
+      cfg.policy = {bf, w};
+      candidates.push_back({cfg.policy.label(), cfg});
+    }
+  }
+
+  TwinConfig twin;
+  twin.horizon = hours(2);
+  twin.threads = 1;
+
+  auto listener = twinsvc::Listener::bind(twinsvc::Endpoint::tcp("127.0.0.1", 0));
+  if (!listener.ok()) {
+    std::fprintf(stderr, "selfcheck: %s\n", listener.error().to_string().c_str());
+    return 1;
+  }
+  twinsvc::TwinWorker worker(std::move(listener).value());
+  const twinsvc::Endpoint endpoint = worker.endpoint();
+  worker.start();
+
+  twinsvc::RemoteTwinConfig remote_config;
+  remote_config.workers = {endpoint};
+  remote_config.twin = twin;
+  twinsvc::RemoteTwinEngine remote(machine, remote_config);
+  auto remote_results = remote.evaluate(trace, snapshot, candidates);
+
+  LocalTwinBackend local(machine.factory(), twin);
+  auto local_results = local.evaluate(trace, snapshot, candidates);
+  worker.stop();
+
+  if (!remote_results.ok() || !local_results.ok()) {
+    std::fprintf(stderr, "selfcheck: evaluation failed\n");
+    return 1;
+  }
+  if (worker.requests_served() == 0) {
+    std::fprintf(stderr, "selfcheck: consult fell back instead of going remote\n");
+    return 1;
+  }
+  const auto& remote_v = remote_results.value();
+  const auto& local_v = local_results.value();
+  if (remote_v.size() != local_v.size()) {
+    std::fprintf(stderr, "selfcheck: %zu remote vs %zu local verdicts\n",
+                 remote_v.size(), local_v.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < remote_v.size(); ++i) {
+    // Bit-identical scores; wall_ms is the only nondeterministic field.
+    if (remote_v[i].label != local_v[i].label ||
+        remote_v[i].avg_queue_depth_min != local_v[i].avg_queue_depth_min ||
+        remote_v[i].utilization != local_v[i].utilization ||
+        remote_v[i].objective != local_v[i].objective ||
+        remote_v[i].jobs_started != local_v[i].jobs_started) {
+      std::fprintf(stderr, "selfcheck: verdict %zu (%s) diverges from local\n",
+                   i, remote_v[i].label.c_str());
+      return 1;
+    }
+  }
+  std::printf("selfcheck ok: %zu verdicts over %s bit-identical to local\n",
+              remote_v.size(), endpoint.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  Flags flags;
+  flags.define("listen", "unix:/tmp/amjs_twin_worker.sock",
+               "endpoint to serve (unix:/path or tcp:host:port; tcp port 0 "
+               "picks an ephemeral port)");
+  flags.define("threads", "0", "fork fan-out threads per request (0 = auto)");
+  flags.define("io-timeout-ms", "30000", "per-socket-operation timeout");
+  flags.define("ready-file", "",
+               "write the resolved endpoint here once accepting");
+  flags.define_bool("selfcheck",
+                    "serve one loopback consult and verify the verdicts are "
+                    "bit-identical to the in-process engine, then exit");
+  flags.define("fail-first", "0",
+               "fault injection: abort each of the first N requests mid-stream");
+  flags.define("fail-after", "-1",
+               "fault injection: serve N requests, then abort every later one");
+  flags.define("stall-ms", "0",
+               "fault injection: sleep before replying to each request");
+  flags.define_bool("garbage",
+                    "fault injection: corrupt the CRC of every verdict frame");
+  obs::add_flags(flags);
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("twin_worker").c_str());
+    return 1;
+  }
+  obs::Session obs_session(flags);
+
+  if (flags.get_bool("selfcheck")) return selfcheck();
+
+  auto endpoint = twinsvc::Endpoint::parse(flags.get("listen"));
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "%s\n", endpoint.error().to_string().c_str());
+    return 1;
+  }
+  auto listener = twinsvc::Listener::bind(endpoint.value());
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.error().to_string().c_str());
+    return 1;
+  }
+
+  twinsvc::WorkerConfig config;
+  config.threads = static_cast<unsigned>(flags.get_i64("threads"));
+  config.io_timeout_ms = static_cast<int>(flags.get_i64("io-timeout-ms"));
+  config.faults.fail_first = flags.get_i64("fail-first");
+  config.faults.fail_after = flags.get_i64("fail-after");
+  config.faults.stall_ms = flags.get_i64("stall-ms");
+  config.faults.garbage = flags.get_bool("garbage");
+
+  twinsvc::TwinWorker worker(std::move(listener).value(), config);
+  std::fprintf(stderr, "twin_worker: serving %s\n",
+               worker.endpoint().to_string().c_str());
+  if (const std::string ready = flags.get("ready-file"); !ready.empty()) {
+    std::ofstream out(ready);
+    out << worker.endpoint().to_string() << "\n";
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  worker.start();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "twin_worker: stopping (%llu requests served)\n",
+               static_cast<unsigned long long>(worker.requests_served()));
+  worker.stop();
+  return 0;
+}

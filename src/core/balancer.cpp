@@ -80,6 +80,7 @@ std::unique_ptr<Scheduler> MetricsBalancer::make(const BalancerSpec& spec) {
     wi.w_candidates = spec.wi_w_candidates;
     wi.twin.horizon = spec.wi_horizon;
     wi.machine_factory = spec.wi_machine_factory;
+    wi.backend = spec.wi_backend;
     wi.evaluate_every = spec.wi_evaluate_every;
     wi.label = spec.display_name();
     return std::make_unique<WhatIfTuner>(std::move(wi));

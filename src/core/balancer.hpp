@@ -13,6 +13,7 @@
 
 #include "core/adaptive.hpp"
 #include "core/metric_aware.hpp"
+#include "core/twin_backend.hpp"
 
 namespace amjs {
 
@@ -51,6 +52,10 @@ struct BalancerSpec {
   Duration wi_horizon = hours(6);
   int wi_evaluate_every = 4;
   std::function<std::unique_ptr<Machine>()> wi_machine_factory;
+
+  /// Optional consult backend (e.g. twinsvc's RemoteTwinEngine); null
+  /// keeps the in-process TwinEngine built from wi_machine_factory.
+  std::shared_ptr<TwinBackend> wi_backend;
 
   /// Optional display label; defaults to a Table-II-style name.
   std::string label;

@@ -1,0 +1,26 @@
+#include "core/twin_backend.hpp"
+
+#include <utility>
+
+namespace amjs {
+
+TwinCandidate to_candidate(const TwinCandidateSpec& spec) {
+  return TwinCandidate{
+      spec.label,
+      [config = spec.config] { return std::make_unique<MetricAwareScheduler>(config); }};
+}
+
+LocalTwinBackend::LocalTwinBackend(
+    std::function<std::unique_ptr<Machine>()> machine_factory, TwinConfig config)
+    : engine_(std::move(machine_factory), config) {}
+
+Result<std::vector<TwinForkResult>> LocalTwinBackend::evaluate(
+    const JobTrace& trace, const SimSnapshot& snapshot,
+    const std::vector<TwinCandidateSpec>& candidates, obs::TraceSink* /*sink*/) {
+  std::vector<TwinCandidate> expanded;
+  expanded.reserve(candidates.size());
+  for (const auto& spec : candidates) expanded.push_back(to_candidate(spec));
+  return engine_.evaluate(trace, snapshot, expanded);
+}
+
+}  // namespace amjs

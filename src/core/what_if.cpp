@@ -5,14 +5,18 @@
 #include "obs/trace.hpp"
 #include "sim/snapshot.hpp"
 #include "util/fmt.hpp"
+#include "util/log.hpp"
 
 namespace amjs {
 
 WhatIfTuner::WhatIfTuner(WhatIfConfig config)
     : config_(std::move(config)),
       inner_(config_.base),
-      twin_(config_.machine_factory, config_.twin) {
-  assert(config_.machine_factory != nullptr);
+      backend_(config_.backend != nullptr
+                   ? config_.backend
+                   : std::make_shared<LocalTwinBackend>(config_.machine_factory,
+                                                        config_.twin)) {
+  assert(config_.backend != nullptr || config_.machine_factory != nullptr);
   assert(!config_.bf_candidates.empty());
   assert(!config_.w_candidates.empty());
   assert(config_.evaluate_every >= 1);
@@ -35,17 +39,16 @@ void WhatIfTuner::reset() {
   checks_seen_ = 0;
 }
 
-std::vector<TwinCandidate> WhatIfTuner::make_candidates() const {
-  std::vector<TwinCandidate> candidates;
+std::vector<TwinCandidateSpec> WhatIfTuner::make_candidates() const {
+  std::vector<TwinCandidateSpec> candidates;
   candidates.reserve(config_.bf_candidates.size() * config_.w_candidates.size());
   for (const double bf : config_.bf_candidates) {
     for (const int w : config_.w_candidates) {
       MetricAwareConfig fork_config = config_.base;
       fork_config.policy = MetricAwarePolicy{bf, w};
       assert(fork_config.policy.valid());
-      candidates.push_back(TwinCandidate{
-          fork_config.policy.label(),
-          [fork_config] { return std::make_unique<MetricAwareScheduler>(fork_config); }});
+      candidates.push_back(
+          TwinCandidateSpec{fork_config.policy.label(), fork_config});
     }
   }
   return candidates;
@@ -70,7 +73,18 @@ void WhatIfTuner::on_metric_check(SchedContext& ctx, double queue_depth_minutes)
                  {obs::arg("candidates", candidates.size()),
                   obs::arg("queue_depth_min", queue_depth_minutes)});
     }
-    const auto results = twin_.evaluate(ctx.trace(), snapshot, candidates);
+    auto evaluated = backend_->evaluate(ctx.trace(), snapshot, candidates, tr);
+    if (!evaluated.ok()) {
+      // A failed consultation (no backend should produce one — the remote
+      // engine degrades to in-process instead) keeps the current policy;
+      // the run stays valid, just untuned for this interval.
+      log::warn("what-if: twin consultation failed, keeping {}: {}",
+                inner_.policy().label(), evaluated.error().to_string());
+      bf_history_.add(ctx.now(), inner_.policy().balance_factor);
+      w_history_.add(ctx.now(), inner_.policy().window_size);
+      return;
+    }
+    const std::vector<TwinForkResult>& results = evaluated.value();
     const std::size_t best = TwinEngine::best_index(results);
 
     const MetricAwarePolicy chosen{

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/metric_aware.hpp"
+#include "core/twin_backend.hpp"
 #include "twin/twin.hpp"
 #include "util/timeseries.hpp"
 
@@ -40,7 +41,14 @@ struct WhatIfConfig {
   TwinConfig twin;
 
   /// Builds fork machines (same model/topology as the live machine).
+  /// Required unless `backend` is set.
   std::function<std::unique_ptr<Machine>()> machine_factory;
+
+  /// Consult boundary. Null (the default) builds an in-process
+  /// LocalTwinBackend from machine_factory + twin; a RemoteTwinEngine
+  /// (src/twinsvc) plugs in here without the tuner noticing — every
+  /// backend returns bit-identical verdicts for the same inputs.
+  std::shared_ptr<TwinBackend> backend;
 
   /// Consult the twin at every k-th metric check (k >= 1).
   int evaluate_every = 4;
@@ -96,11 +104,11 @@ class WhatIfTuner final : public Scheduler {
 
  private:
   /// One fork per (BF, W) candidate, sharing the base configuration.
-  [[nodiscard]] std::vector<TwinCandidate> make_candidates() const;
+  [[nodiscard]] std::vector<TwinCandidateSpec> make_candidates() const;
 
   WhatIfConfig config_;
   MetricAwareScheduler inner_;
-  TwinEngine twin_;
+  std::shared_ptr<TwinBackend> backend_;
   WhatIfStats stats_;
   SampledSeries bf_history_;
   SampledSeries w_history_;

@@ -1,0 +1,58 @@
+#include "platform/machine_spec.hpp"
+
+#include "util/fmt.hpp"
+
+namespace amjs {
+
+MachineSpec MachineSpec::flat(NodeCount nodes) {
+  MachineSpec spec;
+  spec.kind = Kind::kFlat;
+  spec.nodes = nodes;
+  return spec;
+}
+
+MachineSpec MachineSpec::partitioned(PartitionConfig config) {
+  MachineSpec spec;
+  spec.kind = Kind::kPartition;
+  spec.partition = config;
+  return spec;
+}
+
+bool MachineSpec::valid() const {
+  switch (kind) {
+    case Kind::kFlat:
+      return nodes > 0;
+    case Kind::kPartition:
+      return partition.leaf_nodes > 0 && partition.row_leaves > 0 &&
+             partition.rows > 0 &&
+             partition.row_leaves * partition.rows <= PartitionMachine::kMaxLeaves;
+  }
+  return false;
+}
+
+std::unique_ptr<Machine> MachineSpec::make() const {
+  switch (kind) {
+    case Kind::kFlat:
+      return std::make_unique<FlatMachine>(nodes);
+    case Kind::kPartition:
+      return std::make_unique<PartitionMachine>(partition);
+  }
+  return nullptr;
+}
+
+std::function<std::unique_ptr<Machine>()> MachineSpec::factory() const {
+  return [spec = *this] { return spec.make(); };
+}
+
+std::string MachineSpec::label() const {
+  switch (kind) {
+    case Kind::kFlat:
+      return format("flat:{}", nodes);
+    case Kind::kPartition:
+      return format("partition:{}x{}x{}", partition.leaf_nodes,
+                    partition.row_leaves, partition.rows);
+  }
+  return "invalid";
+}
+
+}  // namespace amjs

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/registry.hpp"
+#include "util/log.hpp"
 #include "util/parallel.hpp"
 
 namespace amjs {
@@ -12,8 +13,15 @@ TwinEngine::TwinEngine(std::function<std::unique_ptr<Machine>()> machine_factory
                        TwinConfig config)
     : machine_factory_(std::move(machine_factory)), config_(config) {
   assert(machine_factory_ != nullptr);
-  assert(config_.horizon >= config_.metric_check_interval &&
-         "horizon shorter than one metric check scores nothing");
+  // A horizon shorter than one metric check samples no queue-depth points,
+  // so every fork would score 0 queue depth and the objective would be
+  // pure utilization — silently, in release builds. Clamp instead of
+  // assert so both build types score at least one check.
+  if (config_.horizon < config_.metric_check_interval) {
+    log::warn("twin: horizon {}s < metric check interval {}s; clamping to one interval",
+              config_.horizon, config_.metric_check_interval);
+    config_.horizon = config_.metric_check_interval;
+  }
 }
 
 std::vector<TwinForkResult> TwinEngine::evaluate(

@@ -51,7 +51,9 @@ struct TwinForkResult {
 };
 
 struct TwinConfig {
-  /// Sim-time lookahead per fork.
+  /// Sim-time lookahead per fork. Clamped up to `metric_check_interval`
+  /// at engine construction: a shorter horizon samples no metric checks
+  /// and would silently score every fork 0 queue depth.
   Duration horizon = hours(6);
 
   /// Metric-check cadence inside forks (match the live run's so queue

@@ -1,0 +1,232 @@
+#include "twinsvc/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+
+namespace amjs::twinsvc {
+namespace {
+
+void count(std::string_view name, std::uint64_t n = 1) {
+  if (obs::Registry::enabled()) obs::Registry::global().counter(name).add(n);
+}
+
+void record_ms(std::string_view name, double ms) {
+  if (obs::Registry::enabled()) obs::Registry::global().timer(name).record_ms(ms);
+}
+
+}  // namespace
+
+RemoteTwinEngine::RemoteTwinEngine(MachineSpec machine, RemoteTwinConfig config)
+    : machine_(machine),
+      config_(std::move(config)),
+      fallback_(machine.factory(), config_.twin) {}
+
+Result<std::vector<TwinForkResult>> RemoteTwinEngine::evaluate(
+    const JobTrace& trace, const SimSnapshot& snapshot,
+    const std::vector<TwinCandidateSpec>& candidates, obs::TraceSink* sink) {
+  count("twinsvc.consults");
+  const auto consult_start = std::chrono::steady_clock::now();
+  if (candidates.empty()) return std::vector<TwinForkResult>{};
+
+  if (config_.workers.empty()) {
+    count("twinsvc.fallbacks");
+    count("twinsvc.fallback_candidates", candidates.size());
+    return fallback_.evaluate(trace, snapshot, candidates, sink);
+  }
+
+  // Contiguous chunks, one per worker (fewer when candidates are scarce);
+  // chunk c owns candidate indexes [c*size, ...) so reassembly is a copy.
+  const std::size_t chunk_count =
+      std::min(config_.workers.size(), candidates.size());
+  const std::size_t chunk_size =
+      (candidates.size() + chunk_count - 1) / chunk_count;
+
+  const auto outcomes = parallel_map<ChunkOutcome>(
+      chunk_count,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min(begin + chunk_size, candidates.size());
+        const std::vector<TwinCandidateSpec> chunk(
+            candidates.begin() + static_cast<std::ptrdiff_t>(begin),
+            candidates.begin() + static_cast<std::ptrdiff_t>(end));
+        return run_chunk(trace, snapshot, chunk, c, sink);
+      },
+      static_cast<unsigned>(chunk_count));
+
+  std::vector<TwinForkResult> results;
+  results.reserve(candidates.size());
+  for (const auto& outcome : outcomes) {
+    results.insert(results.end(), outcome.results.begin(), outcome.results.end());
+  }
+  record_ms("twinsvc.consult",
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - consult_start)
+                .count());
+  return results;
+}
+
+RemoteTwinEngine::ChunkOutcome RemoteTwinEngine::run_chunk(
+    const JobTrace& trace, const SimSnapshot& snapshot,
+    const std::vector<TwinCandidateSpec>& chunk, std::size_t chunk_index,
+    obs::TraceSink* sink) {
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+
+  EvalRequest request;
+  request.request_id = request_id;
+  request.machine = machine_;
+  request.twin = config_.twin;
+  request.trace = trace;
+  request.snapshot = snapshot;
+  request.candidates = chunk;
+  const auto request_bytes = encode_eval_request(request);
+
+  if (request_bytes.ok()) {
+    for (int attempt_index = 0; attempt_index <= config_.max_retries;
+         ++attempt_index) {
+      if (attempt_index > 0) {
+        count("twinsvc.retries");
+        const int backoff = std::min(
+            config_.backoff_max_ms, config_.backoff_base_ms << (attempt_index - 1));
+        if (backoff > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        }
+      }
+      const Endpoint& worker =
+          config_.workers[(chunk_index + static_cast<std::size_t>(attempt_index)) %
+                          config_.workers.size()];
+      count("twinsvc.dispatches");
+      if (sink != nullptr) {
+        sink->record(obs::TraceCategory::kTwin, "dispatch", snapshot.now,
+                     {obs::arg("worker", worker.to_string()),
+                      obs::arg("chunk", chunk_index),
+                      obs::arg("attempt", attempt_index),
+                      obs::arg("candidates", chunk.size())});
+      }
+      const auto rpc_start = std::chrono::steady_clock::now();
+      auto verdicts =
+          attempt(worker, request_bytes.value(), request_id, chunk.size());
+      record_ms("twinsvc.rpc", std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - rpc_start)
+                                   .count());
+      if (verdicts.ok()) {
+        count("twinsvc.remote_candidates", chunk.size());
+        if (sink != nullptr) {
+          sink->record(obs::TraceCategory::kTwin, "remote_verdict", snapshot.now,
+                       {obs::arg("worker", worker.to_string()),
+                        obs::arg("chunk", chunk_index),
+                        obs::arg("verdicts", chunk.size())});
+        }
+        return ChunkOutcome{std::move(verdicts).value(), /*remote=*/true};
+      }
+      count("twinsvc.rpc_errors");
+      log::info("twinsvc: dispatch to {} failed (attempt {}): {}",
+                worker.to_string(), attempt_index + 1,
+                verdicts.error().to_string());
+    }
+  } else {
+    // The snapshot cannot travel (unregistered state codec) — remote is
+    // off the table for this consult, not an error for the tuner.
+    log::warn("twinsvc: request not serializable, consulting in-process: {}",
+              request_bytes.error().to_string());
+  }
+
+  count("twinsvc.fallbacks");
+  count("twinsvc.fallback_candidates", chunk.size());
+  if (sink != nullptr) {
+    sink->record(obs::TraceCategory::kTwin, "fallback", snapshot.now,
+                 {obs::arg("chunk", chunk_index),
+                  obs::arg("candidates", chunk.size())});
+  }
+  auto local = fallback_.evaluate(trace, snapshot, chunk, sink);
+  // LocalTwinBackend never fails; keep the contract explicit.
+  return ChunkOutcome{local.ok() ? std::move(local).value()
+                                 : std::vector<TwinForkResult>{},
+                      /*remote=*/false};
+}
+
+Result<std::vector<TwinForkResult>> RemoteTwinEngine::attempt(
+    const Endpoint& worker, std::string_view request_bytes,
+    std::uint64_t request_id, std::size_t expected) {
+  const auto deadline_start = std::chrono::steady_clock::now();
+  const auto remaining_ms = [&]() -> int {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - deadline_start)
+                             .count();
+    return static_cast<int>(config_.request_timeout_ms - elapsed);
+  };
+
+  auto socket = dial(worker, remaining_ms());
+  if (!socket) return socket.error();
+  if (remaining_ms() <= 0) return Error{"request deadline expired after connect"};
+  if (Status sent = send_frame(socket.value(), request_bytes, remaining_ms());
+      !sent.ok()) {
+    return sent.error();
+  }
+
+  std::vector<std::optional<TwinForkResult>> slots(expected);
+  std::size_t filled = 0;
+  while (true) {
+    const int budget = remaining_ms();
+    if (budget <= 0) {
+      return Error{format("request deadline expired ({} of {} verdicts)",
+                          filled, expected)};
+    }
+    auto frame = recv_frame(socket.value(), budget);
+    if (!frame) return frame.error();
+    switch (frame.value().type) {
+      case FrameType::kVerdict: {
+        auto verdict = decode_verdict(frame.value().payload);
+        if (!verdict) return verdict.error();
+        if (verdict.value().request_id != request_id) {
+          return Error{format("verdict for request {} on request {}'s stream",
+                              verdict.value().request_id, request_id)};
+        }
+        if (verdict.value().index >= expected) {
+          return Error{format("verdict index {} out of range ({} candidates)",
+                              verdict.value().index, expected)};
+        }
+        auto& slot = slots[static_cast<std::size_t>(verdict.value().index)];
+        if (slot.has_value()) {
+          return Error{format("duplicate verdict for candidate {}",
+                              verdict.value().index)};
+        }
+        slot = std::move(verdict).value().result;
+        ++filled;
+        break;
+      }
+      case FrameType::kEvalDone: {
+        auto done = decode_done(frame.value().payload);
+        if (!done) return done.error();
+        if (done.value().request_id != request_id) {
+          return Error{format("done frame for request {} on request {}'s stream",
+                              done.value().request_id, request_id)};
+        }
+        if (filled != expected) {
+          return Error{format("verdict stream closed with {} of {} verdicts",
+                              filled, expected)};
+        }
+        std::vector<TwinForkResult> results;
+        results.reserve(expected);
+        for (auto& slot : slots) results.push_back(std::move(*slot));
+        return results;
+      }
+      case FrameType::kError: {
+        auto error = decode_error(frame.value().payload);
+        if (!error) return error.error();
+        return Error{format("worker error: {}", error.value().message)};
+      }
+      case FrameType::kEvalRequest:
+        return Error{"worker sent an eval request"};
+    }
+  }
+}
+
+}  // namespace amjs::twinsvc

@@ -1,0 +1,96 @@
+// RemoteTwinEngine — the client side of the twin service: a TwinBackend
+// that ships candidate batches to twin_worker processes and reassembles
+// their verdicts, so WhatIfTuner's fork fan-out can leave the process.
+//
+// Dispatch model: candidates shard into contiguous chunks, one per
+// worker endpoint, dispatched concurrently. Each chunk is one framed
+// request with a per-attempt deadline; a failed attempt (connect error,
+// timeout, short stream, corrupt frame, worker-reported error) retries on
+// the next endpoint after exponential backoff, up to `max_retries`
+// re-dispatches. A chunk that exhausts its retries is scored by the
+// in-process fallback engine instead — evaluate() never fails and, because
+// every backend is verdict-bit-identical, degradation changes latency
+// only, never the tuner's decision.
+//
+// Observability (all gated on obs::Registry::enabled()):
+//   counters twinsvc.consults / .dispatches / .retries / .rpc_errors /
+//            .fallbacks / .remote_candidates / .fallback_candidates
+//   timers   twinsvc.consult (whole evaluate), twinsvc.rpc (per attempt)
+//   trace    kTwin "dispatch" / "remote_verdict" / "fallback" events via
+//            the sink passed to evaluate().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/twin_backend.hpp"
+#include "platform/machine_spec.hpp"
+#include "twinsvc/frame.hpp"
+#include "twinsvc/socket.hpp"
+
+namespace amjs::twinsvc {
+
+struct RemoteTwinConfig {
+  /// Worker pool; empty means every consult runs on the fallback engine.
+  std::vector<Endpoint> workers;
+
+  /// Fork horizon / cadence / objective weights, sent with every request;
+  /// `twin.threads` drives the fallback engine and chunk concurrency.
+  TwinConfig twin;
+
+  /// Per-attempt deadline covering connect + send + the verdict stream.
+  int request_timeout_ms = 60000;
+
+  /// Re-dispatches after the first attempt, per chunk.
+  int max_retries = 2;
+
+  /// Exponential backoff before retry k: base * 2^(k-1), capped.
+  int backoff_base_ms = 100;
+  int backoff_max_ms = 2000;
+};
+
+class RemoteTwinEngine final : public TwinBackend {
+ public:
+  /// `machine` must describe the live machine's model/topology — it is
+  /// shipped to workers and builds the fallback engine's forks.
+  RemoteTwinEngine(MachineSpec machine, RemoteTwinConfig config);
+
+  /// Never fails: chunks that cannot be served remotely fall back to the
+  /// in-process engine. Results are in candidate order, bit-identical to
+  /// TwinEngine::evaluate on the same inputs (except wall_ms).
+  [[nodiscard]] Result<std::vector<TwinForkResult>> evaluate(
+      const JobTrace& trace, const SimSnapshot& snapshot,
+      const std::vector<TwinCandidateSpec>& candidates,
+      obs::TraceSink* sink = nullptr) override;
+
+  [[nodiscard]] std::string name() const override { return "twin-remote"; }
+
+  [[nodiscard]] const RemoteTwinConfig& config() const { return config_; }
+
+ private:
+  struct ChunkOutcome {
+    std::vector<TwinForkResult> results;
+    bool remote = false;  // false = served by the fallback engine
+  };
+
+  [[nodiscard]] ChunkOutcome run_chunk(const JobTrace& trace,
+                                       const SimSnapshot& snapshot,
+                                       const std::vector<TwinCandidateSpec>& chunk,
+                                       std::size_t chunk_index,
+                                       obs::TraceSink* sink);
+
+  /// One dispatch attempt against one worker.
+  [[nodiscard]] Result<std::vector<TwinForkResult>> attempt(
+      const Endpoint& worker, std::string_view request_bytes,
+      std::uint64_t request_id, std::size_t expected);
+
+  MachineSpec machine_;
+  RemoteTwinConfig config_;
+  LocalTwinBackend fallback_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+};
+
+}  // namespace amjs::twinsvc

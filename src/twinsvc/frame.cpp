@@ -1,0 +1,398 @@
+#include "twinsvc/frame.hpp"
+
+#include "snapshot_io/binio.hpp"
+#include "snapshot_io/snapshot_codec.hpp"
+#include "util/fmt.hpp"
+
+namespace amjs::twinsvc {
+namespace {
+
+using snapshot_io::ByteReader;
+using snapshot_io::ByteWriter;
+using snapshot_io::crc32;
+
+std::string seal_frame(FrameType type, std::string_view payload) {
+  ByteWriter w;
+  w.bytes(kFrameMagic);
+  w.u32(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(payload.size());
+  w.bytes(payload);
+  w.u32(crc32(payload));
+  return w.take();
+}
+
+void write_machine_spec(ByteWriter& w, const MachineSpec& spec) {
+  w.u8(static_cast<std::uint8_t>(spec.kind));
+  w.i64(spec.nodes);
+  w.i64(spec.partition.leaf_nodes);
+  w.i64(spec.partition.row_leaves);
+  w.i64(spec.partition.rows);
+}
+
+Result<MachineSpec> read_machine_spec(ByteReader& r) {
+  MachineSpec spec;
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  if (kind.value() > static_cast<std::uint8_t>(MachineSpec::Kind::kPartition)) {
+    return Error{format("bad machine kind {}", kind.value())};
+  }
+  spec.kind = static_cast<MachineSpec::Kind>(kind.value());
+  auto nodes = r.i64();
+  if (!nodes) return nodes.error();
+  spec.nodes = nodes.value();
+  auto leaf_nodes = r.i64();
+  if (!leaf_nodes) return leaf_nodes.error();
+  spec.partition.leaf_nodes = leaf_nodes.value();
+  auto row_leaves = r.i64();
+  if (!row_leaves) return row_leaves.error();
+  spec.partition.row_leaves = static_cast<int>(row_leaves.value());
+  auto rows = r.i64();
+  if (!rows) return rows.error();
+  spec.partition.rows = static_cast<int>(rows.value());
+  if (!spec.valid()) {
+    return Error{format("invalid machine spec {}", spec.label())};
+  }
+  return spec;
+}
+
+void write_candidate(ByteWriter& w, const TwinCandidateSpec& spec) {
+  w.str(kCandidateFamilyMetricAware);
+  w.str(spec.label);
+  w.f64(spec.config.policy.balance_factor);
+  w.i64(spec.config.policy.window_size);
+  w.u8(static_cast<std::uint8_t>(spec.config.backfill));
+  w.boolean(spec.config.literal_eq1);
+  w.boolean(spec.config.exhaustive_window_search);
+  w.i64(spec.config.max_window);
+}
+
+Result<TwinCandidateSpec> read_candidate(ByteReader& r) {
+  auto family = r.str();
+  if (!family) return family.error();
+  if (family.value() != kCandidateFamilyMetricAware) {
+    return Error{format("unsupported candidate family \"{}\"", family.value())};
+  }
+  TwinCandidateSpec spec;
+  auto label = r.str();
+  if (!label) return label.error();
+  spec.label = std::move(label).value();
+  auto bf = r.f64();
+  if (!bf) return bf.error();
+  spec.config.policy.balance_factor = bf.value();
+  auto w_size = r.i64();
+  if (!w_size) return w_size.error();
+  spec.config.policy.window_size = static_cast<int>(w_size.value());
+  if (!spec.config.policy.valid()) {
+    return Error{format("invalid candidate policy (bf {}, w {})",
+                        spec.config.policy.balance_factor,
+                        spec.config.policy.window_size)};
+  }
+  auto backfill = r.u8();
+  if (!backfill) return backfill.error();
+  if (backfill.value() > static_cast<std::uint8_t>(BackfillMode::kConservative)) {
+    return Error{format("bad backfill mode {}", backfill.value())};
+  }
+  spec.config.backfill = static_cast<BackfillMode>(backfill.value());
+  auto literal = r.boolean();
+  if (!literal) return literal.error();
+  spec.config.literal_eq1 = literal.value();
+  auto exhaustive = r.boolean();
+  if (!exhaustive) return exhaustive.error();
+  spec.config.exhaustive_window_search = exhaustive.value();
+  auto max_window = r.i64();
+  if (!max_window) return max_window.error();
+  spec.config.max_window = static_cast<int>(max_window.value());
+  return spec;
+}
+
+void write_trace(ByteWriter& w, const JobTrace& trace) {
+  w.u64(trace.size());
+  for (const Job& job : trace.jobs()) {
+    w.i64(job.id);
+    w.i64(job.submit);
+    w.i64(job.runtime);
+    w.i64(job.walltime);
+    w.i64(job.nodes);
+    w.str(job.user);
+    w.i64(job.queue);
+  }
+}
+
+Result<JobTrace> read_trace(ByteReader& r) {
+  auto n = r.count(r.remaining());
+  if (!n) return n.error();
+  std::vector<Job> jobs;
+  jobs.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    Job job;
+    auto id = r.i64();
+    if (!id) return id.error();
+    job.id = static_cast<JobId>(id.value());
+    auto submit = r.i64();
+    if (!submit) return submit.error();
+    job.submit = submit.value();
+    auto runtime = r.i64();
+    if (!runtime) return runtime.error();
+    job.runtime = runtime.value();
+    auto walltime = r.i64();
+    if (!walltime) return walltime.error();
+    job.walltime = walltime.value();
+    auto nodes = r.i64();
+    if (!nodes) return nodes.error();
+    job.nodes = nodes.value();
+    auto user = r.str();
+    if (!user) return user.error();
+    job.user = std::move(user).value();
+    auto queue = r.i64();
+    if (!queue) return queue.error();
+    job.queue = static_cast<int>(queue.value());
+    jobs.push_back(std::move(job));
+  }
+  // The trace travelled in canonical (dense-id, submit-sorted) order, so
+  // rebuilding through from_jobs is the identity — plus its validation.
+  return JobTrace::from_jobs(std::move(jobs));
+}
+
+void write_fork_result(ByteWriter& w, const TwinForkResult& result) {
+  w.str(result.label);
+  w.f64(result.avg_queue_depth_min);
+  w.f64(result.utilization);
+  w.f64(result.objective);
+  w.f64(result.wall_ms);
+  w.u64(result.jobs_started);
+}
+
+Result<TwinForkResult> read_fork_result(ByteReader& r) {
+  TwinForkResult result;
+  auto label = r.str();
+  if (!label) return label.error();
+  result.label = std::move(label).value();
+  auto qd = r.f64();
+  if (!qd) return qd.error();
+  result.avg_queue_depth_min = qd.value();
+  auto util = r.f64();
+  if (!util) return util.error();
+  result.utilization = util.value();
+  auto objective = r.f64();
+  if (!objective) return objective.error();
+  result.objective = objective.value();
+  auto wall = r.f64();
+  if (!wall) return wall.error();
+  result.wall_ms = wall.value();
+  auto started = r.u64();
+  if (!started) return started.error();
+  result.jobs_started = started.value();
+  return result;
+}
+
+}  // namespace
+
+Result<std::string> encode_eval_request(const EvalRequest& request) {
+  auto snapshot_bytes = snapshot_io::write_snapshot(request.snapshot);
+  if (!snapshot_bytes) return snapshot_bytes.error();
+  ByteWriter w;
+  w.u64(request.request_id);
+  write_machine_spec(w, request.machine);
+  w.i64(request.twin.horizon);
+  w.i64(request.twin.metric_check_interval);
+  w.f64(request.twin.queue_weight);
+  w.f64(request.twin.util_weight);
+  write_trace(w, request.trace);
+  w.str(snapshot_bytes.value());
+  w.u64(request.candidates.size());
+  for (const auto& candidate : request.candidates) write_candidate(w, candidate);
+  return seal_frame(FrameType::kEvalRequest, w.data());
+}
+
+std::string encode_verdict(const VerdictFrame& verdict) {
+  ByteWriter w;
+  w.u64(verdict.request_id);
+  w.u64(verdict.index);
+  write_fork_result(w, verdict.result);
+  return seal_frame(FrameType::kVerdict, w.data());
+}
+
+std::string encode_done(const DoneFrame& done) {
+  ByteWriter w;
+  w.u64(done.request_id);
+  w.u64(done.verdicts);
+  return seal_frame(FrameType::kEvalDone, w.data());
+}
+
+std::string encode_error(const ErrorFrame& error) {
+  ByteWriter w;
+  w.u64(error.request_id);
+  w.str(error.message);
+  return seal_frame(FrameType::kError, w.data());
+}
+
+Result<FrameHeader> decode_frame_header(std::string_view bytes) {
+  if (bytes.size() != kFrameHeaderSize) {
+    return Error{format("frame header is {} bytes, got {}", kFrameHeaderSize,
+                        bytes.size())};
+  }
+  if (bytes.substr(0, kFrameMagic.size()) != kFrameMagic) {
+    return Error{"not a twinsvc frame (bad magic)"};
+  }
+  ByteReader r(bytes.substr(kFrameMagic.size()));
+  auto version = r.u32();
+  if (!version) return version.error();
+  if (version.value() != kProtocolVersion) {
+    return Error{format("unsupported twinsvc protocol version {} (this peer speaks {})",
+                        version.value(), kProtocolVersion)};
+  }
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (type.value() < static_cast<std::uint8_t>(FrameType::kEvalRequest) ||
+      type.value() > static_cast<std::uint8_t>(FrameType::kError)) {
+    return Error{format("unknown frame type {}", type.value())};
+  }
+  auto length = r.u64();
+  if (!length) return length.error();
+  if (length.value() > kMaxFramePayload) {
+    return Error{format("frame payload of {} bytes exceeds the {} byte cap",
+                        length.value(), kMaxFramePayload)};
+  }
+  FrameHeader header;
+  header.type = static_cast<FrameType>(type.value());
+  header.payload_size = length.value();
+  return header;
+}
+
+Result<std::string> decode_frame_body(const FrameHeader& header,
+                                      std::string_view body) {
+  if (body.size() != header.payload_size + 4) {
+    return Error{format("frame body is {} bytes, expected {} + 4 (CRC)",
+                        body.size(), header.payload_size)};
+  }
+  const std::string_view payload = body.substr(0, header.payload_size);
+  ByteReader crc_reader(body.substr(header.payload_size));
+  auto stored = crc_reader.u32();
+  if (!stored) return stored.error();
+  const std::uint32_t actual = crc32(payload);
+  if (stored.value() != actual) {
+    return Error{format("frame CRC mismatch: stored {:x}, computed {:x}",
+                        stored.value(), actual)};
+  }
+  return std::string(payload);
+}
+
+Result<Frame> decode_frame(std::string_view bytes) {
+  if (bytes.size() < kFrameOverhead) {
+    return Error{format("truncated frame: {} bytes, header + CRC need {}",
+                        bytes.size(), kFrameOverhead)};
+  }
+  auto header = decode_frame_header(bytes.substr(0, kFrameHeaderSize));
+  if (!header) return header.error();
+  const std::string_view rest = bytes.substr(kFrameHeaderSize);
+  if (rest.size() != header.value().payload_size + 4) {
+    return Error{format("frame of {} payload bytes, {} bytes after header",
+                        header.value().payload_size, rest.size())};
+  }
+  auto payload = decode_frame_body(header.value(), rest);
+  if (!payload) return payload.error();
+  Frame frame;
+  frame.type = header.value().type;
+  frame.payload = std::move(payload).value();
+  return frame;
+}
+
+Result<EvalRequest> decode_eval_request(std::string_view payload) {
+  ByteReader r(payload);
+  EvalRequest request;
+  auto id = r.u64();
+  if (!id) return id.error();
+  request.request_id = id.value();
+  auto machine = read_machine_spec(r);
+  if (!machine) return machine.error();
+  request.machine = machine.value();
+  auto horizon = r.i64();
+  if (!horizon) return horizon.error();
+  request.twin.horizon = horizon.value();
+  auto interval = r.i64();
+  if (!interval) return interval.error();
+  request.twin.metric_check_interval = interval.value();
+  if (request.twin.horizon < 0 || request.twin.metric_check_interval <= 0) {
+    return Error{format("bad twin horizon {} / check interval {}",
+                        request.twin.horizon, request.twin.metric_check_interval)};
+  }
+  auto queue_weight = r.f64();
+  if (!queue_weight) return queue_weight.error();
+  request.twin.queue_weight = queue_weight.value();
+  auto util_weight = r.f64();
+  if (!util_weight) return util_weight.error();
+  request.twin.util_weight = util_weight.value();
+  auto trace = read_trace(r);
+  if (!trace) return trace.error();
+  request.trace = std::move(trace).value();
+  auto snapshot_bytes = r.str();
+  if (!snapshot_bytes) return snapshot_bytes.error();
+  auto snapshot = snapshot_io::read_snapshot(snapshot_bytes.value());
+  if (!snapshot) {
+    return Error{snapshot.error().message, "request snapshot"};
+  }
+  request.snapshot = std::move(snapshot).value();
+  auto n = r.count(r.remaining());
+  if (!n) return n.error();
+  request.candidates.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto candidate = read_candidate(r);
+    if (!candidate) return candidate.error();
+    request.candidates.push_back(std::move(candidate).value());
+  }
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after eval request", r.remaining())};
+  }
+  return request;
+}
+
+Result<VerdictFrame> decode_verdict(std::string_view payload) {
+  ByteReader r(payload);
+  VerdictFrame verdict;
+  auto id = r.u64();
+  if (!id) return id.error();
+  verdict.request_id = id.value();
+  auto index = r.u64();
+  if (!index) return index.error();
+  verdict.index = index.value();
+  auto result = read_fork_result(r);
+  if (!result) return result.error();
+  verdict.result = std::move(result).value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after verdict", r.remaining())};
+  }
+  return verdict;
+}
+
+Result<DoneFrame> decode_done(std::string_view payload) {
+  ByteReader r(payload);
+  DoneFrame done;
+  auto id = r.u64();
+  if (!id) return id.error();
+  done.request_id = id.value();
+  auto verdicts = r.u64();
+  if (!verdicts) return verdicts.error();
+  done.verdicts = verdicts.value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after done frame", r.remaining())};
+  }
+  return done;
+}
+
+Result<ErrorFrame> decode_error(std::string_view payload) {
+  ByteReader r(payload);
+  ErrorFrame error;
+  auto id = r.u64();
+  if (!id) return id.error();
+  error.request_id = id.value();
+  auto message = r.str();
+  if (!message) return message.error();
+  error.message = std::move(message).value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after error frame", r.remaining())};
+  }
+  return error;
+}
+
+}  // namespace amjs::twinsvc

@@ -1,0 +1,138 @@
+// twinsvc.v1 wire format — framed request/verdict protocol of the twin
+// service (see DESIGN.md "Twin service").
+//
+// Every message on a twin connection is one frame:
+//
+//   offset  size  field
+//   0       8     magic "AMJSTWSV"
+//   8       4     protocol version (u32, currently 1)
+//   12      1     frame type (u8, FrameType)
+//   13      8     payload length (u64)
+//   21      n     payload
+//   21+n    4     CRC-32 of the payload
+//
+// The conversation is snapshot-in / verdicts-out: the client sends one
+// kEvalRequest (machine spec + twin parameters + workload + snapshot
+// container + candidate specs — fully self-contained, so any worker can
+// serve any request and a retry is always safe), and the worker streams
+// back one kVerdict frame per candidate followed by kEvalDone, or a
+// single kError. Payload encodings reuse snapshot_io's ByteWriter /
+// ByteReader primitives: little-endian fixed-width integers, bit-cast
+// doubles (what makes remote verdicts bit-identical to local ones), and
+// bounds-checked reads, so a truncated or bit-flipped frame surfaces as a
+// clean Result error — never OOB, never a wrong verdict (the CRC catches
+// payload corruption the structure checks cannot).
+//
+// Versioning: the header version is checked before anything else; a
+// mismatch is an error that *names both versions*, so a stale worker or
+// client fails loudly. Frame-type and candidate-family tags leave room to
+// extend v1 without breaking old peers on byte one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/twin_backend.hpp"
+#include "platform/machine_spec.hpp"
+#include "sim/snapshot.hpp"
+#include "twin/twin.hpp"
+#include "util/result.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs::twinsvc {
+
+inline constexpr std::string_view kFrameMagic = "AMJSTWSV";
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::string_view kProtocolName = "twinsvc.v1";
+
+/// magic + version + type + payload length.
+inline constexpr std::size_t kFrameHeaderSize = 21;
+/// Header + trailing CRC.
+inline constexpr std::size_t kFrameOverhead = kFrameHeaderSize + 4;
+
+/// Upper bound on a sane payload (a corrupt length field must not drive a
+/// multi-gigabyte allocation).
+inline constexpr std::uint64_t kMaxFramePayload = 256ull << 20;
+
+enum class FrameType : std::uint8_t {
+  kEvalRequest = 1,  // client -> worker
+  kVerdict = 2,      // worker -> client, one per candidate
+  kEvalDone = 3,     // worker -> client, closes the verdict stream
+  kError = 4,        // either direction, terminal for the request
+};
+
+/// Candidate family tag carried per candidate; v1 ships the metric-aware
+/// scheduler family only. Unknown tags are rejected, not guessed at.
+inline constexpr std::string_view kCandidateFamilyMetricAware = "metric_aware.v1";
+
+struct EvalRequest {
+  std::uint64_t request_id = 0;
+  MachineSpec machine;
+  /// horizon / metric_check_interval / weights travel; `threads` is a
+  /// worker-local concern and stays out of the wire format.
+  TwinConfig twin;
+  JobTrace trace;
+  SimSnapshot snapshot;
+  std::vector<TwinCandidateSpec> candidates;
+};
+
+struct VerdictFrame {
+  std::uint64_t request_id = 0;
+  /// Candidate index within the request (verdicts may stream in any
+  /// order; the client reassembles by index).
+  std::uint64_t index = 0;
+  TwinForkResult result;
+};
+
+struct DoneFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t verdicts = 0;
+};
+
+struct ErrorFrame {
+  std::uint64_t request_id = 0;  // 0 when the request never decoded
+  std::string message;
+};
+
+// --- Encoding (payload + frame in one step). ---------------------------
+
+/// Fails only if the snapshot holds a state with no registered codec.
+[[nodiscard]] Result<std::string> encode_eval_request(const EvalRequest& request);
+[[nodiscard]] std::string encode_verdict(const VerdictFrame& verdict);
+[[nodiscard]] std::string encode_done(const DoneFrame& done);
+[[nodiscard]] std::string encode_error(const ErrorFrame& error);
+
+// --- Decoding. ---------------------------------------------------------
+
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  std::uint64_t payload_size = 0;
+};
+
+/// Parse and validate the fixed-size header (`bytes` must be exactly
+/// kFrameHeaderSize). Checks magic, version (the error names both
+/// versions), frame type, and payload-length sanity.
+[[nodiscard]] Result<FrameHeader> decode_frame_header(std::string_view bytes);
+
+/// Verify the CRC over `body` (payload + 4-byte CRC, as received after
+/// the header) and return the payload.
+[[nodiscard]] Result<std::string> decode_frame_body(const FrameHeader& header,
+                                                    std::string_view body);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Decode one complete frame from a flat buffer (header + payload + CRC,
+/// no trailing bytes) — the corruption-test entry point.
+[[nodiscard]] Result<Frame> decode_frame(std::string_view bytes);
+
+[[nodiscard]] Result<EvalRequest> decode_eval_request(std::string_view payload);
+[[nodiscard]] Result<VerdictFrame> decode_verdict(std::string_view payload);
+[[nodiscard]] Result<DoneFrame> decode_done(std::string_view payload);
+[[nodiscard]] Result<ErrorFrame> decode_error(std::string_view payload);
+
+}  // namespace amjs::twinsvc

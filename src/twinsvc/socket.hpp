@@ -1,0 +1,107 @@
+// Minimal POSIX stream-socket layer for the twin service: endpoint
+// parsing, a move-only connected socket with deadline-bounded I/O, and a
+// listener. Unix-domain sockets cover the single-host case (and the test
+// suite); TCP covers cross-host fan-out. No third-party dependencies —
+// plain sockets, poll(2) for deadlines, MSG_NOSIGNAL so a dead peer is an
+// error return, never SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "twinsvc/frame.hpp"
+#include "util/result.hpp"
+
+namespace amjs::twinsvc {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  // unix
+  std::string host;  // tcp
+  int port = 0;      // tcp; 0 = ephemeral (resolved after bind)
+
+  /// "unix:/run/twin.sock" or "tcp:127.0.0.1:7077".
+  [[nodiscard]] static Result<Endpoint> parse(std::string_view text);
+  [[nodiscard]] static Endpoint unix_path(std::string path);
+  [[nodiscard]] static Endpoint tcp(std::string host, int port);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Connected stream socket (client side of dial, or an accepted peer).
+/// Deadlines: every I/O call takes `timeout_ms`; <= 0 blocks indefinitely.
+/// A lapsed deadline surfaces as an Error mentioning "timed out".
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  [[nodiscard]] Status send_all(std::string_view data, int timeout_ms);
+  /// Exactly `n` bytes; EOF before that is an error.
+  [[nodiscard]] Result<std::string> recv_exact(std::size_t n, int timeout_ms);
+  /// Like recv_exact, but a clean EOF *before any byte* yields nullopt —
+  /// how a server notices the client simply hung up between requests.
+  [[nodiscard]] Result<std::optional<std::string>> recv_exact_or_eof(
+      std::size_t n, int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+[[nodiscard]] Result<Socket> dial(const Endpoint& endpoint, int timeout_ms);
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen. For unix endpoints a stale socket file is unlinked
+  /// first; for tcp port 0 the resolved port is in endpoint().
+  [[nodiscard]] static Result<Listener> bind(const Endpoint& endpoint,
+                                             int backlog = 16);
+
+  /// Wait up to `timeout_ms` for a connection; nullopt = timeout (so an
+  /// accept loop can poll a stop flag without racing close()).
+  [[nodiscard]] Result<std::optional<Socket>> accept(int timeout_ms);
+
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_;
+};
+
+// --- Frame I/O over a socket. ------------------------------------------
+
+[[nodiscard]] Status send_frame(Socket& socket, std::string_view frame_bytes,
+                                int timeout_ms);
+
+/// Read one complete frame (header, then payload + CRC) and verify it.
+[[nodiscard]] Result<Frame> recv_frame(Socket& socket, int timeout_ms);
+
+/// recv_frame, except a clean EOF before the first header byte yields
+/// nullopt (end of the request stream rather than a protocol error).
+[[nodiscard]] Result<std::optional<Frame>> recv_frame_or_eof(Socket& socket,
+                                                             int timeout_ms);
+
+}  // namespace amjs::twinsvc

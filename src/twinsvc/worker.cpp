@@ -1,0 +1,159 @@
+#include "twinsvc/worker.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "util/log.hpp"
+
+namespace amjs::twinsvc {
+namespace {
+
+/// Flip one CRC byte so the frame fails validation at the client — the
+/// "broken peer" fault.
+std::string corrupt_crc(std::string frame_bytes) {
+  frame_bytes.back() = static_cast<char>(frame_bytes.back() ^ 0x5a);
+  return frame_bytes;
+}
+
+}  // namespace
+
+TwinWorker::TwinWorker(Listener listener, WorkerConfig config)
+    : listener_(std::move(listener)), config_(config) {}
+
+TwinWorker::~TwinWorker() { stop(); }
+
+void TwinWorker::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TwinWorker::run() { accept_loop(); }
+
+void TwinWorker::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    connections.swap(connection_threads_);
+  }
+  for (auto& thread : connections) {
+    if (thread.joinable()) thread.join();
+  }
+  listener_.close();
+}
+
+void TwinWorker::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.accept(/*timeout_ms=*/100);
+    if (!accepted) {
+      log::warn("twin_worker: accept failed: {}", accepted.error().to_string());
+      return;
+    }
+    if (!accepted.value().has_value()) continue;  // timeout: re-check stop flag
+    Socket socket = std::move(*accepted.value());
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, s = std::move(socket)]() mutable { serve_connection(std::move(s)); });
+  }
+}
+
+void TwinWorker::serve_connection(Socket socket) {
+  // A connection carries a sequence of requests; it ends on client EOF,
+  // an I/O error, or a fault-injected abort.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto frame = recv_frame_or_eof(socket, config_.io_timeout_ms);
+    if (!frame) {
+      // Malformed header/body (includes a stale protocol version): tell
+      // the peer why before hanging up. request_id 0 — it never decoded.
+      (void)send_frame(socket,
+                       encode_error(ErrorFrame{0, frame.error().to_string()}),
+                       config_.io_timeout_ms);
+      return;
+    }
+    if (!frame.value().has_value()) return;  // clean EOF between requests
+    if (!serve_request(socket, *frame.value())) return;
+  }
+}
+
+bool TwinWorker::serve_request(Socket& socket, const Frame& frame) {
+  if (obs::Registry::enabled()) {
+    obs::Registry::global().counter("twinsvc.worker.requests").add();
+  }
+  if (frame.type != FrameType::kEvalRequest) {
+    (void)send_frame(
+        socket,
+        encode_error(ErrorFrame{
+            0, format("unexpected frame type {} (worker takes eval requests)",
+                      static_cast<int>(frame.type))}),
+        config_.io_timeout_ms);
+    return false;
+  }
+  auto request = decode_eval_request(frame.payload);
+  if (!request) {
+    (void)send_frame(socket,
+                     encode_error(ErrorFrame{0, request.error().to_string()}),
+                     config_.io_timeout_ms);
+    return false;
+  }
+  const EvalRequest& eval = request.value();
+
+  const std::int64_t ordinal =
+      request_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool abort_this_request =
+      ordinal <= config_.faults.fail_first ||
+      (config_.faults.fail_after >= 0 && ordinal > config_.faults.fail_after);
+
+  if (config_.faults.stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.faults.stall_ms));
+  }
+
+  TwinConfig twin_config = eval.twin;
+  twin_config.threads = config_.threads;
+  TwinEngine engine(eval.machine.factory(), twin_config);
+  std::vector<TwinCandidate> candidates;
+  candidates.reserve(eval.candidates.size());
+  for (const auto& spec : eval.candidates) candidates.push_back(to_candidate(spec));
+
+  std::vector<TwinForkResult> results;
+  if (obs::Registry::enabled()) {
+    obs::ScopedTimer scoped(obs::Registry::global().timer("twinsvc.worker.eval"));
+    results = engine.evaluate(eval.trace, eval.snapshot, candidates);
+  } else {
+    results = engine.evaluate(eval.trace, eval.snapshot, candidates);
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::string verdict =
+        encode_verdict(VerdictFrame{eval.request_id, i, results[i]});
+    if (config_.faults.garbage) verdict = corrupt_crc(std::move(verdict));
+    if (Status sent = send_frame(socket, verdict, config_.io_timeout_ms);
+        !sent.ok()) {
+      log::warn("twin_worker: send verdict failed: {}", sent.error().to_string());
+      return false;
+    }
+    if (abort_this_request) {
+      // Crash mid-stream: one verdict went out, the rest never will. The
+      // client sees an abrupt close and must retry elsewhere.
+      if (obs::Registry::enabled()) {
+        obs::Registry::global().counter("twinsvc.worker.aborts").add();
+      }
+      log::warn("twin_worker: fault injection aborting request {} (ordinal {})",
+                eval.request_id, ordinal);
+      return false;
+    }
+  }
+  if (Status sent = send_frame(
+          socket, encode_done(DoneFrame{eval.request_id, results.size()}),
+          config_.io_timeout_ms);
+      !sent.ok()) {
+    return false;
+  }
+  if (obs::Registry::enabled()) {
+    obs::Registry::global().counter("twinsvc.worker.verdicts").add(results.size());
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace amjs::twinsvc

@@ -1,0 +1,103 @@
+// TwinWorker — the server side of the twin service: accepts framed
+// twinsvc.v1 eval requests and streams back fork verdicts.
+//
+// Each request is self-contained (machine spec, twin parameters,
+// workload, snapshot, candidates), so the worker is stateless between
+// requests: it rebuilds a TwinEngine per request and scores the
+// candidates exactly as an in-process consult would — same engine, same
+// candidate expansion (core/twin_backend.hpp's to_candidate), bit-cast
+// doubles on the wire — which is what the conformance suite pins.
+//
+// Connections are handled one thread each (the fork fan-out inside a
+// request already parallelizes via TwinEngine), and a malformed frame or
+// stale protocol version gets a kError reply before the connection drops.
+//
+// Fault injection (tests and the --fail-* / --stall-ms / --garbage flags
+// of the twin_worker binary) is built in rather than bolted on, so the
+// kill/stall/corruption cases in tests/twinsvc are deterministic: the
+// worker aborts *after the first verdict frame* (a crash mid-stream),
+// stalls before replying (a deadline expiry), or corrupts each verdict's
+// CRC (a broken peer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "twinsvc/socket.hpp"
+#include "util/result.hpp"
+
+namespace amjs::twinsvc {
+
+struct WorkerFaults {
+  /// Abort (close the connection after one verdict frame) each of the
+  /// first N requests — then behave. Exercises bounded retry succeeding.
+  std::int64_t fail_first = 0;
+
+  /// Serve N requests cleanly, then abort every later one (-1 = never).
+  /// Exercises retries exhausting into the in-process fallback.
+  std::int64_t fail_after = -1;
+
+  /// Sleep this long after reading a request, before the first verdict —
+  /// a deterministic stand-in for an overloaded worker blowing the
+  /// client's deadline.
+  std::int64_t stall_ms = 0;
+
+  /// Corrupt the CRC of every verdict frame.
+  bool garbage = false;
+};
+
+struct WorkerConfig {
+  /// Fork fan-out threads inside each request (0 = hardware concurrency).
+  unsigned threads = 0;
+
+  /// Per-socket-operation timeout while talking to a client.
+  int io_timeout_ms = 30000;
+
+  WorkerFaults faults;
+};
+
+class TwinWorker {
+ public:
+  TwinWorker(Listener listener, WorkerConfig config = {});
+  ~TwinWorker();
+  TwinWorker(const TwinWorker&) = delete;
+  TwinWorker& operator=(const TwinWorker&) = delete;
+
+  /// Where the worker is reachable (tcp ephemeral ports resolved).
+  [[nodiscard]] const Endpoint& endpoint() const { return listener_.endpoint(); }
+
+  /// Spawn the accept loop on a background thread (tests, --selfcheck).
+  void start();
+
+  /// Run the accept loop on this thread until stop() (the binary's mode).
+  void run();
+
+  /// Stop accepting, join the accept thread and every connection thread.
+  void stop();
+
+  /// Requests fully served (verdicts + done frame sent).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(Socket socket);
+  /// One request: decode, evaluate, stream verdicts. False = drop the
+  /// connection (fault-injected abort or I/O failure).
+  [[nodiscard]] bool serve_request(Socket& socket, const Frame& frame);
+
+  Listener listener_;
+  WorkerConfig config_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::int64_t> request_ordinal_{0};
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace amjs::twinsvc

@@ -164,6 +164,29 @@ TEST(TwinEngine, SnapshotReusableAcrossEvaluations) {
   }
 }
 
+TEST(TwinEngine, ShortHorizonClampsToOneCheckInterval) {
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(trace, 4);
+  const auto candidates = grid_candidates();
+
+  TwinConfig config;
+  config.metric_check_interval = minutes(30);
+  config.horizon = minutes(5);  // shorter than one metric check
+  config.threads = 1;
+  TwinEngine engine(&make_machine, config);
+  // The guard is a clamp in every build type — not a debug-only assert —
+  // so release builds cannot silently score every fork 0 queue depth.
+  EXPECT_EQ(engine.config().horizon, config.metric_check_interval);
+
+  const auto results = engine.evaluate(trace, snapshot, candidates);
+  ASSERT_EQ(results.size(), candidates.size());
+  for (const auto& r : results) {
+    // At least one metric check falls inside the clamped horizon, so the
+    // contended queue is actually sampled.
+    EXPECT_GT(r.avg_queue_depth_min, 0.0);
+  }
+}
+
 TEST(TwinEngine, BestIndexIsArgminFirstOnTies) {
   std::vector<TwinForkResult> results(4);
   results[0].objective = 3.0;

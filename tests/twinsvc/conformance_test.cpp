@@ -1,0 +1,250 @@
+// Conformance: remote twin verdicts must be bit-identical to the
+// in-process TwinEngine's — same labels, same bit-pattern scores, same
+// adoption decisions — over a real loopback socket pair. If these hold,
+// `--twin-remote` changes who does the work, never what the tuner decides.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/what_if.hpp"
+#include "sim/result.hpp"
+#include "sim/snapshot.hpp"
+#include "twinsvc/client.hpp"
+#include "twinsvc/worker.hpp"
+
+namespace amjs::twinsvc {
+namespace {
+
+JobTrace contended_trace() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    Job j;
+    j.submit = i * 350;
+    j.runtime = 1200 + (i % 5) * 900;
+    j.walltime = j.runtime + 600;
+    j.nodes = 20 + (i % 4) * 15;
+    jobs.push_back(j);
+  }
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+SimSnapshot snapshot_at(const MachineSpec& machine, const JobTrace& trace,
+                        std::size_t check_index) {
+  SimSnapshot snapshot;
+  SimConfig config;
+  config.snapshot_sink = [&](const SimSnapshot& s) {
+    if (s.check_index == check_index) snapshot = s;
+  };
+  auto live = machine.make();
+  MetricAwareScheduler sched;
+  Simulator sim(*live, sched, config);
+  (void)sim.run(trace);
+  EXPECT_TRUE(snapshot.valid());
+  return snapshot;
+}
+
+std::vector<TwinCandidateSpec> grid_candidates() {
+  std::vector<TwinCandidateSpec> candidates;
+  for (const double bf : {0.2, 0.5, 1.0}) {
+    for (const int w : {1, 2}) {
+      MetricAwareConfig cfg;
+      cfg.policy = {bf, w};
+      candidates.push_back({cfg.policy.label(), cfg});
+    }
+  }
+  return candidates;
+}
+
+TwinConfig twin_config() {
+  TwinConfig twin;
+  twin.horizon = hours(2);
+  twin.threads = 1;
+  return twin;
+}
+
+/// Bit-identical on every field except wall_ms (the one wall-clock field).
+void expect_identical(const std::vector<TwinForkResult>& remote,
+                      const std::vector<TwinForkResult>& local) {
+  ASSERT_EQ(remote.size(), local.size());
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    EXPECT_EQ(remote[i].label, local[i].label);
+    EXPECT_EQ(remote[i].avg_queue_depth_min, local[i].avg_queue_depth_min);
+    EXPECT_EQ(remote[i].utilization, local[i].utilization);
+    EXPECT_EQ(remote[i].objective, local[i].objective);
+    EXPECT_EQ(remote[i].jobs_started, local[i].jobs_started);
+  }
+}
+
+/// A worker serving a kernel-picked loopback tcp port.
+std::unique_ptr<TwinWorker> start_worker(WorkerConfig config = {}) {
+  auto listener = Listener::bind(Endpoint::tcp("127.0.0.1", 0));
+  EXPECT_TRUE(listener.ok());
+  auto worker =
+      std::make_unique<TwinWorker>(std::move(listener).value(), config);
+  worker->start();
+  return worker;
+}
+
+TEST(TwinsvcConformance, LoopbackVerdictsBitIdenticalToLocal) {
+  const MachineSpec machine = MachineSpec::flat(100);
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(machine, trace, 4);
+  const auto candidates = grid_candidates();
+
+  auto worker = start_worker();
+  RemoteTwinConfig config;
+  config.workers = {worker->endpoint()};
+  config.twin = twin_config();
+  RemoteTwinEngine remote(machine, config);
+  auto remote_results = remote.evaluate(trace, snapshot, candidates);
+
+  LocalTwinBackend local(machine.factory(), twin_config());
+  auto local_results = local.evaluate(trace, snapshot, candidates);
+  worker->stop();
+
+  ASSERT_TRUE(remote_results.ok());
+  ASSERT_TRUE(local_results.ok());
+  // The consult must actually have been served remotely — a silent
+  // fallback would make this test vacuous.
+  EXPECT_GE(worker->requests_served(), 1u);
+  expect_identical(remote_results.value(), local_results.value());
+  // Identical verdicts imply the identical adoption decision.
+  EXPECT_EQ(TwinEngine::best_index(remote_results.value()),
+            TwinEngine::best_index(local_results.value()));
+}
+
+TEST(TwinsvcConformance, ShardingAcrossWorkersPreservesOrderAndBits) {
+  const MachineSpec machine = MachineSpec::flat(100);
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(machine, trace, 4);
+  const auto candidates = grid_candidates();  // 6 candidates over 3 workers
+
+  auto w1 = start_worker();
+  auto w2 = start_worker();
+  auto w3 = start_worker();
+  RemoteTwinConfig config;
+  config.workers = {w1->endpoint(), w2->endpoint(), w3->endpoint()};
+  config.twin = twin_config();
+  RemoteTwinEngine remote(machine, config);
+  auto remote_results = remote.evaluate(trace, snapshot, candidates);
+
+  LocalTwinBackend local(machine.factory(), twin_config());
+  auto local_results = local.evaluate(trace, snapshot, candidates);
+  const std::uint64_t served = w1->requests_served() +
+                               w2->requests_served() +
+                               w3->requests_served();
+  w1->stop();
+  w2->stop();
+  w3->stop();
+
+  ASSERT_TRUE(remote_results.ok());
+  ASSERT_TRUE(local_results.ok());
+  EXPECT_EQ(served, 3u);  // one chunk per worker
+  expect_identical(remote_results.value(), local_results.value());
+}
+
+TEST(TwinsvcConformance, RepeatedConsultsAreStable) {
+  const MachineSpec machine = MachineSpec::flat(100);
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(machine, trace, 4);
+  const auto candidates = grid_candidates();
+
+  auto worker = start_worker();
+  RemoteTwinConfig config;
+  config.workers = {worker->endpoint()};
+  config.twin = twin_config();
+  RemoteTwinEngine remote(machine, config);
+  auto first = remote.evaluate(trace, snapshot, candidates);
+  auto second = remote.evaluate(trace, snapshot, candidates);
+  worker->stop();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  expect_identical(first.value(), second.value());
+}
+
+/// End-to-end: a full WhatIfTuner run whose every consult goes through
+/// the service must produce a byte-identical SimResult to the all-local
+/// run — the whole-schedule form of the conformance claim.
+TEST(TwinsvcConformance, WhatIfRunByteIdenticalUnderRemoteBackend) {
+  const MachineSpec machine = MachineSpec::flat(100);
+  const auto trace = contended_trace();
+
+  const auto run_with = [&](std::shared_ptr<TwinBackend> backend) {
+    WhatIfConfig config;
+    config.machine_factory = machine.factory();
+    config.twin = twin_config();
+    config.evaluate_every = 2;
+    config.backend = std::move(backend);
+    WhatIfTuner tuner(config);
+    auto live = machine.make();
+    Simulator sim(*live, tuner);
+    const SimResult result = sim.run(trace);
+    std::ostringstream out;
+    write_result_json(out, result);
+    return out.str();
+  };
+
+  const std::string local_json = run_with(nullptr);
+
+  auto worker = start_worker();
+  RemoteTwinConfig remote_config;
+  remote_config.workers = {worker->endpoint()};
+  remote_config.twin = twin_config();
+  const std::string remote_json = run_with(
+      std::make_shared<RemoteTwinEngine>(machine, remote_config));
+  const std::uint64_t served = worker->requests_served();
+  worker->stop();
+
+  EXPECT_GE(served, 1u);
+  EXPECT_EQ(remote_json, local_json);
+}
+
+/// The same conformance claim on the partition machine model — the
+/// MachineSpec wire form must reproduce the topology, not just flat node
+/// counts.
+TEST(TwinsvcConformance, PartitionMachineSpecConforms) {
+  PartitionConfig topology;
+  topology.leaf_nodes = 64;
+  topology.row_leaves = 4;
+  topology.rows = 2;
+  const MachineSpec machine = MachineSpec::partitioned(topology);
+
+  std::vector<Job> jobs;
+  for (int i = 0; i < 24; ++i) {
+    Job j;
+    j.submit = i * 400;
+    j.runtime = 1800 + (i % 4) * 600;
+    j.walltime = j.runtime + 600;
+    j.nodes = 64 * (1 + i % 3);
+    jobs.push_back(j);
+  }
+  auto built = JobTrace::from_jobs(std::move(jobs));
+  ASSERT_TRUE(built.ok());
+  const JobTrace trace = std::move(built).value();
+  const auto snapshot = snapshot_at(machine, trace, 2);
+  const auto candidates = grid_candidates();
+
+  auto worker = start_worker();
+  RemoteTwinConfig config;
+  config.workers = {worker->endpoint()};
+  config.twin = twin_config();
+  RemoteTwinEngine remote(machine, config);
+  auto remote_results = remote.evaluate(trace, snapshot, candidates);
+
+  LocalTwinBackend local(machine.factory(), twin_config());
+  auto local_results = local.evaluate(trace, snapshot, candidates);
+  worker->stop();
+
+  ASSERT_TRUE(remote_results.ok());
+  ASSERT_TRUE(local_results.ok());
+  EXPECT_GE(worker->requests_served(), 1u);
+  expect_identical(remote_results.value(), local_results.value());
+}
+
+}  // namespace
+}  // namespace amjs::twinsvc

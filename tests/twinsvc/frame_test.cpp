@@ -1,0 +1,278 @@
+// twinsvc.v1 wire format: round-trips must be lossless, and every
+// corruption of a frame — truncation at any prefix, any flipped byte, a
+// stale protocol version, trailing garbage — must surface as a clean
+// Result error, never a wrong decode. Same harness style as the snapshot
+// container's corruption tests (tests/snapshot_io/codec_test.cpp).
+#include "twinsvc/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+#include "sim/snapshot.hpp"
+#include "twinsvc/socket.hpp"
+
+namespace amjs::twinsvc {
+namespace {
+
+JobTrace small_trace() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    Job j;
+    j.submit = i * 500;
+    j.runtime = 1500 + i * 300;
+    j.walltime = j.runtime + 600;
+    j.nodes = 10 + (i % 3) * 20;
+    j.user = i % 2 == 0 ? "alice" : "bob";
+    j.queue = i % 2;
+    jobs.push_back(j);
+  }
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+SimSnapshot snapshot_of(const JobTrace& trace) {
+  SimSnapshot snapshot;
+  SimConfig config;
+  config.snapshot_sink = [&](const SimSnapshot& s) {
+    if (s.check_index == 2) snapshot = s;
+  };
+  FlatMachine machine(50);
+  MetricAwareScheduler sched;
+  Simulator sim(machine, sched, config);
+  (void)sim.run(trace);
+  EXPECT_TRUE(snapshot.valid());
+  return snapshot;
+}
+
+EvalRequest sample_request(const JobTrace& trace, const SimSnapshot& snapshot) {
+  EvalRequest request;
+  request.request_id = 42;
+  request.machine = MachineSpec::flat(50);
+  request.twin.horizon = hours(2);
+  request.twin.metric_check_interval = minutes(15);
+  request.twin.queue_weight = 1.5;
+  request.twin.util_weight = 1234.5;
+  request.trace = trace;
+  request.snapshot = snapshot;
+  for (const double bf : {0.25, 1.0}) {
+    MetricAwareConfig cfg;
+    cfg.policy = {bf, 2};
+    request.candidates.push_back({cfg.policy.label(), cfg});
+  }
+  return request;
+}
+
+TEST(TwinsvcFrame, EvalRequestRoundTripsLossless) {
+  const auto trace = small_trace();
+  const auto snapshot = snapshot_of(trace);
+  const EvalRequest request = sample_request(trace, snapshot);
+
+  const auto bytes = encode_eval_request(request);
+  ASSERT_TRUE(bytes.ok()) << bytes.error().to_string();
+  const auto frame = decode_frame(bytes.value());
+  ASSERT_TRUE(frame.ok()) << frame.error().to_string();
+  EXPECT_EQ(frame.value().type, FrameType::kEvalRequest);
+
+  const auto decoded = decode_eval_request(frame.value().payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const EvalRequest& got = decoded.value();
+  EXPECT_EQ(got.request_id, 42u);
+  EXPECT_EQ(got.machine.kind, MachineSpec::Kind::kFlat);
+  EXPECT_EQ(got.machine.nodes, 50);
+  EXPECT_EQ(got.twin.horizon, hours(2));
+  EXPECT_EQ(got.twin.metric_check_interval, minutes(15));
+  EXPECT_EQ(got.twin.queue_weight, 1.5);
+  EXPECT_EQ(got.twin.util_weight, 1234.5);
+  ASSERT_EQ(got.trace.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Job& a = trace.jobs()[i];
+    const Job& b = got.trace.jobs()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.submit, b.submit);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.walltime, b.walltime);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.queue, b.queue);
+  }
+  EXPECT_EQ(got.snapshot.now, snapshot.now);
+  EXPECT_EQ(got.snapshot.check_index, snapshot.check_index);
+  ASSERT_EQ(got.candidates.size(), request.candidates.size());
+  for (std::size_t i = 0; i < request.candidates.size(); ++i) {
+    EXPECT_EQ(got.candidates[i].label, request.candidates[i].label);
+    EXPECT_EQ(got.candidates[i].config.policy.balance_factor,
+              request.candidates[i].config.policy.balance_factor);
+    EXPECT_EQ(got.candidates[i].config.policy.window_size,
+              request.candidates[i].config.policy.window_size);
+  }
+}
+
+TEST(TwinsvcFrame, VerdictDoneErrorRoundTrip) {
+  VerdictFrame verdict;
+  verdict.request_id = 7;
+  verdict.index = 3;
+  verdict.result.label = "BF=0.50 W=2";
+  verdict.result.avg_queue_depth_min = 123.456789;
+  verdict.result.utilization = 0.87654321;
+  verdict.result.objective = 370.11;
+  verdict.result.wall_ms = 5.5;
+  verdict.result.jobs_started = 19;
+  const auto verdict_frame = decode_frame(encode_verdict(verdict));
+  ASSERT_TRUE(verdict_frame.ok());
+  EXPECT_EQ(verdict_frame.value().type, FrameType::kVerdict);
+  const auto got = decode_verdict(verdict_frame.value().payload);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().request_id, 7u);
+  EXPECT_EQ(got.value().index, 3u);
+  EXPECT_EQ(got.value().result.label, verdict.result.label);
+  // Doubles are bit-cast on the wire: exact equality, not approximate.
+  EXPECT_EQ(got.value().result.avg_queue_depth_min,
+            verdict.result.avg_queue_depth_min);
+  EXPECT_EQ(got.value().result.utilization, verdict.result.utilization);
+  EXPECT_EQ(got.value().result.objective, verdict.result.objective);
+  EXPECT_EQ(got.value().result.wall_ms, verdict.result.wall_ms);
+  EXPECT_EQ(got.value().result.jobs_started, verdict.result.jobs_started);
+
+  const auto done_frame = decode_frame(encode_done(DoneFrame{7, 6}));
+  ASSERT_TRUE(done_frame.ok());
+  const auto done = decode_done(done_frame.value().payload);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value().request_id, 7u);
+  EXPECT_EQ(done.value().verdicts, 6u);
+
+  const auto error_frame =
+      decode_frame(encode_error(ErrorFrame{0, "bad request"}));
+  ASSERT_TRUE(error_frame.ok());
+  const auto error = decode_error(error_frame.value().payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().request_id, 0u);
+  EXPECT_EQ(error.value().message, "bad request");
+}
+
+TEST(TwinsvcFrame, TruncationAtEveryPrefixFailsCleanly) {
+  const std::string bytes = encode_done(DoneFrame{9, 4});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto decoded = decode_frame(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(TwinsvcFrame, EveryFlippedByteFailsCleanly) {
+  const std::string bytes = encode_done(DoneFrame{9, 4});
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0xff);
+    const auto decoded = decode_frame(corrupted);
+    EXPECT_FALSE(decoded.ok()) << "byte " << i << " flipped but decoded";
+  }
+}
+
+TEST(TwinsvcFrame, SingleBitFlipInPayloadIsCaughtByCrc) {
+  const std::string bytes = encode_error(ErrorFrame{1, "hello"});
+  std::string corrupted = bytes;
+  corrupted[kFrameHeaderSize + 2] =
+      static_cast<char>(corrupted[kFrameHeaderSize + 2] ^ 0x01);
+  const auto decoded = decode_frame(corrupted);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().to_string().find("CRC"), std::string::npos)
+      << decoded.error().to_string();
+}
+
+TEST(TwinsvcFrame, StaleProtocolVersionNamesBothVersions) {
+  std::string bytes = encode_done(DoneFrame{9, 4});
+  bytes[kFrameMagic.size()] = 2;  // version u32 (little-endian) -> 2
+  const auto decoded = decode_frame(bytes);
+  ASSERT_FALSE(decoded.ok());
+  const std::string message = decoded.error().to_string();
+  EXPECT_NE(message.find("version"), std::string::npos) << message;
+  EXPECT_NE(message.find('2'), std::string::npos) << message;
+  EXPECT_NE(message.find('1'), std::string::npos) << message;
+}
+
+TEST(TwinsvcFrame, UnknownFrameTypeRejected) {
+  std::string bytes = encode_done(DoneFrame{9, 4});
+  bytes[kFrameMagic.size() + 4] = 9;  // type byte past kError
+  EXPECT_FALSE(decode_frame(bytes).ok());
+}
+
+TEST(TwinsvcFrame, TrailingGarbageRejected) {
+  std::string bytes = encode_done(DoneFrame{9, 4});
+  bytes.push_back('\0');
+  EXPECT_FALSE(decode_frame(bytes).ok());
+}
+
+TEST(TwinsvcFrame, OversizedLengthFieldRejectedBeforeAllocation) {
+  std::string bytes = encode_done(DoneFrame{9, 4});
+  // Length u64 at offset 13: claim a payload far past the cap.
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[kFrameMagic.size() + 5 + i] = static_cast<char>(0xff);
+  }
+  const auto decoded = decode_frame(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().to_string().find("cap"), std::string::npos)
+      << decoded.error().to_string();
+}
+
+TEST(TwinsvcFrame, UnknownCandidateFamilyRejected) {
+  const auto trace = small_trace();
+  const auto snapshot = snapshot_of(trace);
+  const auto bytes = encode_eval_request(sample_request(trace, snapshot));
+  ASSERT_TRUE(bytes.ok());
+  auto frame = decode_frame(bytes.value());
+  ASSERT_TRUE(frame.ok());
+  // Rewrite the family tag inside the payload; decode_eval_request takes
+  // the payload directly, so no CRC re-sealing is needed. The candidates
+  // sit after the nested snapshot (whose scheduler-state codec name also
+  // contains "metric_aware"), so patch the LAST occurrence.
+  std::string payload = frame.value().payload;
+  const std::size_t at = payload.rfind(kCandidateFamilyMetricAware);
+  ASSERT_NE(at, std::string::npos);
+  payload.replace(at, kCandidateFamilyMetricAware.size(), "metric_xxxxx.v9");
+  const auto decoded = decode_eval_request(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().to_string().find("family"), std::string::npos)
+      << decoded.error().to_string();
+}
+
+TEST(TwinsvcFrame, InvalidCandidatePolicyRejected) {
+  const auto trace = small_trace();
+  const auto snapshot = snapshot_of(trace);
+  EvalRequest request = sample_request(trace, snapshot);
+  request.candidates[0].config.policy.balance_factor = -3.0;
+  const auto bytes = encode_eval_request(request);
+  ASSERT_TRUE(bytes.ok());
+  auto frame = decode_frame(bytes.value());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(decode_eval_request(frame.value().payload).ok());
+}
+
+TEST(TwinsvcEndpoint, ParseAcceptsUnixAndTcp) {
+  auto unix_ep = Endpoint::parse("unix:/tmp/twin.sock");
+  ASSERT_TRUE(unix_ep.ok());
+  EXPECT_EQ(unix_ep.value().kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_ep.value().path, "/tmp/twin.sock");
+  EXPECT_EQ(unix_ep.value().to_string(), "unix:/tmp/twin.sock");
+
+  auto tcp_ep = Endpoint::parse("tcp:127.0.0.1:7701");
+  ASSERT_TRUE(tcp_ep.ok());
+  EXPECT_EQ(tcp_ep.value().kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp_ep.value().host, "127.0.0.1");
+  EXPECT_EQ(tcp_ep.value().port, 7701);
+  EXPECT_EQ(tcp_ep.value().to_string(), "tcp:127.0.0.1:7701");
+}
+
+TEST(TwinsvcEndpoint, ParseRejectsMalformed) {
+  EXPECT_FALSE(Endpoint::parse("").ok());
+  EXPECT_FALSE(Endpoint::parse("http:/x").ok());
+  EXPECT_FALSE(Endpoint::parse("unix:").ok());
+  EXPECT_FALSE(Endpoint::parse("tcp:127.0.0.1").ok());
+  EXPECT_FALSE(Endpoint::parse("tcp:127.0.0.1:notaport").ok());
+  EXPECT_FALSE(Endpoint::parse("tcp:127.0.0.1:70000").ok());
+}
+
+}  // namespace
+}  // namespace amjs::twinsvc
