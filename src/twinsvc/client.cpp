@@ -41,18 +41,20 @@ Result<std::vector<TwinForkResult>> RemoteTwinEngine::evaluate(
     return fallback_.evaluate(trace, snapshot, candidates, sink);
   }
 
-  // Contiguous chunks, one per worker (fewer when candidates are scarce);
-  // chunk c owns candidate indexes [c*size, ...) so reassembly is a copy.
+  // Contiguous chunks, one per worker (fewer when candidates are scarce),
+  // balanced so every chunk is non-empty: the first size%count chunks take
+  // one extra candidate. Chunk c owns a contiguous index range, so
+  // reassembly is a copy.
   const std::size_t chunk_count =
       std::min(config_.workers.size(), candidates.size());
-  const std::size_t chunk_size =
-      (candidates.size() + chunk_count - 1) / chunk_count;
+  const std::size_t base_size = candidates.size() / chunk_count;
+  const std::size_t extra = candidates.size() % chunk_count;
 
   const auto outcomes = parallel_map<ChunkOutcome>(
       chunk_count,
       [&](std::size_t c) {
-        const std::size_t begin = c * chunk_size;
-        const std::size_t end = std::min(begin + chunk_size, candidates.size());
+        const std::size_t begin = c * base_size + std::min(c, extra);
+        const std::size_t end = begin + base_size + (c < extra ? 1 : 0);
         const std::vector<TwinCandidateSpec> chunk(
             candidates.begin() + static_cast<std::ptrdiff_t>(begin),
             candidates.begin() + static_cast<std::ptrdiff_t>(end));

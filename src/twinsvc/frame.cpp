@@ -120,7 +120,12 @@ void write_trace(ByteWriter& w, const JobTrace& trace) {
 }
 
 Result<JobTrace> read_trace(ByteReader& r) {
-  auto n = r.count(r.remaining());
+  // Six fixed i64 fields plus the user string's length prefix: no encoded
+  // job is smaller, so a CRC-valid frame cannot declare more jobs than the
+  // remaining payload could hold — reserve() stays proportional to the
+  // bytes actually received, never to a crafted count.
+  constexpr std::uint64_t kMinEncodedJobBytes = 7 * 8;
+  auto n = r.count(r.remaining() / kMinEncodedJobBytes);
   if (!n) return n.error();
   std::vector<Job> jobs;
   jobs.reserve(n.value());
@@ -333,7 +338,11 @@ Result<EvalRequest> decode_eval_request(std::string_view payload) {
     return Error{snapshot.error().message, "request snapshot"};
   }
   request.snapshot = std::move(snapshot).value();
-  auto n = r.count(r.remaining());
+  // Two string length prefixes, three 8-byte numeric fields, the mode
+  // byte and two bools: the smallest candidate encoding. Caps reserve()
+  // by received bytes, like read_trace.
+  constexpr std::uint64_t kMinEncodedCandidateBytes = 5 * 8 + 3;
+  auto n = r.count(r.remaining() / kMinEncodedCandidateBytes);
   if (!n) return n.error();
   request.candidates.reserve(n.value());
   for (std::uint64_t i = 0; i < n.value(); ++i) {

@@ -22,14 +22,18 @@ Error errno_error(std::string_view what) {
   return Error{format("{}: {}", what, std::strerror(errno))};
 }
 
-/// Wait for `events` on `fd`. Returns false on deadline expiry.
+/// Wait for `events` on `fd`. Returns false on deadline expiry. A
+/// non-positive budget is a deadline that already lapsed (the caller
+/// computed a remaining budget that ran out between checks) — it must
+/// expire immediately, never block.
 Result<bool> wait_for(int fd, short events, int timeout_ms) {
+  if (timeout_ms <= 0) return false;
   struct pollfd pfd;
   pfd.fd = fd;
   pfd.events = events;
   pfd.revents = 0;
   while (true) {
-    const int rc = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    const int rc = ::poll(&pfd, 1, timeout_ms);
     if (rc > 0) return true;
     if (rc == 0) return false;
     if (errno == EINTR) continue;
@@ -173,7 +177,11 @@ Result<std::string> Socket::recv_exact(std::size_t n, int timeout_ms) {
 
 Result<Socket> dial(const Endpoint& endpoint, int timeout_ms) {
   const int family = endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
-  const int fd = ::socket(family, SOCK_STREAM, 0);
+  // Non-blocking from birth: a TCP connect to an unreachable host must
+  // respect `timeout_ms`, not the kernel's minutes-long SYN retry cycle.
+  // The socket stays non-blocking for its lifetime — every I/O path polls
+  // for readiness and retries EAGAIN, so blocking mode is never needed.
+  const int fd = ::socket(family, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return errno_error("socket");
   Socket socket(fd);
 
@@ -189,11 +197,25 @@ Result<Socket> dial(const Endpoint& endpoint, int timeout_ms) {
     rc = ::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr.value()),
                    sizeof(addr.value()));
   }
+  if (rc != 0 && errno == EINPROGRESS) {
+    auto ready = wait_for(fd, POLLOUT, timeout_ms);
+    if (!ready) return ready.error();
+    if (!ready.value()) {
+      return Error{format("connect to {} timed out after {} ms",
+                          endpoint.to_string(), timeout_ms)};
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return errno_error("getsockopt(SO_ERROR)");
+    }
+    errno = err;
+    rc = err == 0 ? 0 : -1;
+  }
   if (rc != 0) {
     return Error{format("connect to {}: {}", endpoint.to_string(),
                         std::strerror(errno))};
   }
-  (void)timeout_ms;  // connects to local endpoints complete or fail fast
   return socket;
 }
 

@@ -33,8 +33,9 @@ struct Endpoint {
 };
 
 /// Connected stream socket (client side of dial, or an accepted peer).
-/// Deadlines: every I/O call takes `timeout_ms`; <= 0 blocks indefinitely.
-/// A lapsed deadline surfaces as an Error mentioning "timed out".
+/// Deadlines: every I/O call takes `timeout_ms`; a non-positive budget
+/// means the deadline already lapsed, so the call fails immediately. A
+/// lapsed deadline surfaces as an Error mentioning "timed out".
 class Socket {
  public:
   Socket() = default;
@@ -62,6 +63,10 @@ class Socket {
   int fd_ = -1;
 };
 
+/// Connect within `timeout_ms` (non-blocking connect + poll, so even a
+/// TCP host that drops SYNs fails by the deadline, not the kernel's
+/// retry cycle). The returned socket is non-blocking; its I/O methods
+/// poll for readiness, so callers never see EAGAIN.
 [[nodiscard]] Result<Socket> dial(const Endpoint& endpoint, int timeout_ms);
 
 class Listener {

@@ -1,5 +1,6 @@
 #include "twinsvc/worker.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -32,12 +33,13 @@ void TwinWorker::run() { accept_loop(); }
 void TwinWorker::stop() {
   stop_.store(true, std::memory_order_relaxed);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> connections;
+  std::vector<std::pair<std::uint64_t, std::thread>> connections;
   {
     const std::lock_guard<std::mutex> lock(threads_mutex_);
     connections.swap(connection_threads_);
+    finished_connections_.clear();
   }
-  for (auto& thread : connections) {
+  for (auto& [id, thread] : connections) {
     if (thread.joinable()) thread.join();
   }
   listener_.close();
@@ -45,6 +47,7 @@ void TwinWorker::stop() {
 
 void TwinWorker::accept_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
+    reap_finished_connections();
     auto accepted = listener_.accept(/*timeout_ms=*/100);
     if (!accepted) {
       log::warn("twin_worker: accept failed: {}", accepted.error().to_string());
@@ -53,8 +56,39 @@ void TwinWorker::accept_loop() {
     if (!accepted.value().has_value()) continue;  // timeout: re-check stop flag
     Socket socket = std::move(*accepted.value());
     const std::lock_guard<std::mutex> lock(threads_mutex_);
+    const std::uint64_t id = next_connection_id_++;
     connection_threads_.emplace_back(
-        [this, s = std::move(socket)]() mutable { serve_connection(std::move(s)); });
+        id, std::thread([this, id, s = std::move(socket)]() mutable {
+          serve_connection(std::move(s));
+          const std::lock_guard<std::mutex> done_lock(threads_mutex_);
+          finished_connections_.push_back(id);
+        }));
+  }
+}
+
+void TwinWorker::reap_finished_connections() {
+  std::vector<std::thread> done;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    if (finished_connections_.empty()) return;
+    auto it = connection_threads_.begin();
+    while (it != connection_threads_.end()) {
+      const bool finished =
+          std::find(finished_connections_.begin(), finished_connections_.end(),
+                    it->first) != finished_connections_.end();
+      if (finished) {
+        done.push_back(std::move(it->second));
+        it = connection_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    finished_connections_.clear();
+  }
+  // The thread marked itself finished as its last statement, so these
+  // joins return (almost) immediately.
+  for (auto& thread : done) {
+    if (thread.joinable()) thread.join();
   }
 }
 
@@ -143,16 +177,20 @@ bool TwinWorker::serve_request(Socket& socket, const Frame& frame) {
       return false;
     }
   }
-  if (Status sent = send_frame(
-          socket, encode_done(DoneFrame{eval.request_id, results.size()}),
-          config_.io_timeout_ms);
-      !sent.ok()) {
-    return false;
-  }
+  // Count the request before the done frame goes out: the instant the
+  // client sees that frame it may read requests_served(), and an
+  // increment still pending on this thread would be a lost count.
   if (obs::Registry::enabled()) {
     obs::Registry::global().counter("twinsvc.worker.verdicts").add(results.size());
   }
   served_.fetch_add(1, std::memory_order_relaxed);
+  if (Status sent = send_frame(
+          socket, encode_done(DoneFrame{eval.request_id, results.size()}),
+          config_.io_timeout_ms);
+      !sent.ok()) {
+    served_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
   return true;
 }
 

@@ -89,6 +89,9 @@ class TwinWorker {
   /// One request: decode, evaluate, stream verdicts. False = drop the
   /// connection (fault-injected abort or I/O failure).
   [[nodiscard]] bool serve_request(Socket& socket, const Frame& frame);
+  /// Join connection threads that have finished serving, so a long-running
+  /// worker does not accumulate one dead thread handle per connection.
+  void reap_finished_connections();
 
   Listener listener_;
   WorkerConfig config_;
@@ -97,7 +100,12 @@ class TwinWorker {
   std::atomic<std::int64_t> request_ordinal_{0};
   std::thread accept_thread_;
   std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+  // All three guarded by threads_mutex_. Each connection thread pushes its
+  // own id onto finished_connections_ as its last act; the accept loop
+  // joins and erases those entries before every accept.
+  std::uint64_t next_connection_id_ = 0;
+  std::vector<std::pair<std::uint64_t, std::thread>> connection_threads_;
+  std::vector<std::uint64_t> finished_connections_;
 };
 
 }  // namespace amjs::twinsvc

@@ -148,6 +148,42 @@ TEST(TwinsvcConformance, ShardingAcrossWorkersPreservesOrderAndBits) {
   expect_identical(remote_results.value(), local_results.value());
 }
 
+TEST(TwinsvcConformance, UnevenShardingServesEveryCandidate) {
+  // 5 candidates over 4 workers: ceil-division sharding used to push the
+  // last chunk's begin past end() (UB in the vector range constructor).
+  // The balanced split must give every worker a non-empty contiguous
+  // chunk and lose no candidate.
+  const MachineSpec machine = MachineSpec::flat(100);
+  const auto trace = contended_trace();
+  const auto snapshot = snapshot_at(machine, trace, 4);
+  auto candidates = grid_candidates();
+  candidates.pop_back();
+  ASSERT_EQ(candidates.size(), 5u);
+
+  std::vector<std::unique_ptr<TwinWorker>> workers;
+  RemoteTwinConfig config;
+  for (int i = 0; i < 4; ++i) {
+    workers.push_back(start_worker());
+    config.workers.push_back(workers.back()->endpoint());
+  }
+  config.twin = twin_config();
+  RemoteTwinEngine remote(machine, config);
+  auto remote_results = remote.evaluate(trace, snapshot, candidates);
+
+  LocalTwinBackend local(machine.factory(), twin_config());
+  auto local_results = local.evaluate(trace, snapshot, candidates);
+  std::uint64_t served = 0;
+  for (auto& worker : workers) {
+    served += worker->requests_served();
+    worker->stop();
+  }
+
+  ASSERT_TRUE(remote_results.ok());
+  ASSERT_TRUE(local_results.ok());
+  EXPECT_EQ(served, 4u);  // every chunk non-empty, one per worker
+  expect_identical(remote_results.value(), local_results.value());
+}
+
 TEST(TwinsvcConformance, RepeatedConsultsAreStable) {
   const MachineSpec machine = MachineSpec::flat(100);
   const auto trace = contended_trace();

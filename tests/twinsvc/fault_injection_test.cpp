@@ -6,6 +6,7 @@
 // twinsvc.* counters pin the exact retry/fallback path taken.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -298,6 +299,51 @@ TEST_F(TwinsvcFaults, NonRequestFrameGetsErrorReply) {
   worker->stop();
   ASSERT_TRUE(reply.ok()) << reply.error().to_string();
   EXPECT_EQ(reply.value().type, FrameType::kError);
+}
+
+TEST(TwinsvcSocket, LapsedDeadlineFailsImmediatelyNotForever) {
+  // A budget that ran out between the caller's positivity check and the
+  // I/O call arrives as zero or negative; it must surface as an immediate
+  // timeout error, never an indefinite block on a silent peer.
+  auto listener = Listener::bind(Endpoint::tcp("127.0.0.1", 0));
+  ASSERT_TRUE(listener.ok());
+  auto socket = dial(listener.value().endpoint(), 1000);
+  ASSERT_TRUE(socket.ok()) << socket.error().to_string();
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(recv_frame(socket.value(), 0).ok());
+  EXPECT_FALSE(recv_frame(socket.value(), -5).ok());
+  EXPECT_FALSE(send_frame(socket.value(), encode_done(DoneFrame{1, 0}), 0).ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(elapsed, 1000);
+}
+
+TEST(TwinsvcSocket, DialHonorsTimeoutWhenPeerNeverCompletesHandshake) {
+  // Fill a listener's accept queue and never drain it: once the queue is
+  // full the kernel drops (or resets) further SYNs, so connect() gets no
+  // SYN-ACK and must give up at the deadline instead of riding the
+  // kernel's minutes-long SYN retry cycle — the unreachable-remote-host
+  // case, reproduced on loopback.
+  auto listener = Listener::bind(Endpoint::tcp("127.0.0.1", 0), /*backlog=*/1);
+  ASSERT_TRUE(listener.ok());
+  std::vector<Socket> queued;
+  bool failed = false;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8 && !failed; ++i) {
+    auto socket = dial(listener.value().endpoint(), /*timeout_ms=*/200);
+    if (!socket.ok()) {
+      failed = true;
+    } else {
+      queued.push_back(std::move(socket).value());
+    }
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_TRUE(failed);  // the queue holds backlog+1, far fewer than 8
+  EXPECT_LT(elapsed, 5000);
 }
 
 TEST_F(TwinsvcFaults, EmptyWorkerPoolServesInProcess) {

@@ -217,6 +217,30 @@ TEST(TwinsvcFrame, OversizedLengthFieldRejectedBeforeAllocation) {
       << decoded.error().to_string();
 }
 
+TEST(TwinsvcFrame, HugeDeclaredJobCountRejectedBeforeAllocation) {
+  const auto trace = small_trace();
+  const auto snapshot = snapshot_of(trace);
+  const auto bytes = encode_eval_request(sample_request(trace, snapshot));
+  ASSERT_TRUE(bytes.ok());
+  auto frame = decode_frame(bytes.value());
+  ASSERT_TRUE(frame.ok());
+  // The job count u64 sits at a fixed payload offset: request id (8),
+  // machine spec (1 + 4*8), twin params (4*8). Declare ~2^64 jobs; the
+  // decoder must reject the count against the bytes actually present
+  // instead of letting a CRC-valid crafted frame drive a multi-gigabyte
+  // reserve().
+  std::string payload = frame.value().payload;
+  const std::size_t count_at = 8 + 33 + 32;
+  for (std::size_t i = 0; i < 8; ++i) {
+    payload[count_at + i] = static_cast<char>(0xff);
+  }
+  const auto decoded = decode_eval_request(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().to_string().find("implausible count"),
+            std::string::npos)
+      << decoded.error().to_string();
+}
+
 TEST(TwinsvcFrame, UnknownCandidateFamilyRejected) {
   const auto trace = small_trace();
   const auto snapshot = snapshot_of(trace);
