@@ -1,32 +1,33 @@
 // intrepid_campaign: a month-in-the-life comparison on the Intrepid-class
-// machine.
+// machine — now a thin preset over the campaign orchestrator
+// (src/campaign), so the same run can fan across twin_worker fleets.
 //
 // Generates an Intrepid-calibrated synthetic workload (40,960-node BG/P
 // partition machine, diurnal arrivals, one deep submission burst), then
-// runs it under four operating points a center might actually choose:
+// runs it under six operating points a center might actually choose:
 //
 //   * FCFS + EASY        (the industry default; paper's base case)
-//   * dynP               (related-work self-tuning policy switcher)
 //   * BF=0.5 / W=4       (the paper's best static metric-aware policy)
 //   * 2D adaptive        (the paper's headline configuration)
+//   * dynP               (related-work self-tuning policy switcher)
+//   * Relaxed(0.5)       (Ward et al. relaxed backfilling)
+//   * Lookahead          (Shmueli-Feitelson packing)
 //
 // and prints a Table-II-style comparison. Fairness (the expensive oracle)
 // is evaluated on a systematic sample; pass --fairness-stride 1 for the
-// full count.
+// full count. --result-json writes the campaign aggregator's
+// deterministic report — byte-identical whether the cells ran here or on
+// a worker fleet (--workers).
 //
 //   $ ./intrepid_campaign [--days 7] [--seed 2012] [--fairness-stride 4]
+//       [--workers unix:/tmp/w1.sock,...] [--result-json out.json]
 #include <cstdio>
+#include <fstream>
 #include <iostream>
-#include <memory>
 
-#include "core/balancer.hpp"
-#include "metrics/fairness.hpp"
+#include "campaign/aggregate.hpp"
+#include "campaign/driver.hpp"
 #include "metrics/report.hpp"
-#include "platform/partition.hpp"
-#include "sched/dynp.hpp"
-#include "sched/lookahead.hpp"
-#include "sched/relaxed.hpp"
-#include "sim/simulator.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic.hpp"
@@ -35,17 +36,14 @@ using namespace amjs;
 
 namespace {
 
-SyntheticConfig workload(std::int64_t days_count, std::uint64_t seed) {
+SyntheticConfig workload(std::int64_t days_count) {
   SyntheticConfig cfg;
-  cfg.seed = seed;
   cfg.horizon = days(days_count);
   cfg.base_rate_per_hour = 8.0;
   cfg.runtime_log_sigma = 1.3;
   cfg.bursts = {{96.0, 12.0, 4.5}};
   return cfg;
 }
-
-std::unique_ptr<Machine> machine() { return std::make_unique<PartitionMachine>(); }
 
 }  // namespace
 
@@ -54,67 +52,90 @@ int main(int argc, const char** argv) {
   flags.define("days", "7", "workload horizon in days");
   flags.define("seed", "2012", "workload seed");
   flags.define("fairness-stride", "4", "fair-start sampling stride (1 = every job)");
+  flags.define_list("workers", "",
+                    "twin_worker endpoints; empty runs every cell in-process");
+  flags.define("result-json", "",
+               "write the deterministic campaign report here");
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
                  flags.usage("intrepid_campaign").c_str());
     return 1;
   }
 
+  campaign::CampaignSpec spec;
+  spec.machine = MachineSpec::partitioned();
+  for (const char* token :
+       {"base", "bf0.5w4", "2d", "dynp", "relaxed", "lookahead"}) {
+    auto policy = campaign::PolicySpec::parse(token);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.error().to_string().c_str());
+      return 1;
+    }
+    spec.policies.push_back(std::move(policy).value());
+  }
+  {
+    campaign::WorkloadSpec workload_spec;
+    workload_spec.synthetic = workload(flags.get_i64("days"));
+    workload_spec.label = "intrepid";
+    spec.workloads.push_back(std::move(workload_spec));
+  }
+  spec.seeds = {static_cast<std::uint64_t>(flags.get_i64("seed"))};
+  spec.fairness_stride =
+      static_cast<std::uint64_t>(flags.get_i64("fairness-stride"));
+  spec.fairness_tolerance = hours(4);
+
   const auto trace =
-      SyntheticTraceBuilder(workload(flags.get_i64("days"),
-                                     static_cast<std::uint64_t>(flags.get_i64("seed"))))
+      SyntheticTraceBuilder(
+          [&] {
+            SyntheticConfig cfg = spec.workloads[0].synthetic;
+            cfg.seed = spec.seeds[0];
+            return cfg;
+          }())
           .build();
   const auto stats = trace.stats();
   std::printf("workload: %zu jobs over %.0f h, offered load %.2f on %d nodes\n\n",
               trace.size(), to_hours(stats.last_submit),
               stats.offered_load(kIntrepidNodes), static_cast<int>(kIntrepidNodes));
 
-  const auto stride = static_cast<std::size_t>(flags.get_i64("fairness-stride"));
+  campaign::CampaignConfig config;
+  for (const std::string& text : flags.get_list("workers")) {
+    auto endpoint = twinsvc::Endpoint::parse(text);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "%s\n", endpoint.error().to_string().c_str());
+      return 1;
+    }
+    config.workers.push_back(std::move(endpoint).value());
+  }
+
+  auto outcome = campaign::run_campaign(spec, config);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.error().to_string().c_str());
+    return 1;
+  }
+  auto report = campaign::build_report(spec, outcome.value().cells);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.error().to_string().c_str());
+    return 1;
+  }
+
+  // One workload and seed, so the classic extended table reads cleanly:
+  // one row per policy, in campaign (cell-id) order.
   TextTable table(MetricsReport::extended_headers());
-
-  // The three balancer-driven configurations.
-  for (const auto& spec : {BalancerSpec::fixed(1.0, 1),
-                           BalancerSpec::fixed(0.5, 4), BalancerSpec::two_d()}) {
-    auto m = machine();
-    const auto sched = MetricsBalancer::make(spec);
-    Simulator sim(*m, *sched);
-    const auto result = sim.run(trace);
-    FairStartEvaluator eval(&machine, MetricsBalancer::factory(spec));
-    const auto fairness = eval.evaluate(trace, result, hours(4), stride);
-    table.add_row(
-        make_report(spec.display_name(), trace, result, &fairness).extended_row());
+  for (const campaign::CellReport& cell : report.value().cells) {
+    table.add_row(cell.metrics.extended_row());
   }
-
-  // Related-work baselines (not BalancerSpecs; constructed directly, with
-  // matching factories for the fairness oracle): dynP (Streit), relaxed
-  // backfilling (Ward et al.), and lookahead packing (Shmueli-Feitelson).
-  auto add_baseline = [&](Scheduler& scheduler, const char* label,
-                          FairStartEvaluator::SchedulerFactory factory) {
-    auto m = machine();
-    Simulator sim(*m, scheduler);
-    const auto result = sim.run(trace);
-    FairStartEvaluator eval(&machine, std::move(factory));
-    const auto fairness = eval.evaluate(trace, result, hours(4), stride);
-    table.add_row(make_report(label, trace, result, &fairness).extended_row());
-  };
-  {
-    DynPScheduler dynp;
-    add_baseline(dynp, "dynP", [] { return std::make_unique<DynPScheduler>(); });
-  }
-  {
-    RelaxedBackfillScheduler relaxed;
-    add_baseline(relaxed, "Relaxed(0.5)",
-                 [] { return std::make_unique<RelaxedBackfillScheduler>(); });
-  }
-  {
-    LookaheadBackfillScheduler lookahead;
-    add_baseline(lookahead, "Lookahead",
-                 [] { return std::make_unique<LookaheadBackfillScheduler>(); });
-  }
-
   table.print(std::cout);
-  std::printf("\n(unfair counts are sampled every %zu jobs; tolerance 4 h — see "
-              "EXPERIMENTS.md)\n",
-              stride);
+  std::printf("\n(unfair counts are sampled every %lld jobs; tolerance 4 h — "
+              "see EXPERIMENTS.md)\n",
+              static_cast<long long>(flags.get_i64("fairness-stride")));
+
+  if (const std::string path = flags.get("result-json"); !path.empty()) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    campaign::write_campaign_json(out, report.value());
+  }
   return 0;
 }

@@ -40,14 +40,6 @@ using namespace amjs;
 
 namespace {
 
-std::vector<double> parse_list(const std::string& csv) {
-  std::vector<double> values;
-  for (const auto field : split(csv, ',')) {
-    if (const auto v = parse_f64(field)) values.push_back(*v);
-  }
-  return values;
-}
-
 }  // namespace
 
 int main(int argc, const char** argv) {
@@ -56,8 +48,8 @@ int main(int argc, const char** argv) {
   flags.define("procs-per-node", "1", "SWF processor -> node divisor");
   flags.define("days", "7", "synthetic horizon (no-SWF mode)");
   flags.define("seed", "2012", "synthetic seed");
-  flags.define("bf", "1,0.75,0.5,0.25,0", "balance factors to sweep");
-  flags.define("w", "1,2,4", "window sizes to sweep");
+  flags.define_list("bf", "1,0.75,0.5,0.25,0", "balance factors to sweep");
+  flags.define_list("w", "1,2,4", "window sizes to sweep");
   flags.define_bool("fairness", "evaluate the (expensive) unfair-job count");
   flags.define("fairness-stride", "4", "fair-start sampling stride");
   flags.define_bool("what-if",
@@ -211,8 +203,8 @@ int main(int argc, const char** argv) {
     double w;
   };
   std::vector<Cell> grid;
-  for (const double bf : parse_list(flags.get("bf"))) {
-    for (const double w : parse_list(flags.get("w"))) grid.push_back({bf, w});
+  for (const double bf : flags.get_f64_list("bf")) {
+    for (const double w : flags.get_f64_list("w")) grid.push_back({bf, w});
   }
 
   std::string cell0_error;

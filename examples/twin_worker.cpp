@@ -2,7 +2,9 @@
 //
 // Listens on a unix or tcp endpoint for framed twinsvc.v1 eval requests
 // and streams back fork verdicts — the remote half of
-// `policy_explorer --what-if --twin-remote <endpoint>`.
+// `policy_explorer --what-if --twin-remote <endpoint>` — and serves
+// campaign.v1 cells (src/campaign) on the same socket, making it the
+// worker side of `campaign_driver --workers <endpoint>`.
 //
 //   $ ./twin_worker --listen unix:/tmp/twin.sock
 //   $ ./twin_worker --listen tcp:127.0.0.1:7701 --threads 4
@@ -22,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "campaign/service.hpp"
 #include "core/metric_aware.hpp"
 #include "obs/session.hpp"
 #include "platform/machine_spec.hpp"
@@ -192,6 +195,10 @@ int main(int argc, const char** argv) {
   config.faults.fail_after = flags.get_i64("fail-after");
   config.faults.stall_ms = flags.get_i64("stall-ms");
   config.faults.garbage = flags.get_bool("garbage");
+  // Campaign cells share the listener, connection loop, and the fault
+  // schedule above with twin eval requests.
+  campaign::CampaignCellHandler campaign_handler;
+  config.extension = &campaign_handler;
 
   twinsvc::TwinWorker worker(std::move(listener).value(), config);
   std::fprintf(stderr, "twin_worker: serving %s\n",
@@ -207,8 +214,10 @@ int main(int argc, const char** argv) {
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::fprintf(stderr, "twin_worker: stopping (%llu requests served)\n",
-               static_cast<unsigned long long>(worker.requests_served()));
+  std::fprintf(stderr,
+               "twin_worker: stopping (%llu consults, %llu campaign cells)\n",
+               static_cast<unsigned long long>(worker.requests_served()),
+               static_cast<unsigned long long>(campaign_handler.cells_served()));
   worker.stop();
   return 0;
 }

@@ -1,0 +1,154 @@
+#include "campaign/aggregate.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "snapshot_io/binio.hpp"
+#include "snapshot_io/snapshot_codec.hpp"
+#include "util/fmt.hpp"
+
+namespace amjs::campaign {
+namespace {
+
+/// %.17g — enough digits to round-trip any double, same convention as
+/// sim/result.cpp's writer.
+void put_f64(std::ostream& out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out << buffer;
+}
+
+void put_str(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Result<CampaignReport> build_report(const CampaignSpec& spec,
+                                    const std::vector<CellResult>& results) {
+  auto enumerated = enumerate_cells(spec);
+  if (!enumerated) return enumerated.error();
+  const std::vector<CellRequest>& cells = enumerated.value();
+
+  std::map<std::uint64_t, const CellResult*> by_id;
+  for (const CellResult& result : results) {
+    if (!by_id.emplace(result.cell_id, &result).second) {
+      return Error{format("duplicate result for cell {}", result.cell_id)};
+    }
+  }
+  if (by_id.size() != cells.size()) {
+    return Error{format("{} results for {} cells", by_id.size(), cells.size())};
+  }
+
+  // The metrics trace is rebuilt once per unique workload x seed (cells
+  // sharing both share the trace byte-for-byte). The workload index comes
+  // from the id formula: id = ((p*W + w)*S + s)*F + f.
+  const std::uint64_t F =
+      spec.fault_profiles.empty() ? 1 : spec.fault_profiles.size();
+  const std::uint64_t S = spec.seeds.size();
+  const std::uint64_t W = spec.workloads.size();
+  std::map<std::pair<std::uint64_t, std::uint64_t>, JobTrace> traces;
+
+  CampaignReport report;
+  report.cells.reserve(cells.size());
+  for (const CellRequest& cell : cells) {
+    const auto found = by_id.find(cell.cell_id);
+    if (found == by_id.end()) {
+      return Error{format("no result for cell {}", cell.cell_id)};
+    }
+    const CellResult& result = *found->second;
+
+    const std::uint64_t workload_index = (cell.cell_id / (F * S)) % W;
+    auto trace_slot = traces.find({workload_index, cell.seed});
+    if (trace_slot == traces.end()) {
+      trace_slot =
+          traces
+              .emplace(std::make_pair(workload_index, cell.seed),
+                       cell.build_trace())
+              .first;
+    }
+    const JobTrace& trace = trace_slot->second;
+
+    CellReport row;
+    row.cell_id = cell.cell_id;
+    row.policy = cell.policy_label;
+    row.workload = cell.workload_label;
+    row.fault = cell.fault_label;
+    row.seed = cell.seed;
+    row.metrics = make_report(cell.policy_label, trace, result.result,
+                              result.has_fairness ? &result.fairness : nullptr);
+    snapshot_io::ByteWriter w;
+    snapshot_io::write_sim_result(w, result.result);
+    row.result_crc32 = snapshot_io::crc32(w.data());
+    report.cells.push_back(std::move(row));
+  }
+  return report;
+}
+
+void write_campaign_json(std::ostream& out, const CampaignReport& report) {
+  out << "{\"cells\":[";
+  bool first = true;
+  for (const CellReport& cell : report.cells) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":" << cell.cell_id << ",\"policy\":";
+    put_str(out, cell.policy);
+    out << ",\"workload\":";
+    put_str(out, cell.workload);
+    out << ",\"seed\":" << cell.seed << ",\"fault\":";
+    put_str(out, cell.fault);
+    out << ",\"avg_wait_min\":";
+    put_f64(out, cell.metrics.avg_wait_min);
+    out << ",\"max_wait_min\":";
+    put_f64(out, cell.metrics.max_wait_min);
+    out << ",\"avg_bounded_slowdown\":";
+    put_f64(out, cell.metrics.avg_bounded_slowdown);
+    out << ",\"utilization\":";
+    put_f64(out, cell.metrics.utilization);
+    out << ",\"loss_of_capacity\":";
+    put_f64(out, cell.metrics.loss_of_capacity);
+    out << ",\"unfair_jobs\":";
+    if (cell.metrics.unfair_jobs.has_value()) {
+      out << *cell.metrics.unfair_jobs;
+    } else {
+      out << "null";
+    }
+    out << ",\"jobs_finished\":" << cell.metrics.jobs_finished
+        << ",\"jobs_skipped\":" << cell.metrics.jobs_skipped
+        << ",\"makespan\":" << cell.metrics.makespan
+        << ",\"result_crc32\":" << cell.result_crc32 << "}";
+  }
+  out << "]}\n";
+}
+
+TextTable campaign_table(const CampaignReport& report) {
+  TextTable table({"cell", "policy", "workload", "seed", "fault",
+                   "avg wait (min)", "slowdown", "util (%)", "LoC (%)",
+                   "unfair #"});
+  for (const CellReport& cell : report.cells) {
+    table.add_row(
+        {TextTable::num(static_cast<std::int64_t>(cell.cell_id)), cell.policy,
+         cell.workload, TextTable::num(static_cast<std::int64_t>(cell.seed)),
+         cell.fault, TextTable::num(cell.metrics.avg_wait_min),
+         TextTable::num(cell.metrics.avg_bounded_slowdown, 2),
+         TextTable::num(cell.metrics.utilization * 100.0),
+         TextTable::num(cell.metrics.loss_of_capacity * 100.0),
+         cell.metrics.unfair_jobs.has_value()
+             ? TextTable::num(static_cast<std::int64_t>(*cell.metrics.unfair_jobs))
+             : "-"});
+  }
+  return table;
+}
+
+}  // namespace amjs::campaign

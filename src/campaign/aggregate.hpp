@@ -1,0 +1,55 @@
+// Campaign aggregation — deterministic reports from any arrival order.
+//
+// The aggregator folds cell results back into the campaign's matrix:
+// results are keyed and sorted by cell id (never by arrival), metrics are
+// recomputed from each cell's SimResult with the same make_report the
+// single-run harnesses use, and the JSON writer prints fixed key order
+// with %.17g doubles — so a distributed campaign's report is byte-equal
+// to a single-process run's, which is exactly what the CI campaign smoke
+// cmp-checks. wall_ms (the only nondeterministic field a cell carries)
+// never appears; each row instead pins the full SimResult compactly via
+// the CRC-32 of its canonical binary encoding.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "metrics/report.hpp"
+#include "util/result.hpp"
+#include "util/table.hpp"
+
+namespace amjs::campaign {
+
+struct CellReport {
+  std::uint64_t cell_id = 0;
+  std::string policy;
+  std::string workload;
+  std::string fault;
+  std::uint64_t seed = 0;
+  MetricsReport metrics;
+  /// CRC-32 of the cell's canonically encoded SimResult — pins the whole
+  /// result bit-for-bit without embedding megabytes of schedule.
+  std::uint32_t result_crc32 = 0;
+};
+
+struct CampaignReport {
+  std::vector<CellReport> cells;  // cell-id order
+};
+
+/// Join `results` (any order) against the spec's enumeration. Fails if a
+/// cell is missing, unknown, or duplicated — the driver guarantees
+/// exactly-once completion, so a mismatch means the inputs do not belong
+/// to this spec.
+[[nodiscard]] Result<CampaignReport> build_report(
+    const CampaignSpec& spec, const std::vector<CellResult>& results);
+
+/// Deterministic JSON: fixed key order, %.17g doubles, no wall-clock
+/// fields. Byte-equal for behaviourally identical campaigns.
+void write_campaign_json(std::ostream& out, const CampaignReport& report);
+
+/// Console table, one row per cell in cell-id order.
+[[nodiscard]] TextTable campaign_table(const CampaignReport& report);
+
+}  // namespace amjs::campaign

@@ -1,0 +1,214 @@
+#include "campaign/campaign.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <chrono>
+
+#include "core/balancer.hpp"
+#include "sched/dynp.hpp"
+#include "sched/lookahead.hpp"
+#include "sched/relaxed.hpp"
+#include "util/fmt.hpp"
+#include "util/strings.hpp"
+
+namespace amjs::campaign {
+namespace {
+
+/// What a token means once parsed: either a balancer spec or one of the
+/// directly-constructed related-work baselines.
+struct ParsedPolicy {
+  enum class Kind : std::uint8_t { kBalancer, kDynP, kRelaxed, kLookahead };
+  Kind kind = Kind::kBalancer;
+  BalancerSpec balancer;
+  std::string default_label;
+};
+
+std::string canonical(std::string_view token) {
+  std::string out;
+  for (const char c : token) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+Result<ParsedPolicy> parse_token(std::string_view raw) {
+  const std::string token = canonical(raw);
+  ParsedPolicy parsed;
+  if (token == "base" || token == "fcfs") {
+    parsed.balancer = BalancerSpec::fixed(1.0, 1);
+  } else if (token == "bf-adaptive") {
+    parsed.balancer = BalancerSpec::bf_adaptive();
+  } else if (token == "w-adaptive") {
+    parsed.balancer = BalancerSpec::w_adaptive();
+  } else if (token == "2d") {
+    parsed.balancer = BalancerSpec::two_d();
+  } else if (token == "dynp") {
+    parsed.kind = ParsedPolicy::Kind::kDynP;
+    parsed.default_label = "dynP";
+  } else if (token == "relaxed") {
+    parsed.kind = ParsedPolicy::Kind::kRelaxed;
+    parsed.default_label = "Relaxed(0.5)";
+  } else if (token == "lookahead") {
+    parsed.kind = ParsedPolicy::Kind::kLookahead;
+    parsed.default_label = "Lookahead";
+  } else if (token.size() > 2 && token.compare(0, 2, "bf") == 0) {
+    // "bf<float>w<int>", e.g. "bf0.5w4".
+    const std::size_t w_pos = token.find('w', 2);
+    if (w_pos == std::string::npos) {
+      return Error{format("policy '{}': expected bf<F>w<N>", raw)};
+    }
+    const auto bf = parse_f64(std::string_view(token).substr(2, w_pos - 2));
+    const auto w = parse_i64(std::string_view(token).substr(w_pos + 1));
+    if (!bf || *bf < 0.0 || *bf > 1.0) {
+      return Error{format("policy '{}': balance factor must be in [0, 1]", raw)};
+    }
+    if (!w || *w < 1) {
+      return Error{format("policy '{}': window must be a positive integer", raw)};
+    }
+    parsed.balancer = BalancerSpec::fixed(*bf, static_cast<int>(*w));
+  } else {
+    return Error{format(
+        "unknown policy '{}' (expected base, bf<F>w<N>, bf-adaptive, "
+        "w-adaptive, 2d, dynp, relaxed, or lookahead)",
+        raw)};
+  }
+  if (parsed.default_label.empty()) {
+    parsed.default_label = parsed.balancer.display_name();
+  }
+  return parsed;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const ParsedPolicy& parsed) {
+  switch (parsed.kind) {
+    case ParsedPolicy::Kind::kBalancer:
+      return MetricsBalancer::make(parsed.balancer);
+    case ParsedPolicy::Kind::kDynP:
+      return std::make_unique<DynPScheduler>();
+    case ParsedPolicy::Kind::kRelaxed:
+      return std::make_unique<RelaxedBackfillScheduler>();
+    case ParsedPolicy::Kind::kLookahead:
+      return std::make_unique<LookaheadBackfillScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<PolicySpec> PolicySpec::parse(std::string_view token) {
+  auto parsed = parse_token(token);
+  if (!parsed.ok()) return parsed.error();
+  PolicySpec spec;
+  spec.token = canonical(token);
+  return spec;
+}
+
+std::string PolicySpec::display_name() const {
+  if (!label.empty()) return label;
+  auto parsed = parse_token(token);
+  return parsed.ok() ? parsed.value().default_label : token;
+}
+
+std::unique_ptr<Scheduler> PolicySpec::make() const {
+  auto parsed = parse_token(token);
+  assert(parsed.ok() && "PolicySpec::make on an unvalidated token");
+  if (!parsed.ok()) return nullptr;
+  return make_scheduler(parsed.value());
+}
+
+std::function<std::unique_ptr<Scheduler>()> PolicySpec::factory() const {
+  return [spec = *this] { return spec.make(); };
+}
+
+JobTrace CellRequest::build_trace() const {
+  if (workload_kind == WorkloadSpec::Kind::kInline) return inline_trace;
+  return SyntheticTraceBuilder(synthetic).build();
+}
+
+Result<std::vector<CellRequest>> enumerate_cells(const CampaignSpec& spec) {
+  if (spec.policies.empty()) return Error{"campaign has no policies"};
+  if (spec.workloads.empty()) return Error{"campaign has no workloads"};
+  if (spec.seeds.empty()) return Error{"campaign has no seeds"};
+  if (!spec.machine.valid()) {
+    return Error{format("invalid machine spec {}", spec.machine.label())};
+  }
+  for (const PolicySpec& policy : spec.policies) {
+    if (auto parsed = PolicySpec::parse(policy.token); !parsed.ok()) {
+      return parsed.error();
+    }
+  }
+
+  // The implicit no-fault profile keeps the id formula total.
+  std::vector<FaultProfileSpec> faults = spec.fault_profiles;
+  if (faults.empty()) faults.push_back(FaultProfileSpec{});
+
+  const std::uint64_t W = spec.workloads.size();
+  const std::uint64_t S = spec.seeds.size();
+  const std::uint64_t F = faults.size();
+
+  std::vector<CellRequest> cells;
+  cells.reserve(spec.policies.size() * W * S * F);
+  for (std::uint64_t p = 0; p < spec.policies.size(); ++p) {
+    for (std::uint64_t w = 0; w < W; ++w) {
+      for (std::uint64_t s = 0; s < S; ++s) {
+        for (std::uint64_t f = 0; f < F; ++f) {
+          CellRequest cell;
+          cell.cell_id = ((p * W + w) * S + s) * F + f;
+          cell.policy_token = canonical(spec.policies[p].token);
+          cell.policy_label = spec.policies[p].display_name();
+          cell.workload_label = spec.workloads[w].label;
+          cell.fault_label = faults[f].label;
+          cell.seed = spec.seeds[s];
+          cell.machine = spec.machine;
+          cell.workload_kind = spec.workloads[w].kind;
+          if (cell.workload_kind == WorkloadSpec::Kind::kSynthetic) {
+            cell.synthetic = spec.workloads[w].synthetic;
+            cell.synthetic.seed = spec.seeds[s];
+          } else {
+            cell.inline_trace = spec.workloads[w].inline_trace;
+          }
+          cell.failures = faults[f].model;
+          cell.metric_check_interval = spec.metric_check_interval;
+          cell.fairness_stride = spec.fairness_stride;
+          cell.fairness_tolerance = spec.fairness_tolerance;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+CellResult run_cell(const CellRequest& cell) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const JobTrace trace = cell.build_trace();
+  PolicySpec policy;
+  policy.token = cell.policy_token;
+
+  SimConfig sim_config;
+  sim_config.metric_check_interval = cell.metric_check_interval;
+  sim_config.failures = cell.failures;
+
+  CellResult out;
+  out.cell_id = cell.cell_id;
+  {
+    auto machine = cell.machine.make();
+    auto scheduler = policy.make();
+    Simulator sim(*machine, *scheduler, sim_config);
+    out.result = sim.run(trace);
+  }
+  if (cell.fairness_stride > 0) {
+    FairStartEvaluator eval(cell.machine.factory(), policy.factory(), sim_config);
+    out.fairness =
+        eval.evaluate(trace, out.result, cell.fairness_tolerance,
+                      static_cast<std::size_t>(cell.fairness_stride));
+    out.has_fairness = true;
+  }
+  out.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  return out;
+}
+
+}  // namespace amjs::campaign

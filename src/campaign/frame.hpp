@@ -1,0 +1,38 @@
+// campaign.v1 payload codecs — the kRunCell / kCellResult frame family.
+//
+// Campaign frames ride the twinsvc.v1 framing layer unchanged (same
+// "AMJSTWSV" magic, version, header, and trailing CRC; see
+// twinsvc/frame.hpp) — only the frame-type byte and the payload encoding
+// are new, so the socket layer, the corruption guarantees, and the worker
+// loop are shared with the twin service. Payloads use snapshot_io's
+// primitives: little-endian fixed-width integers, bit-cast doubles (what
+// makes a remote cell's SimResult bit-identical to a local run's), and
+// bounds-checked reads with reserve() capped by bytes actually received.
+//
+//   kRunCell     driver -> worker   one self-contained CellRequest
+//   kCellResult  worker -> driver   the cell's SimResult (+ optional
+//                                   fairness), canonically encoded
+//
+// Errors travel as the existing kError frame.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "campaign/campaign.hpp"
+#include "twinsvc/frame.hpp"
+#include "util/result.hpp"
+
+namespace amjs::campaign {
+
+inline constexpr std::string_view kCampaignProtocolName = "campaign.v1";
+
+/// Complete sealed frames (header + payload + CRC), ready for send_frame.
+[[nodiscard]] std::string encode_run_cell(const CellRequest& cell);
+[[nodiscard]] std::string encode_cell_result(const CellResult& result);
+
+/// Payload decoders (the frame layer has already verified header + CRC).
+[[nodiscard]] Result<CellRequest> decode_run_cell(std::string_view payload);
+[[nodiscard]] Result<CellResult> decode_cell_result(std::string_view payload);
+
+}  // namespace amjs::campaign

@@ -1,0 +1,68 @@
+#include "campaign/service.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "campaign/frame.hpp"
+#include "obs/registry.hpp"
+#include "util/log.hpp"
+
+namespace amjs::campaign {
+
+bool CampaignCellHandler::handle(twinsvc::Socket& socket,
+                                 const twinsvc::Frame& frame,
+                                 const twinsvc::FaultDecision& faults,
+                                 int io_timeout_ms) {
+  auto cell = decode_run_cell(frame.payload);
+  if (!cell) {
+    (void)twinsvc::send_frame(
+        socket,
+        twinsvc::encode_error(twinsvc::ErrorFrame{0, cell.error().to_string()}),
+        io_timeout_ms);
+    return false;
+  }
+
+  if (faults.stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(faults.stall_ms));
+  }
+  if (faults.abort) {
+    // Crash before replying: the driver sees an abrupt close after having
+    // sent a complete request — the requeue path's canonical trigger.
+    if (obs::Registry::enabled()) {
+      obs::Registry::global().counter("campaign.worker.aborts").add();
+    }
+    log::warn("twin_worker: fault injection aborting cell {}",
+              cell.value().cell_id);
+    return false;
+  }
+
+  CellResult result;
+  if (obs::Registry::enabled()) {
+    obs::ScopedTimer scoped(obs::Registry::global().timer("campaign.worker.cell"));
+    result = run_cell(cell.value());
+  } else {
+    result = run_cell(cell.value());
+  }
+
+  std::string reply = encode_cell_result(result);
+  if (faults.garbage) {
+    // Flip one CRC byte so the frame fails validation at the driver.
+    reply.back() = static_cast<char>(reply.back() ^ 0x5a);
+  }
+  // Count before the reply leaves: the driver may read cells_served() the
+  // instant it has the frame.
+  if (obs::Registry::enabled()) {
+    obs::Registry::global().counter("campaign.worker.cells").add();
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (Status status = twinsvc::send_frame(socket, reply, io_timeout_ms);
+      !status.ok()) {
+    served_.fetch_sub(1, std::memory_order_relaxed);
+    log::warn("twin_worker: send cell result failed: {}",
+              status.error().to_string());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace amjs::campaign

@@ -1,0 +1,43 @@
+// CampaignCellHandler — the worker-side service for campaign.v1 cells.
+//
+// Plugs into TwinWorker's extension slot (twinsvc/worker.hpp), so one
+// twin_worker process serves both twinsvc.v1 eval requests and campaign
+// cells over the same listener, connection loop, and fault schedule: a
+// worker started with --fail-after N aborts cell requests past ordinal N
+// exactly as it aborts eval requests, which is what the driver's requeue
+// tests and the CI kill-a-worker smoke lean on.
+//
+// Protocol per request: one kRunCell in, one kCellResult out (or kError
+// if the cell payload does not decode). The handler runs the cell with
+// campaign::run_cell — the same function the driver's local path uses —
+// so remote results are bit-identical to local ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "twinsvc/worker.hpp"
+
+namespace amjs::campaign {
+
+class CampaignCellHandler final : public twinsvc::RequestHandler {
+ public:
+  [[nodiscard]] bool handles(twinsvc::FrameType type) const override {
+    return type == twinsvc::FrameType::kRunCell;
+  }
+
+  [[nodiscard]] bool handle(twinsvc::Socket& socket,
+                            const twinsvc::Frame& frame,
+                            const twinsvc::FaultDecision& faults,
+                            int io_timeout_ms) override;
+
+  /// Cells fully served (result frame sent).
+  [[nodiscard]] std::uint64_t cells_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace amjs::campaign

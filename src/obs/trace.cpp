@@ -17,6 +17,7 @@ const char* to_string(TraceCategory category) {
     case TraceCategory::kBackfill: return "backfill";
     case TraceCategory::kSnapshot: return "snapshot";
     case TraceCategory::kTwin: return "twin";
+    case TraceCategory::kCampaign: return "campaign";
   }
   return "?";
 }
@@ -200,6 +201,7 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
       TraceCategory::kJob,      TraceCategory::kSched,
       TraceCategory::kTuning,   TraceCategory::kBackfill,
       TraceCategory::kSnapshot, TraceCategory::kTwin,
+      TraceCategory::kCampaign,
   };
   for (const TraceCategory c : kCategories) {
     const int tid = static_cast<int>(c) + 1;

@@ -51,6 +51,7 @@ enum class TraceCategory : std::uint8_t {
   kBackfill,  // reservations and backfilled starts
   kSnapshot,  // SimSnapshot captures / restores
   kTwin,      // twin consultations, forks, verdicts
+  kCampaign,  // campaign cell dispatches / results / requeues
 };
 
 [[nodiscard]] const char* to_string(TraceCategory category);

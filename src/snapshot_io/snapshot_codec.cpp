@@ -76,7 +76,9 @@ Result<EventQueue> read_events(ByteReader& r) {
   return EventQueue::restore(events, next_seq.value());
 }
 
-void write_result(ByteWriter& w, const SimResult& result) {
+}  // namespace
+
+void write_sim_result(ByteWriter& w, const SimResult& result) {
   w.u64(result.schedule.size());
   for (const ScheduleEntry& e : result.schedule) {
     w.i64(e.job);
@@ -107,7 +109,7 @@ void write_result(ByteWriter& w, const SimResult& result) {
   w.f64(result.failure_stats.wasted_node_seconds);
 }
 
-Result<SimResult> read_result(ByteReader& r) {
+Result<SimResult> read_sim_result(ByteReader& r) {
   SimResult result;
   auto n_sched = r.count(r.remaining());
   if (!n_sched) return n_sched.error();
@@ -192,6 +194,8 @@ Result<SimResult> read_result(ByteReader& r) {
   return result;
 }
 
+namespace {
+
 Result<std::string> encode_payload(const SimSnapshot& snapshot) {
   ByteWriter w;
   w.i64(snapshot.now);
@@ -209,7 +213,7 @@ Result<std::string> encode_payload(const SimSnapshot& snapshot) {
   w.u64(snapshot.attempt_start.size());
   for (const SimTime t : snapshot.attempt_start) w.i64(t);
   w.u64(snapshot.unfinished);
-  write_result(w, snapshot.result);
+  write_sim_result(w, snapshot.result);
   w.boolean(snapshot.state_changed);
   w.f64(snapshot.queue_depth_minutes);
   w.u64(snapshot.check_index);
@@ -277,7 +281,7 @@ Result<SimSnapshot> decode_payload(std::string_view payload) {
   auto unfinished = r.u64();
   if (!unfinished) return unfinished.error();
   snapshot.unfinished = unfinished.value();
-  auto result = read_result(r);
+  auto result = read_sim_result(r);
   if (!result) return result.error();
   snapshot.result = std::move(result).value();
   auto changed = r.boolean();

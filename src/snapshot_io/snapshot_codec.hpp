@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "sim/snapshot.hpp"
+#include "snapshot_io/binio.hpp"
 #include "util/result.hpp"
 
 namespace amjs::snapshot_io {
@@ -46,5 +47,13 @@ inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
                                          const std::string& path);
 
 [[nodiscard]] Result<SimSnapshot> read_snapshot_file(const std::string& path);
+
+/// Bit-exact SimResult encoding (the snapshot payload's result section,
+/// exposed for the campaign wire format): doubles as IEEE-754 patterns, so
+/// a result decoded on the far side of a socket is bit-identical to the
+/// one the worker computed — what makes distributed campaign reports
+/// byte-equal to single-process ones.
+void write_sim_result(ByteWriter& w, const SimResult& result);
+[[nodiscard]] Result<SimResult> read_sim_result(ByteReader& r);
 
 }  // namespace amjs::snapshot_io

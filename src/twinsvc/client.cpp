@@ -226,7 +226,10 @@ Result<std::vector<TwinForkResult>> RemoteTwinEngine::attempt(
         return Error{format("worker error: {}", error.value().message)};
       }
       case FrameType::kEvalRequest:
-        return Error{"worker sent an eval request"};
+      case FrameType::kRunCell:
+      case FrameType::kCellResult:
+        return Error{format("unexpected frame type {} on a verdict stream",
+                            static_cast<int>(frame.value().type))};
     }
   }
 }

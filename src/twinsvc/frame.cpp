@@ -11,6 +11,8 @@ using snapshot_io::ByteReader;
 using snapshot_io::ByteWriter;
 using snapshot_io::crc32;
 
+}  // namespace
+
 std::string seal_frame(FrameType type, std::string_view payload) {
   ByteWriter w;
   w.bytes(kFrameMagic);
@@ -55,6 +57,61 @@ Result<MachineSpec> read_machine_spec(ByteReader& r) {
   }
   return spec;
 }
+
+void write_job_trace(ByteWriter& w, const JobTrace& trace) {
+  w.u64(trace.size());
+  for (const Job& job : trace.jobs()) {
+    w.i64(job.id);
+    w.i64(job.submit);
+    w.i64(job.runtime);
+    w.i64(job.walltime);
+    w.i64(job.nodes);
+    w.str(job.user);
+    w.i64(job.queue);
+  }
+}
+
+Result<JobTrace> read_job_trace(ByteReader& r) {
+  // Six fixed i64 fields plus the user string's length prefix: no encoded
+  // job is smaller, so a CRC-valid frame cannot declare more jobs than the
+  // remaining payload could hold — reserve() stays proportional to the
+  // bytes actually received, never to a crafted count.
+  constexpr std::uint64_t kMinEncodedJobBytes = 7 * 8;
+  auto n = r.count(r.remaining() / kMinEncodedJobBytes);
+  if (!n) return n.error();
+  std::vector<Job> jobs;
+  jobs.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    Job job;
+    auto id = r.i64();
+    if (!id) return id.error();
+    job.id = static_cast<JobId>(id.value());
+    auto submit = r.i64();
+    if (!submit) return submit.error();
+    job.submit = submit.value();
+    auto runtime = r.i64();
+    if (!runtime) return runtime.error();
+    job.runtime = runtime.value();
+    auto walltime = r.i64();
+    if (!walltime) return walltime.error();
+    job.walltime = walltime.value();
+    auto nodes = r.i64();
+    if (!nodes) return nodes.error();
+    job.nodes = nodes.value();
+    auto user = r.str();
+    if (!user) return user.error();
+    job.user = std::move(user).value();
+    auto queue = r.i64();
+    if (!queue) return queue.error();
+    job.queue = static_cast<int>(queue.value());
+    jobs.push_back(std::move(job));
+  }
+  // The trace travelled in canonical (dense-id, submit-sorted) order, so
+  // rebuilding through from_jobs is the identity — plus its validation.
+  return JobTrace::from_jobs(std::move(jobs));
+}
+
+namespace {
 
 void write_candidate(ByteWriter& w, const TwinCandidateSpec& spec) {
   w.str(kCandidateFamilyMetricAware);
@@ -106,59 +163,6 @@ Result<TwinCandidateSpec> read_candidate(ByteReader& r) {
   return spec;
 }
 
-void write_trace(ByteWriter& w, const JobTrace& trace) {
-  w.u64(trace.size());
-  for (const Job& job : trace.jobs()) {
-    w.i64(job.id);
-    w.i64(job.submit);
-    w.i64(job.runtime);
-    w.i64(job.walltime);
-    w.i64(job.nodes);
-    w.str(job.user);
-    w.i64(job.queue);
-  }
-}
-
-Result<JobTrace> read_trace(ByteReader& r) {
-  // Six fixed i64 fields plus the user string's length prefix: no encoded
-  // job is smaller, so a CRC-valid frame cannot declare more jobs than the
-  // remaining payload could hold — reserve() stays proportional to the
-  // bytes actually received, never to a crafted count.
-  constexpr std::uint64_t kMinEncodedJobBytes = 7 * 8;
-  auto n = r.count(r.remaining() / kMinEncodedJobBytes);
-  if (!n) return n.error();
-  std::vector<Job> jobs;
-  jobs.reserve(n.value());
-  for (std::uint64_t i = 0; i < n.value(); ++i) {
-    Job job;
-    auto id = r.i64();
-    if (!id) return id.error();
-    job.id = static_cast<JobId>(id.value());
-    auto submit = r.i64();
-    if (!submit) return submit.error();
-    job.submit = submit.value();
-    auto runtime = r.i64();
-    if (!runtime) return runtime.error();
-    job.runtime = runtime.value();
-    auto walltime = r.i64();
-    if (!walltime) return walltime.error();
-    job.walltime = walltime.value();
-    auto nodes = r.i64();
-    if (!nodes) return nodes.error();
-    job.nodes = nodes.value();
-    auto user = r.str();
-    if (!user) return user.error();
-    job.user = std::move(user).value();
-    auto queue = r.i64();
-    if (!queue) return queue.error();
-    job.queue = static_cast<int>(queue.value());
-    jobs.push_back(std::move(job));
-  }
-  // The trace travelled in canonical (dense-id, submit-sorted) order, so
-  // rebuilding through from_jobs is the identity — plus its validation.
-  return JobTrace::from_jobs(std::move(jobs));
-}
-
 void write_fork_result(ByteWriter& w, const TwinForkResult& result) {
   w.str(result.label);
   w.f64(result.avg_queue_depth_min);
@@ -203,7 +207,7 @@ Result<std::string> encode_eval_request(const EvalRequest& request) {
   w.i64(request.twin.metric_check_interval);
   w.f64(request.twin.queue_weight);
   w.f64(request.twin.util_weight);
-  write_trace(w, request.trace);
+  write_job_trace(w, request.trace);
   w.str(snapshot_bytes.value());
   w.u64(request.candidates.size());
   for (const auto& candidate : request.candidates) write_candidate(w, candidate);
@@ -250,7 +254,7 @@ Result<FrameHeader> decode_frame_header(std::string_view bytes) {
   auto type = r.u8();
   if (!type) return type.error();
   if (type.value() < static_cast<std::uint8_t>(FrameType::kEvalRequest) ||
-      type.value() > static_cast<std::uint8_t>(FrameType::kError)) {
+      type.value() > static_cast<std::uint8_t>(FrameType::kCellResult)) {
     return Error{format("unknown frame type {}", type.value())};
   }
   auto length = r.u64();
@@ -328,7 +332,7 @@ Result<EvalRequest> decode_eval_request(std::string_view payload) {
   auto util_weight = r.f64();
   if (!util_weight) return util_weight.error();
   request.twin.util_weight = util_weight.value();
-  auto trace = read_trace(r);
+  auto trace = read_job_trace(r);
   if (!trace) return trace.error();
   request.trace = std::move(trace).value();
   auto snapshot_bytes = r.str();

@@ -37,6 +37,7 @@
 #include "core/twin_backend.hpp"
 #include "platform/machine_spec.hpp"
 #include "sim/snapshot.hpp"
+#include "snapshot_io/binio.hpp"
 #include "twin/twin.hpp"
 #include "util/result.hpp"
 #include "workload/trace.hpp"
@@ -61,6 +62,13 @@ enum class FrameType : std::uint8_t {
   kVerdict = 2,      // worker -> client, one per candidate
   kEvalDone = 3,     // worker -> client, closes the verdict stream
   kError = 4,        // either direction, terminal for the request
+  // The campaign.v1 frame family (src/campaign/frame.hpp): one
+  // self-contained simulation cell per request, one result per reply.
+  // Same magic/version/overhead; a pre-campaign peer rejects the type
+  // byte cleanly ("unknown frame type"), which the campaign driver treats
+  // like any other failed dispatch.
+  kRunCell = 5,      // driver -> worker
+  kCellResult = 6,   // worker -> driver
 };
 
 /// Candidate family tag carried per candidate; v1 ships the metric-aware
@@ -98,6 +106,12 @@ struct ErrorFrame {
 
 // --- Encoding (payload + frame in one step). ---------------------------
 
+/// Wrap `payload` in a complete frame (magic + version + type + length +
+/// payload + CRC). The building block every frame family shares; exposed
+/// so src/campaign can seal campaign.v1 payloads through the exact same
+/// header/CRC path the twin frames use.
+[[nodiscard]] std::string seal_frame(FrameType type, std::string_view payload);
+
 /// Fails only if the snapshot holds a state with no registered codec.
 [[nodiscard]] Result<std::string> encode_eval_request(const EvalRequest& request);
 [[nodiscard]] std::string encode_verdict(const VerdictFrame& verdict);
@@ -134,5 +148,17 @@ struct Frame {
 [[nodiscard]] Result<VerdictFrame> decode_verdict(std::string_view payload);
 [[nodiscard]] Result<DoneFrame> decode_done(std::string_view payload);
 [[nodiscard]] Result<ErrorFrame> decode_error(std::string_view payload);
+
+// --- Shared field codecs. ----------------------------------------------
+// Building blocks the campaign.v1 payloads reuse: a machine model as data
+// and a whole job trace, encoded exactly as the eval request encodes them
+// (little-endian fixed-width, bounds-checked, reserve() capped by bytes
+// actually received).
+
+void write_machine_spec(snapshot_io::ByteWriter& w, const MachineSpec& spec);
+[[nodiscard]] Result<MachineSpec> read_machine_spec(snapshot_io::ByteReader& r);
+
+void write_job_trace(snapshot_io::ByteWriter& w, const JobTrace& trace);
+[[nodiscard]] Result<JobTrace> read_job_trace(snapshot_io::ByteReader& r);
 
 }  // namespace amjs::twinsvc

@@ -115,6 +115,20 @@ bool TwinWorker::serve_request(Socket& socket, const Frame& frame) {
     obs::Registry::global().counter("twinsvc.worker.requests").add();
   }
   if (frame.type != FrameType::kEvalRequest) {
+    if (config_.extension != nullptr && config_.extension->handles(frame.type)) {
+      // Extension families share the worker's request ordinal, so one
+      // --fail-after schedule covers mixed twin/campaign traffic.
+      const std::int64_t ordinal =
+          request_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+      FaultDecision decision;
+      decision.abort =
+          ordinal <= config_.faults.fail_first ||
+          (config_.faults.fail_after >= 0 && ordinal > config_.faults.fail_after);
+      decision.stall_ms = config_.faults.stall_ms;
+      decision.garbage = config_.faults.garbage;
+      return config_.extension->handle(socket, frame, decision,
+                                       config_.io_timeout_ms);
+    }
     (void)send_frame(
         socket,
         encode_error(ErrorFrame{

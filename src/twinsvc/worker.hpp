@@ -49,6 +49,36 @@ struct WorkerFaults {
   bool garbage = false;
 };
 
+/// The worker's fault schedule, resolved for one request: the handler
+/// (built-in eval path or an extension) applies these instead of reading
+/// WorkerFaults directly, so `--fail-first N` means "the first N requests
+/// of any frame family" and tests stay deterministic across families.
+struct FaultDecision {
+  /// Drop the connection mid-reply (after at most one reply frame).
+  bool abort = false;
+  /// Sleep before the first reply frame (deadline-expiry injection).
+  std::int64_t stall_ms = 0;
+  /// Corrupt the CRC of every reply frame.
+  bool garbage = false;
+};
+
+/// Serves frame families the core worker does not know (campaign.v1's
+/// kRunCell lives in src/campaign, a layer above twinsvc). Implementations
+/// must be safe to call from concurrent connection threads.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Frame types this handler owns (checked before dispatch).
+  [[nodiscard]] virtual bool handles(FrameType type) const = 0;
+
+  /// Serve one request; return false to drop the connection (fault abort
+  /// or I/O failure), true to keep reading requests from it.
+  [[nodiscard]] virtual bool handle(Socket& socket, const Frame& frame,
+                                    const FaultDecision& faults,
+                                    int io_timeout_ms) = 0;
+};
+
 struct WorkerConfig {
   /// Fork fan-out threads inside each request (0 = hardware concurrency).
   unsigned threads = 0;
@@ -57,6 +87,10 @@ struct WorkerConfig {
   int io_timeout_ms = 30000;
 
   WorkerFaults faults;
+
+  /// Extension handler for frame families beyond kEvalRequest (borrowed,
+  /// not owned; may be null). Shares the worker's fault schedule.
+  RequestHandler* extension = nullptr;
 };
 
 class TwinWorker {

@@ -16,6 +16,11 @@ void Flags::define_bool(const std::string& name, const std::string& help) {
   specs_[name] = Spec{"false", help, /*is_bool=*/true};
 }
 
+void Flags::define_list(const std::string& name, const std::string& default_value,
+                        const std::string& help) {
+  specs_[name] = Spec{default_value, help, /*is_bool=*/false, /*is_list=*/true};
+}
+
 Status Flags::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -46,6 +51,12 @@ Status Flags::parse(int argc, const char* const* argv) {
       if (i + 1 >= argc) return Error{amjs::format("flag --{} needs a value", name)};
       value = argv[++i];
     }
+    if (it->second.is_list) {
+      // Repeats accumulate: `--seed 1,2 --seed 3` == `--seed 1,2,3`.
+      auto [slot, inserted] = values_.try_emplace(name, value);
+      if (!inserted) slot->second += "," + value;
+      continue;
+    }
     values_[name] = value;
   }
   return Status::success();
@@ -73,6 +84,36 @@ double Flags::get_f64(const std::string& name) const {
 bool Flags::get_bool(const std::string& name) const {
   const auto v = get(name);
   return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<std::string> Flags::get_list(const std::string& name) const {
+  std::vector<std::string> out;
+  const std::string joined = get(name);
+  for (const std::string_view piece : split(joined, ',')) {
+    const std::string_view trimmed = trim(piece);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Flags::get_i64_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  for (const std::string& piece : get_list(name)) {
+    const auto parsed = parse_i64(piece);
+    assert(parsed && "list entry is not an integer");
+    out.push_back(*parsed);
+  }
+  return out;
+}
+
+std::vector<double> Flags::get_f64_list(const std::string& name) const {
+  std::vector<double> out;
+  for (const std::string& piece : get_list(name)) {
+    const auto parsed = parse_f64(piece);
+    assert(parsed && "list entry is not a number");
+    out.push_back(*parsed);
+  }
+  return out;
 }
 
 std::string Flags::usage(const std::string& program) const {

@@ -3,6 +3,12 @@
 // Supports `--name value`, `--name=value`, and boolean `--name`. Positional
 // arguments are collected in order. Unknown flags are an error so typos in
 // sweep scripts fail loudly.
+//
+// List-valued flags (define_list) accept comma-separated values and
+// *accumulate* across repeats — `--seed 1,2 --seed 3` reads back as
+// {1, 2, 3} — which is what sweep drivers want for worker endpoints and
+// seed lists. The get_*_list accessors also work on plain flags whose
+// value happens to be comma-separated (policy_explorer's `--bf 1,0.5`).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,9 @@ class Flags {
   void define(const std::string& name, const std::string& default_value,
               const std::string& help);
   void define_bool(const std::string& name, const std::string& help);
+  /// Comma-separated values that accumulate across repeats of the flag.
+  void define_list(const std::string& name, const std::string& default_value,
+                   const std::string& help);
 
   /// Parse argv (argv[0] skipped). Fails on unknown flags / missing values.
   [[nodiscard]] Status parse(int argc, const char* const* argv);
@@ -28,6 +37,12 @@ class Flags {
   [[nodiscard]] std::int64_t get_i64(const std::string& name) const;
   [[nodiscard]] double get_f64(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Comma-split of get(name), entries trimmed, empties dropped — so
+  /// `--workers a,b --workers c` and a trailing comma both behave.
+  [[nodiscard]] std::vector<std::string> get_list(const std::string& name) const;
+  [[nodiscard]] std::vector<std::int64_t> get_i64_list(const std::string& name) const;
+  [[nodiscard]] std::vector<double> get_f64_list(const std::string& name) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
@@ -40,6 +55,7 @@ class Flags {
     std::string default_value;
     std::string help;
     bool is_bool = false;
+    bool is_list = false;
   };
 
   std::map<std::string, Spec> specs_;

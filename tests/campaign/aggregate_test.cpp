@@ -1,0 +1,138 @@
+// Aggregation: the report joins results by cell id, never by arrival
+// order, so a distributed campaign's JSON is byte-equal to the local
+// reference run's — and inputs that do not belong to the spec (missing,
+// duplicated, unknown cells) fail loudly instead of producing a
+// plausible-looking wrong table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/driver.hpp"
+
+namespace amjs::campaign {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.machine = MachineSpec::flat(100);
+  for (const char* token : {"base", "bf0.5w4"}) {
+    auto policy = PolicySpec::parse(token);
+    EXPECT_TRUE(policy.ok());
+    spec.policies.push_back(std::move(policy).value());
+  }
+  WorkloadSpec workload;
+  workload.synthetic.horizon = hours(6);
+  workload.synthetic.base_rate_per_hour = 10.0;
+  workload.synthetic.sizes = {8, 16, 32};
+  workload.synthetic.size_weights = {0.5, 0.3, 0.2};
+  workload.label = "tiny";
+  spec.workloads.push_back(std::move(workload));
+  spec.seeds = {7, 11};
+  FaultProfileSpec faulty;
+  // High enough that failures actually fire on a 100-node, 6-hour
+  // workload (~6 expected), so the fault axis changes the schedule.
+  faulty.label = "fail:1e-2";
+  faulty.model.rate_per_node_hour = 1e-2;
+  spec.fault_profiles = {FaultProfileSpec{}, faulty};
+  return spec;
+}
+
+std::vector<CellResult> run_local(const CampaignSpec& spec) {
+  auto outcome = run_campaign(spec, CampaignConfig{});
+  EXPECT_TRUE(outcome.ok());
+  return std::move(outcome).value().cells;
+}
+
+std::string report_json(const CampaignSpec& spec,
+                        const std::vector<CellResult>& results) {
+  auto report = build_report(spec, results);
+  EXPECT_TRUE(report.ok()) << report.error().to_string();
+  std::ostringstream out;
+  write_campaign_json(out, report.value());
+  return out.str();
+}
+
+TEST(CampaignAggregate, ArrivalOrderNeverChangesTheReport) {
+  const CampaignSpec spec = small_spec();
+  const std::vector<CellResult> results = run_local(spec);
+  ASSERT_EQ(results.size(), 8u);  // 2 x 1 x 2 x 2
+  const std::string reference = report_json(spec, results);
+  EXPECT_FALSE(reference.empty());
+
+  std::vector<CellResult> reversed(results.rbegin(), results.rend());
+  EXPECT_EQ(report_json(spec, reversed), reference);
+
+  std::vector<CellResult> shuffled = results;
+  std::mt19937 rng(2012);
+  for (int round = 0; round < 5; ++round) {
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    EXPECT_EQ(report_json(spec, shuffled), reference);
+  }
+}
+
+TEST(CampaignAggregate, WallClockNeverReachesTheReport) {
+  const CampaignSpec spec = small_spec();
+  std::vector<CellResult> results = run_local(spec);
+  const std::string reference = report_json(spec, results);
+  for (CellResult& result : results) result.wall_ms += 123456;
+  EXPECT_EQ(report_json(spec, results), reference);
+  EXPECT_EQ(reference.find("wall"), std::string::npos);
+}
+
+TEST(CampaignAggregate, ReportRowsFollowCellIdOrderWithCampaignAxes) {
+  const CampaignSpec spec = small_spec();
+  auto report = build_report(spec, run_local(spec));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().cells.size(), 8u);
+  for (std::size_t i = 0; i < report.value().cells.size(); ++i) {
+    const CellReport& row = report.value().cells[i];
+    EXPECT_EQ(row.cell_id, i);
+    EXPECT_NE(row.result_crc32, 0u);
+    EXPECT_EQ(row.workload, "tiny");
+  }
+  EXPECT_EQ(report.value().cells[0].policy, spec.policies[0].display_name());
+  EXPECT_EQ(report.value().cells[0].fault, "none");
+  EXPECT_EQ(report.value().cells[1].fault, "fail:1e-2");
+  EXPECT_EQ(report.value().cells[0].seed, 7u);
+  EXPECT_EQ(report.value().cells[2].seed, 11u);
+  // Fault injection changes the schedule, and the CRC pins that.
+  EXPECT_NE(report.value().cells[0].result_crc32,
+            report.value().cells[1].result_crc32);
+  // The console table renders header + separator + one row per cell.
+  const std::string table = campaign_table(report.value()).to_string();
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 10);
+}
+
+TEST(CampaignAggregate, MissingDuplicateAndUnknownCellsAreErrors) {
+  const CampaignSpec spec = small_spec();
+  const std::vector<CellResult> results = run_local(spec);
+
+  std::vector<CellResult> missing(results.begin(), results.end() - 1);
+  EXPECT_FALSE(build_report(spec, missing).ok());
+
+  std::vector<CellResult> duplicated = results;
+  duplicated[1] = duplicated[0];  // two results for cell 0, none for cell 1
+  EXPECT_FALSE(build_report(spec, duplicated).ok());
+
+  std::vector<CellResult> unknown = results;
+  unknown.back().cell_id = 10'000;
+  EXPECT_FALSE(build_report(spec, unknown).ok());
+
+  EXPECT_FALSE(build_report(spec, {}).ok());
+}
+
+TEST(CampaignAggregate, JsonIsStableAcrossRuns) {
+  // Two independent end-to-end runs of the same spec: generation,
+  // simulation, aggregation, and serialization are all deterministic.
+  const CampaignSpec spec = small_spec();
+  EXPECT_EQ(report_json(spec, run_local(spec)),
+            report_json(spec, run_local(spec)));
+}
+
+}  // namespace
+}  // namespace amjs::campaign

@@ -1,0 +1,146 @@
+// Cell enumeration: the campaign cross product must expand to a
+// deterministic, self-contained cell list with the documented id formula
+//   ((p * W + w) * S + s) * F + f
+// — the contract both the driver's dispatch order and the aggregator's
+// join depend on — and reject malformed specs loudly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace amjs::campaign {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.machine = MachineSpec::flat(100);
+  for (const char* token : {"base", "bf0.5w4"}) {
+    auto policy = PolicySpec::parse(token);
+    EXPECT_TRUE(policy.ok());
+    spec.policies.push_back(std::move(policy).value());
+  }
+  WorkloadSpec workload;
+  workload.synthetic.horizon = hours(6);
+  workload.synthetic.base_rate_per_hour = 10.0;
+  workload.synthetic.sizes = {8, 16, 32};
+  workload.synthetic.size_weights = {0.5, 0.3, 0.2};
+  workload.label = "tiny";
+  spec.workloads.push_back(std::move(workload));
+  spec.seeds = {7, 11, 13};
+  return spec;
+}
+
+TEST(CampaignEnumerate, IdFormulaAndAxisOrder) {
+  CampaignSpec spec = small_spec();
+  FaultProfileSpec faulty;
+  faulty.label = "fail";
+  faulty.model.rate_per_node_hour = 1e-4;
+  spec.fault_profiles = {FaultProfileSpec{}, faulty};
+
+  auto cells = enumerate_cells(spec);
+  ASSERT_TRUE(cells.ok()) << cells.error().to_string();
+  // 2 policies x 1 workload x 3 seeds x 2 faults.
+  ASSERT_EQ(cells.value().size(), 12u);
+
+  const std::size_t W = 1, S = 3, F = 2;
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t w = 0; w < W; ++w) {
+      for (std::size_t s = 0; s < S; ++s) {
+        for (std::size_t f = 0; f < F; ++f) {
+          const std::size_t id = ((p * W + w) * S + s) * F + f;
+          const CellRequest& cell = cells.value()[id];
+          EXPECT_EQ(cell.cell_id, id);
+          EXPECT_EQ(cell.policy_token, spec.policies[p].token);
+          EXPECT_EQ(cell.policy_label, spec.policies[p].display_name());
+          EXPECT_EQ(cell.workload_label, "tiny");
+          EXPECT_EQ(cell.seed, spec.seeds[s]);
+          EXPECT_EQ(cell.fault_label, f == 0 ? "none" : "fail");
+          EXPECT_EQ(cell.failures.enabled(), f == 1);
+          // The seed axis lands in the generator config so the cell is
+          // self-contained.
+          EXPECT_EQ(cell.synthetic.seed, spec.seeds[s]);
+          EXPECT_EQ(cell.fairness_stride, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(CampaignEnumerate, TwoCallsProduceIdenticalCells) {
+  const CampaignSpec spec = small_spec();
+  auto a = enumerate_cells(spec);
+  auto b = enumerate_cells(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (std::size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].cell_id, b.value()[i].cell_id);
+    EXPECT_EQ(a.value()[i].policy_token, b.value()[i].policy_token);
+    EXPECT_EQ(a.value()[i].seed, b.value()[i].seed);
+    EXPECT_EQ(a.value()[i].synthetic.seed, b.value()[i].synthetic.seed);
+    EXPECT_EQ(a.value()[i].fault_label, b.value()[i].fault_label);
+  }
+}
+
+TEST(CampaignEnumerate, EmptyFaultAxisMeansOneImplicitNoFaultProfile) {
+  auto cells = enumerate_cells(small_spec());
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells.value().size(), 6u);  // 2 x 1 x 3 x (implicit 1)
+  for (const CellRequest& cell : cells.value()) {
+    EXPECT_EQ(cell.fault_label, "none");
+    EXPECT_FALSE(cell.failures.enabled());
+  }
+}
+
+TEST(CampaignEnumerate, EmptyAxesAreErrors) {
+  CampaignSpec no_policies = small_spec();
+  no_policies.policies.clear();
+  EXPECT_FALSE(enumerate_cells(no_policies).ok());
+
+  CampaignSpec no_workloads = small_spec();
+  no_workloads.workloads.clear();
+  EXPECT_FALSE(enumerate_cells(no_workloads).ok());
+
+  CampaignSpec no_seeds = small_spec();
+  no_seeds.seeds.clear();
+  EXPECT_FALSE(enumerate_cells(no_seeds).ok());
+}
+
+TEST(CampaignEnumerate, BadPolicyTokenFailsEnumeration) {
+  CampaignSpec spec = small_spec();
+  spec.policies.push_back(PolicySpec{"definitely-not-a-policy", ""});
+  EXPECT_FALSE(enumerate_cells(spec).ok());
+}
+
+TEST(CampaignPolicy, ParseAcceptsEveryDocumentedToken) {
+  for (const char* token : {"base", "fcfs", "bf0.5w4", "bf1w1", "bf-adaptive",
+                            "w-adaptive", "2d", "dynp", "relaxed", "lookahead"}) {
+    auto policy = PolicySpec::parse(token);
+    ASSERT_TRUE(policy.ok()) << token << ": " << policy.error().to_string();
+    EXPECT_FALSE(policy.value().display_name().empty());
+    EXPECT_NE(policy.value().make(), nullptr) << token;
+    EXPECT_NE(policy.value().factory()(), nullptr) << token;
+  }
+}
+
+TEST(CampaignPolicy, ParseCanonicalizesCaseAndWhitespace) {
+  auto upper = PolicySpec::parse("  BF0.5W4 ");
+  ASSERT_TRUE(upper.ok());
+  auto lower = PolicySpec::parse("bf0.5w4");
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(upper.value().token, lower.value().token);
+  EXPECT_EQ(upper.value().display_name(), lower.value().display_name());
+}
+
+TEST(CampaignPolicy, ParseRejectsMalformedTokens) {
+  for (const char* token :
+       {"", "bf", "bfw", "bf0.5", "w4", "bf1.5w4", "bf-0.1w4", "bf0.5w0",
+        "bf0.5w-1", "bfxw4", "bf0.5wy", "sjf"}) {
+    EXPECT_FALSE(PolicySpec::parse(token).ok()) << "accepted: " << token;
+  }
+}
+
+}  // namespace
+}  // namespace amjs::campaign

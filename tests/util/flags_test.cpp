@@ -85,6 +85,53 @@ TEST(FlagsTest, PositionalArgsCollected) {
   EXPECT_EQ(flags.positional()[1], "file2.swf");
 }
 
+TEST(FlagsTest, ListFlagSplitsOnCommas) {
+  Flags flags;
+  flags.define_list("workers", "", "worker endpoints");
+  const auto argv = argv_of({"--workers", "unix:/a.sock, tcp:h:1,"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  const auto workers = flags.get_list("workers");
+  ASSERT_EQ(workers.size(), 2u);  // trimmed, trailing empty dropped
+  EXPECT_EQ(workers[0], "unix:/a.sock");
+  EXPECT_EQ(workers[1], "tcp:h:1");
+}
+
+TEST(FlagsTest, ListFlagAccumulatesAcrossRepeats) {
+  Flags flags;
+  flags.define_list("seed", "", "workload seeds");
+  const auto argv = argv_of({"--seed", "1,2", "--seed=3"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  const auto seeds = flags.get_i64_list("seed");
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], 1);
+  EXPECT_EQ(seeds[1], 2);
+  EXPECT_EQ(seeds[2], 3);
+}
+
+TEST(FlagsTest, ListFlagDefaultAndEmpty) {
+  Flags flags;
+  flags.define_list("bf", "1.0,0.5", "balance factors");
+  flags.define_list("none", "", "empty default");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  const auto bf = flags.get_f64_list("bf");
+  ASSERT_EQ(bf.size(), 2u);
+  EXPECT_EQ(bf[0], 1.0);
+  EXPECT_EQ(bf[1], 0.5);
+  EXPECT_TRUE(flags.get_list("none").empty());
+}
+
+TEST(FlagsTest, NonListFlagLastValueWinsAndStillListReadable) {
+  Flags flags;
+  flags.define("bf", "1", "comma-separated balance factors");
+  const auto argv = argv_of({"--bf", "1,0.5", "--bf", "0.2,0.8"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).ok());
+  const auto bf = flags.get_f64_list("bf");
+  ASSERT_EQ(bf.size(), 2u);  // plain flag: repeats replace, not accumulate
+  EXPECT_EQ(bf[0], 0.2);
+  EXPECT_EQ(bf[1], 0.8);
+}
+
 TEST(FlagsTest, UsageListsFlags) {
   Flags flags;
   flags.define("alpha", "1", "the alpha knob");
