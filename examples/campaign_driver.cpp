@@ -17,10 +17,13 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "campaign/aggregate.hpp"
 #include "campaign/driver.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
+#include "twinsvc/stats.hpp"
 #include "util/flags.hpp"
 #include "util/fmt.hpp"
 #include "util/strings.hpp"
@@ -66,6 +69,15 @@ int main(int argc, const char** argv) {
   flags.define("result-json", "",
                "write the deterministic campaign report here (byte-identical "
                "for identical campaigns, local or distributed)");
+  flags.define("trace-run-id", "1",
+               "trace-context run id stamped into every dispatched cell "
+               "(joins driver and worker traces in trace_merge)");
+  flags.define("fleet-stats", "",
+               "poll workers' registries over kStatsRequest and write the "
+               "folded fleet.<endpoint>.* stats JSON here");
+  flags.define("fleet-stats-interval-ms", "1000",
+               "fleet poll cadence while the campaign runs (<= 0 polls only "
+               "once at the end)");
   flags.define_bool("list-cells", "print the cell enumeration and exit");
   obs::add_flags(flags);
   if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
@@ -139,6 +151,8 @@ int main(int argc, const char** argv) {
   config.cell_timeout_ms = static_cast<int>(flags.get_i64("cell-timeout-ms"));
   config.max_remote_attempts = static_cast<int>(flags.get_i64("max-attempts"));
   config.backoff_base_ms = static_cast<int>(flags.get_i64("backoff-ms"));
+  config.trace_sink = obs_session.sink();
+  config.trace_run_id = static_cast<std::uint64_t>(flags.get_i64("trace-run-id"));
 
   std::printf("campaign: %zu cells (%zu policies x %zu workloads x %zu seeds "
               "x %zu faults) over %zu workers\n",
@@ -147,8 +161,35 @@ int main(int argc, const char** argv) {
               spec.fault_profiles.empty() ? 1 : spec.fault_profiles.size(),
               config.workers.size());
 
+  // Fleet telemetry: poll every worker's registry while the campaign runs
+  // and once more after it, folding per-endpoint counters into this
+  // process's registry as fleet.<endpoint>.* (the folds need the registry
+  // armed even when --obs-stats was not given).
+  const std::string fleet_stats_path = flags.get("fleet-stats");
+  std::unique_ptr<twinsvc::FleetMonitor> fleet;
+  if (!fleet_stats_path.empty() && !config.workers.empty()) {
+    obs::Registry::set_enabled(true);
+    twinsvc::FleetMonitorConfig fleet_config;
+    fleet_config.interval_ms =
+        static_cast<int>(flags.get_i64("fleet-stats-interval-ms"));
+    fleet = std::make_unique<twinsvc::FleetMonitor>(config.workers,
+                                                    fleet_config);
+    fleet->start();
+  }
+
   const campaign::CampaignOutcome outcome =
       campaign::run_cells(cells.value(), config);
+
+  if (fleet != nullptr) {
+    (void)fleet->final_poll();
+    std::ofstream out(fleet_stats_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", fleet_stats_path.c_str());
+      return 1;
+    }
+    obs::write_stats_json(out,
+                          obs::Registry::global().snapshot_prefixed("fleet."));
+  }
   auto report = campaign::build_report(spec, outcome.cells);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.error().to_string().c_str());

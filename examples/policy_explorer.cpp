@@ -21,6 +21,7 @@
 #include "core/what_if.hpp"
 #include "metrics/fairness.hpp"
 #include "metrics/report.hpp"
+#include "obs/registry.hpp"
 #include "obs/session.hpp"
 #include "platform/flat.hpp"
 #include "platform/machine_spec.hpp"
@@ -29,6 +30,7 @@
 #include "sim/simulator.hpp"
 #include "snapshot_io/checkpoint.hpp"
 #include "twinsvc/client.hpp"
+#include "twinsvc/stats.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -61,6 +63,12 @@ int main(int argc, const char** argv) {
                "tcp:host:port); what-if consults run remotely, degrading to "
                "the in-process engine when no worker answers");
   flags.define("twin-timeout-ms", "60000", "per-attempt remote consult deadline");
+  flags.define("trace-run-id", "1",
+               "trace-context run id stamped into every remote consult "
+               "(joins this trace with the workers' in trace_merge)");
+  flags.define("fleet-stats", "",
+               "poll --twin-remote workers' registries and write the folded "
+               "fleet.<endpoint>.* stats JSON here after the run");
   flags.define("result-json", "",
                "write the traced run's deterministic SimResult JSON here "
                "(what-if mode: the twin-tuner run; sweep mode: grid cell 0)");
@@ -116,6 +124,7 @@ int main(int argc, const char** argv) {
   // --what-if: head-to-head of the digital-twin tuner against the paper's
   // reactive schemes on this workload, with the twin's overhead reported.
   if (flags.get_bool("what-if")) {
+    std::unique_ptr<twinsvc::FleetMonitor> fleet;
     std::vector<BalancerSpec> specs = {
         BalancerSpec::bf_adaptive(),
         BalancerSpec::two_d(),
@@ -138,8 +147,17 @@ int main(int argc, const char** argv) {
       remote_config.twin.horizon = specs.back().wi_horizon;
       remote_config.request_timeout_ms =
           static_cast<int>(flags.get_i64("twin-timeout-ms"));
+      remote_config.trace_run_id =
+          static_cast<std::uint64_t>(flags.get_i64("trace-run-id"));
       specs.back().wi_backend = std::make_shared<twinsvc::RemoteTwinEngine>(
           machine_spec, remote_config);
+      // Fleet telemetry over the same endpoints (the folds need the
+      // registry armed even without --obs-stats).
+      if (const std::string path = flags.get("fleet-stats"); !path.empty()) {
+        obs::Registry::set_enabled(true);
+        fleet = std::make_unique<twinsvc::FleetMonitor>(remote_config.workers);
+        fleet->start();
+      }
     }
     CsvWriter csv(std::cout);
     csv.write_row({"policy", "avg_wait_min", "utilization", "loss_of_capacity",
@@ -189,6 +207,17 @@ int main(int argc, const char** argv) {
                      s.evaluations, s.forks, s.adoptions, s.twin_wall_ms,
                      s.wall_ms_per_fork());
       }
+    }
+    if (fleet != nullptr) {
+      (void)fleet->final_poll();
+      const std::string path = flags.get("fleet-stats");
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      obs::write_stats_json(
+          out, obs::Registry::global().snapshot_prefixed("fleet."));
     }
     return 0;
   }

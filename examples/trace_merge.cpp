@@ -1,0 +1,108 @@
+// trace_merge: join per-process JSONL traces from one distributed run
+// into a single timeline (DESIGN.md "Distributed observability").
+//
+// Feed it the driver's trace plus every worker's trace (any order); it
+// joins driver-side dispatch spans to worker-side execution spans on the
+// trace context the driver stamped into each frame, normalizes the
+// workers' wall clocks onto the driver's epoch, and writes:
+//
+//   --out <file>           Chrome trace_event JSON (open in Perfetto /
+//                          chrome://tracing): one lane per process, flow
+//                          arrows from each dispatch to the worker span
+//                          that served it.
+//   --merged-jsonl <file>  canonical joined record, wall-stripped and
+//                          deterministic — byte-identical across two
+//                          identical runs.
+//   --json                 fixed-key-order summary on stdout: per-process
+//                          counts, joined / unserved / orphaned totals;
+//                          with --wall also the per-request wire / queue /
+//                          exec breakdown (p50/p95) and clock skew.
+//
+//   $ ./trace_merge driver.jsonl w1.jsonl w2.jsonl --out merged.json --json
+//
+// Exit status: 0 on a clean merge, 1 on malformed input or usage errors.
+// "Orphaned worker spans" (a worker span whose dispatch span is in no
+// input file) mean the merge input is incomplete — CI asserts the summary
+// reports zero.
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+
+#include "analysis/merge.hpp"
+#include "util/flags.hpp"
+
+using namespace amjs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_merge <driver.jsonl> <worker.jsonl>... "
+               "[--out file] [--merged-jsonl file] [--json] [--wall]\n");
+  return 1;
+}
+
+bool write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path, std::ios::binary);
+  if (out) writer(out);
+  if (!out) {
+    std::fprintf(stderr, "trace_merge: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  Flags flags;
+  flags.define("out", "", "write the merged Perfetto timeline here");
+  flags.define("merged-jsonl", "",
+               "write the canonical (deterministic) joined JSONL here");
+  flags.define_bool("json", "print the merge summary JSON on stdout");
+  flags.define_bool("wall",
+                    "include wall-clock latency breakdown and skew in the "
+                    "summary (nondeterministic across runs)");
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
+    return usage();
+  }
+  const auto& inputs = flags.positional();
+  if (inputs.empty()) return usage();
+
+  auto merged = analysis::merge_trace_files(inputs);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "trace_merge: %s\n",
+                 merged.error().to_string().c_str());
+    return 1;
+  }
+
+  const std::string out_path = flags.get("out");
+  if (!out_path.empty()) {
+    if (!write_file(out_path, [&](std::ostream& out) {
+          analysis::write_merged_chrome(out, merged.value());
+        })) {
+      return 1;
+    }
+  }
+  const std::string jsonl_path = flags.get("merged-jsonl");
+  if (!jsonl_path.empty()) {
+    if (!write_file(jsonl_path, [&](std::ostream& out) {
+          analysis::write_merged_jsonl(out, merged.value());
+        })) {
+      return 1;
+    }
+  }
+  if (flags.get_bool("json")) {
+    analysis::write_merge_summary_json(std::cout, merged.value(),
+                                       flags.get_bool("wall"));
+  } else if (out_path.empty() && jsonl_path.empty()) {
+    // No sink requested: default to the summary so the tool always says
+    // something useful.
+    analysis::write_merge_summary_json(std::cout, merged.value(),
+                                       flags.get_bool("wall"));
+  }
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include "twinsvc/client.hpp"
 #include "twinsvc/worker.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 #include "workload/trace.hpp"
 
 using namespace amjs;
@@ -195,14 +196,22 @@ int main(int argc, const char** argv) {
   config.faults.fail_after = flags.get_i64("fail-after");
   config.faults.stall_ms = flags.get_i64("stall-ms");
   config.faults.garbage = flags.get_bool("garbage");
+  // Worker-side trace events (serve_eval / serve_cell spans carrying the
+  // driver's trace context) land in the same --trace/--trace-stream sinks
+  // the other binaries use.
+  config.trace_sink = obs_session.sink();
   // Campaign cells share the listener, connection loop, and the fault
   // schedule above with twin eval requests.
   campaign::CampaignCellHandler campaign_handler;
+  campaign_handler.set_trace_sink(obs_session.sink());
   config.extension = &campaign_handler;
 
   twinsvc::TwinWorker worker(std::move(listener).value(), config);
-  std::fprintf(stderr, "twin_worker: serving %s\n",
-               worker.endpoint().to_string().c_str());
+  // Every log line from this process names the endpoint it serves, so a
+  // fleet's interleaved stderr streams stay attributable — and --log-level
+  // governs worker chatter exactly as it does driver chatter.
+  log::set_tag(worker.endpoint().to_string());
+  log::info("twin_worker: serving {}", worker.endpoint().to_string());
   if (const std::string ready = flags.get("ready-file"); !ready.empty()) {
     std::ofstream out(ready);
     out << worker.endpoint().to_string() << "\n";
@@ -214,10 +223,8 @@ int main(int argc, const char** argv) {
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::fprintf(stderr,
-               "twin_worker: stopping (%llu consults, %llu campaign cells)\n",
-               static_cast<unsigned long long>(worker.requests_served()),
-               static_cast<unsigned long long>(campaign_handler.cells_served()));
+  log::info("twin_worker: stopping ({} consults, {} campaign cells)",
+            worker.requests_served(), campaign_handler.cells_served());
   worker.stop();
   return 0;
 }

@@ -1,0 +1,414 @@
+#include "analysis/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <span>
+#include <tuple>
+#include <utility>
+
+#include "obs/jsonl_reader.hpp"
+#include "util/fmt.hpp"
+#include "util/stats.hpp"
+
+namespace amjs::analysis {
+namespace {
+
+/// Join key of one dispatch attempt. Both sides derive it from the same
+/// wire-carried context, so equality means "this worker span executed
+/// inside that driver span".
+using JoinKey = std::tuple<obs::TraceCategory, std::uint64_t, std::uint64_t,
+                           std::uint32_t>;
+
+JoinKey key_of(obs::TraceCategory category, const obs::TraceContext& ctx) {
+  return {category, ctx.run_id, ctx.request_id, ctx.ordinal};
+}
+
+bool has_arg(const std::vector<obs::TraceArg>& args, std::string_view key) {
+  for (const auto& a : args) {
+    if (a.key == key) return true;
+  }
+  return false;
+}
+
+/// Canonical arg subset for the deterministic merged JSONL: the context
+/// ids plus the per-request payload args, in fixed order. Everything
+/// nondeterministic across identical runs — worker endpoint strings,
+/// wall-derived queue_ms, error text — is dropped.
+std::vector<obs::TraceArg> canonical_args(const obs::TraceEvent& event) {
+  constexpr std::string_view kKeep[] = {
+      obs::kArgTraceRun, obs::kArgTraceReq,  obs::kArgTraceParent,
+      obs::kArgTraceOrdinal, obs::kArgTraceSpan, "cell", "candidates", "ok",
+  };
+  std::vector<obs::TraceArg> out;
+  out.reserve(std::size(kKeep));
+  for (const std::string_view key : kKeep) {
+    for (const auto& a : event.args) {
+      if (a.key == key) {
+        out.push_back(a);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// The event reduced to its deterministic core: canonical args, wall
+/// fields zeroed (is_span() stays true so the line keeps ph "X").
+obs::TraceEvent canonical_event(const obs::TraceEvent& event) {
+  obs::TraceEvent e;
+  e.sim_time = event.sim_time;
+  e.category = event.category;
+  e.name = event.name;
+  e.args = canonical_args(event);
+  e.wall_start_ms = 0.0;
+  e.wall_ms = 0.0;
+  return e;
+}
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_fixed(std::ostream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out << buf;
+}
+
+void write_percentiles(std::ostream& out, std::vector<double>& sample) {
+  std::sort(sample.begin(), sample.end());
+  out << "{\"p50\": ";
+  write_fixed(out, quantile(sample, 0.5));
+  out << ", \"p95\": ";
+  write_fixed(out, quantile(sample, 0.95));
+  out << "}";
+}
+
+/// Chrome arg object for the timeline export (full args, no stripping —
+/// the timeline is a debugging view, not a deterministic artifact).
+void write_chrome_args(std::ostream& out,
+                       const std::vector<obs::TraceArg>& args) {
+  out << '{';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ", ";
+    write_json_string(out, args[i].key);
+    out << ": ";
+    if (const auto* v = std::get_if<std::int64_t>(&args[i].value)) {
+      out << *v;
+    } else if (const auto* d = std::get_if<double>(&args[i].value)) {
+      write_fixed(out, *d);
+    } else {
+      write_json_string(out, std::get<std::string>(args[i].value));
+    }
+  }
+  out << '}';
+}
+
+void write_chrome_span(std::ostream& out, const obs::TraceEvent& event,
+                       std::size_t pid, double ts_us, bool& first) {
+  out << (first ? "" : ",\n") << "  {\"name\": ";
+  first = false;
+  write_json_string(out, event.name);
+  out << ", \"cat\": \"" << obs::to_string(event.category)
+      << "\", \"ph\": \"X\", \"ts\": ";
+  write_fixed(out, ts_us);
+  out << ", \"dur\": ";
+  write_fixed(out, std::max(1.0, event.wall_ms * 1000.0));
+  out << ", \"pid\": " << pid << ", \"tid\": "
+      << static_cast<int>(event.category) + 1 << ", \"args\": ";
+  write_chrome_args(out, event.args);
+  out << "}";
+}
+
+}  // namespace
+
+Result<MergeResult> merge_traces(std::vector<ProcessTrace> traces) {
+  MergeResult merged;
+  merged.processes = std::move(traces);
+  merged.skew_offset_ms.assign(merged.processes.size(), 0.0);
+
+  // Pass 1: index every driver dispatch span ("rpc", carries trace_span)
+  // by its join key.
+  std::map<JoinKey, MergedPair> pairs;
+  for (std::size_t p = 0; p < merged.processes.size(); ++p) {
+    for (const obs::TraceEvent& event : merged.processes[p].events) {
+      if (!event.is_span()) continue;
+      const auto ctx = obs::context_from_args(event.args);
+      if (!ctx.has_value() || !has_arg(event.args, obs::kArgTraceSpan)) {
+        continue;
+      }
+      const JoinKey key = key_of(event.category, *ctx);
+      if (auto [it, inserted] = pairs.try_emplace(key); inserted) {
+        it->second.category = event.category;
+        it->second.context = *ctx;
+        it->second.driver_process = p;
+        it->second.driver_span = event;
+      } else {
+        return Error{format(
+            "duplicate dispatch span (run {} request {} ordinal {}) in '{}' "
+            "and '{}'",
+            ctx->run_id, ctx->request_id, ctx->ordinal,
+            merged.processes[it->second.driver_process].label,
+            merged.processes[p].label)};
+      }
+    }
+  }
+
+  // Pass 2: attach worker spans (context-stamped, no trace_span arg) to
+  // their dispatch span; leftovers are orphans.
+  for (std::size_t p = 0; p < merged.processes.size(); ++p) {
+    for (const obs::TraceEvent& event : merged.processes[p].events) {
+      if (!event.is_span()) continue;
+      const auto ctx = obs::context_from_args(event.args);
+      if (!ctx.has_value() || has_arg(event.args, obs::kArgTraceSpan)) {
+        continue;
+      }
+      const auto it = pairs.find(key_of(event.category, *ctx));
+      if (it == pairs.end() || it->second.joined) {
+        merged.orphans.push_back(OrphanSpan{p, event});
+        continue;
+      }
+      it->second.joined = true;
+      it->second.worker_process = p;
+      it->second.worker_span = event;
+    }
+  }
+
+  // Clock normalization: per worker process, the median over its joined
+  // pairs of (driver span midpoint − worker span midpoint). The median is
+  // robust to the odd dispatch whose retry/backoff stretched the driver
+  // side; with symmetric wire cost the midpoints coincide.
+  std::vector<std::vector<double>> offsets(merged.processes.size());
+  for (auto& [key, pair] : pairs) {
+    if (!pair.joined) continue;
+    const double driver_mid =
+        pair.driver_span.wall_start_ms + pair.driver_span.wall_ms / 2.0;
+    const double worker_mid =
+        pair.worker_span.wall_start_ms + pair.worker_span.wall_ms / 2.0;
+    offsets[pair.worker_process].push_back(driver_mid - worker_mid);
+  }
+  for (std::size_t p = 0; p < offsets.size(); ++p) {
+    if (offsets[p].empty()) continue;
+    std::sort(offsets[p].begin(), offsets[p].end());
+    merged.skew_offset_ms[p] = median(offsets[p]);
+  }
+
+  merged.pairs.reserve(pairs.size());
+  for (auto& [key, pair] : pairs) {
+    if (pair.joined) {
+      pair.driver_ms = pair.driver_span.wall_ms;
+      pair.exec_ms = pair.worker_span.wall_ms;
+      pair.queue_ms =
+          obs::number_arg(pair.worker_span.args, "queue_ms").value_or(0.0);
+      pair.wire_ms =
+          std::max(0.0, pair.driver_ms - pair.exec_ms - pair.queue_ms);
+      ++merged.joined;
+    } else {
+      ++merged.unserved_dispatches;
+    }
+    merged.pairs.push_back(std::move(pair));
+  }
+  std::sort(merged.orphans.begin(), merged.orphans.end(),
+            [](const OrphanSpan& a, const OrphanSpan& b) {
+              const auto ca = obs::context_from_args(a.span.args);
+              const auto cb = obs::context_from_args(b.span.args);
+              return key_of(a.span.category, *ca) <
+                     key_of(b.span.category, *cb);
+            });
+  return merged;
+}
+
+Result<MergeResult> merge_trace_files(const std::vector<std::string>& paths) {
+  std::vector<ProcessTrace> traces;
+  traces.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto events = obs::read_events_jsonl_file(path);
+    if (!events) return events.error();
+    const std::size_t slash = path.find_last_of('/');
+    ProcessTrace trace;
+    trace.label = slash == std::string::npos ? path : path.substr(slash + 1);
+    trace.events = std::move(events).value();
+    traces.push_back(std::move(trace));
+  }
+  return merge_traces(std::move(traces));
+}
+
+void write_merged_jsonl(std::ostream& out, const MergeResult& merged) {
+  for (const MergedPair& pair : merged.pairs) {
+    obs::write_event_jsonl(out, canonical_event(pair.driver_span),
+                           /*include_wall=*/false);
+    if (pair.joined) {
+      obs::write_event_jsonl(out, canonical_event(pair.worker_span),
+                             /*include_wall=*/false);
+    }
+  }
+  for (const OrphanSpan& orphan : merged.orphans) {
+    obs::write_event_jsonl(out, canonical_event(orphan.span),
+                           /*include_wall=*/false);
+  }
+}
+
+void write_merge_summary_json(std::ostream& out, const MergeResult& merged,
+                              bool include_wall) {
+  // Default form carries only run-level invariants: which worker served
+  // which request races across identical runs, so per-process counts are
+  // nondeterministic and live behind include_wall with the other
+  // wall-derived diagnostics.
+  out << "{\"processes\": " << merged.processes.size()
+      << ", \"dispatches\": " << merged.pairs.size()
+      << ", \"joined\": " << merged.joined
+      << ", \"unserved_dispatches\": " << merged.unserved_dispatches
+      << ", \"orphaned_worker_spans\": " << merged.orphans.size();
+  if (include_wall) {
+    out << ", \"process_detail\": [";
+    for (std::size_t p = 0; p < merged.processes.size(); ++p) {
+      std::size_t dispatch_spans = 0;
+      std::size_t worker_spans = 0;
+      for (const MergedPair& pair : merged.pairs) {
+        if (pair.driver_process == p) ++dispatch_spans;
+        if (pair.joined && pair.worker_process == p) ++worker_spans;
+      }
+      for (const OrphanSpan& orphan : merged.orphans) {
+        if (orphan.process == p) ++worker_spans;
+      }
+      if (p > 0) out << ", ";
+      out << "{\"label\": ";
+      write_json_string(out, merged.processes[p].label);
+      out << ", \"events\": " << merged.processes[p].events.size()
+          << ", \"dispatch_spans\": " << dispatch_spans
+          << ", \"worker_spans\": " << worker_spans << ", \"skew_offset_ms\": ";
+      write_fixed(out, merged.skew_offset_ms[p]);
+      out << "}";
+    }
+    out << "]";
+  }
+  if (include_wall && merged.joined > 0) {
+    std::vector<double> driver, queue, exec, wire;
+    for (const MergedPair& pair : merged.pairs) {
+      if (!pair.joined) continue;
+      driver.push_back(pair.driver_ms);
+      queue.push_back(pair.queue_ms);
+      exec.push_back(pair.exec_ms);
+      wire.push_back(pair.wire_ms);
+    }
+    out << ", \"breakdown_ms\": {\"driver\": ";
+    write_percentiles(out, driver);
+    out << ", \"queue\": ";
+    write_percentiles(out, queue);
+    out << ", \"exec\": ";
+    write_percentiles(out, exec);
+    out << ", \"wire\": ";
+    write_percentiles(out, wire);
+    out << "}";
+  }
+  out << "}\n";
+}
+
+void write_merged_chrome(std::ostream& out, const MergeResult& merged) {
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t p = 0; p < merged.processes.size(); ++p) {
+    out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << p + 1
+        << ", \"tid\": 0, \"args\": {\"name\": ";
+    write_json_string(out, merged.processes[p].label);
+    out << "}},\n";
+  }
+
+  // Span index of every (process, event) the join already owns, so the
+  // generic sweep below does not emit them twice.
+  std::vector<std::vector<const obs::TraceEvent*>> owned(
+      merged.processes.size());
+  for (const MergedPair& pair : merged.pairs) {
+    owned[pair.driver_process].push_back(&pair.driver_span);
+    if (pair.joined) owned[pair.worker_process].push_back(&pair.worker_span);
+  }
+  for (const OrphanSpan& orphan : merged.orphans) {
+    owned[orphan.process].push_back(&orphan.span);
+  }
+  const auto is_owned = [&](std::size_t p, const obs::TraceEvent& event) {
+    for (const obs::TraceEvent* e : owned[p]) {
+      // The join stored copies; identify by value-defining fields.
+      if (e->name == event.name && e->category == event.category &&
+          e->wall_start_ms == event.wall_start_ms &&
+          e->wall_ms == event.wall_ms) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool first = true;
+  // Joined pairs: driver span, worker span normalized onto the driver's
+  // clock and clamped inside its dispatch span, and a flow arrow tying
+  // the two across pid lanes.
+  std::size_t flow_id = 0;
+  for (const MergedPair& pair : merged.pairs) {
+    ++flow_id;
+    const double driver_ts = pair.driver_span.wall_start_ms * 1000.0;
+    write_chrome_span(out, pair.driver_span, pair.driver_process + 1,
+                      driver_ts, first);
+    if (!pair.joined) continue;
+    const double driver_end =
+        driver_ts + std::max(1.0, pair.driver_span.wall_ms * 1000.0);
+    double worker_ts = (pair.worker_span.wall_start_ms +
+                        merged.skew_offset_ms[pair.worker_process]) *
+                       1000.0;
+    const double worker_dur = std::max(1.0, pair.worker_span.wall_ms * 1000.0);
+    // Clamp: skew estimation is statistical; never let the child span
+    // render outside its parent.
+    worker_ts = std::min(worker_ts, driver_end - worker_dur);
+    worker_ts = std::max(worker_ts, driver_ts);
+    write_chrome_span(out, pair.worker_span, pair.worker_process + 1,
+                      worker_ts, first);
+    out << ",\n  {\"name\": \"dispatch\", \"cat\": \"flow\", \"ph\": \"s\", "
+           "\"id\": "
+        << flow_id << ", \"ts\": ";
+    write_fixed(out, driver_ts);
+    out << ", \"pid\": " << pair.driver_process + 1
+        << ", \"tid\": " << static_cast<int>(pair.category) + 1 << "},\n";
+    out << "  {\"name\": \"dispatch\", \"cat\": \"flow\", \"ph\": \"f\", "
+           "\"bp\": \"e\", \"id\": "
+        << flow_id << ", \"ts\": ";
+    write_fixed(out, worker_ts);
+    out << ", \"pid\": " << pair.worker_process + 1
+        << ", \"tid\": " << static_cast<int>(pair.category) + 1 << "}";
+  }
+  // Orphans and every other wall-stamped span, on their process lane with
+  // the process's skew offset applied.
+  for (const OrphanSpan& orphan : merged.orphans) {
+    const double ts = (orphan.span.wall_start_ms +
+                       merged.skew_offset_ms[orphan.process]) *
+                      1000.0;
+    write_chrome_span(out, orphan.span, orphan.process + 1, ts, first);
+  }
+  for (std::size_t p = 0; p < merged.processes.size(); ++p) {
+    for (const obs::TraceEvent& event : merged.processes[p].events) {
+      if (!event.is_span() || is_owned(p, event)) continue;
+      const double ts =
+          (event.wall_start_ms + merged.skew_offset_ms[p]) * 1000.0;
+      write_chrome_span(out, event, p + 1, ts, first);
+    }
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace amjs::analysis

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "metrics/fairness.hpp"
+#include "obs/context.hpp"
 #include "platform/machine_spec.hpp"
 #include "sim/failures.hpp"
 #include "sim/result.hpp"
@@ -101,6 +102,10 @@ struct CampaignSpec {
 /// a retry is always safe.
 struct CellRequest {
   std::uint64_t cell_id = 0;
+
+  /// Trace context of this dispatch attempt (empty when tracing is off);
+  /// the driver re-stamps it per attempt via patch_trace_context.
+  obs::TraceContext context;
 
   std::string policy_token;
   std::string policy_label;

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "campaign/frame.hpp"
+#include "obs/context.hpp"
 #include "obs/registry.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
@@ -145,9 +146,10 @@ void dispatch_loop(CampaignState& state, const std::vector<CellRequest>& cells,
     const auto claimed = state.pop();
     if (!claimed.has_value()) return;
     const std::size_t index = *claimed;
+    int ordinal = 0;
     {
       const std::lock_guard<std::mutex> lock(state.mutex);
-      ++state.attempts[index];
+      ordinal = ++state.attempts[index];
     }
     count("campaign.dispatches");
     if (config.trace_sink != nullptr) {
@@ -157,13 +159,43 @@ void dispatch_loop(CampaignState& state, const std::vector<CellRequest>& cells,
            obs::arg("worker", worker.to_string())});
     }
 
+    // Per-attempt trace context, stamped into a private copy of the sealed
+    // frame (`encoded` is shared across dispatcher threads).
+    obs::TraceContext ctx;
+    ctx.run_id = config.trace_run_id;
+    ctx.request_id = cells[index].cell_id;
+    ctx.ordinal = static_cast<std::uint32_t>(ordinal);
+    ctx.parent_span = obs::dispatch_span_id(cells[index].cell_id, ctx.ordinal);
+    std::string frame_bytes = encoded[index];
+    if (Status patched = twinsvc::patch_trace_context(frame_bytes, ctx);
+        !patched.ok()) {
+      log::warn("campaign: trace-context patch failed: {}",
+                patched.error().to_string());
+    }
+
+    const double rpc_start_wall = config.trace_sink != nullptr
+                                      ? config.trace_sink->now_wall_ms()
+                                      : 0.0;
     const auto rpc_start = Clock::now();
     Result<CellResult> outcome =
-        attempt_cell(socket, worker, encoded[index], cells[index].cell_id,
+        attempt_cell(socket, worker, frame_bytes, cells[index].cell_id,
                      config.cell_timeout_ms);
-    record_ms("campaign.rpc",
-              std::chrono::duration<double, std::milli>(Clock::now() - rpc_start)
-                  .count());
+    const double rpc_ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - rpc_start)
+                              .count();
+    record_ms("campaign.rpc", rpc_ms);
+    if (config.trace_sink != nullptr) {
+      // The dispatch span the worker's serve_cell span parents under: one
+      // per attempt, success or not, so unanswered dispatches stay visible
+      // in the merged timeline.
+      std::vector<obs::TraceArg> args;
+      obs::append_context_args(args, ctx);
+      args.push_back(obs::arg(std::string(obs::kArgTraceSpan), ctx.parent_span));
+      args.push_back(obs::arg("worker", worker.to_string()));
+      args.push_back(obs::arg("ok", outcome.ok() ? 1 : 0));
+      config.trace_sink->record_span(obs::TraceCategory::kCampaign, "rpc", 0,
+                                     rpc_start_wall, rpc_ms, std::move(args));
+    }
     if (outcome.ok()) {
       consecutive_failures = 0;
       if (state.insert(index, std::move(outcome).value(), /*remote=*/true)) {

@@ -21,7 +21,9 @@
 //            .retired_workers / .exhausted_cells
 //   timers   campaign.run (whole campaign), campaign.rpc (per dispatch)
 //   trace    kCampaign "dispatch" / "cell_result" / "requeue" /
-//            "local_cell" events via CampaignConfig::trace_sink.
+//            "local_cell" events via CampaignConfig::trace_sink, plus one
+//            "rpc" span per dispatch attempt carrying the attempt's trace
+//            context (DESIGN.md "Distributed observability").
 #pragma once
 
 #include <cstddef>
@@ -61,6 +63,11 @@ struct CampaignConfig {
 
   /// Structured kCampaign events land here (borrowed; null = off).
   obs::TraceSink* trace_sink = nullptr;
+
+  /// Trace-context run id stamped into every dispatched cell frame (0 =
+  /// not tracing distributedly); worker-side serve_cell spans carry it
+  /// back so trace_merge joins only this run's spans.
+  std::uint64_t trace_run_id = 0;
 };
 
 struct CampaignOutcome {

@@ -144,6 +144,9 @@ Result<FailureModel> read_failure_model(ByteReader& r) {
 std::string encode_run_cell(const CellRequest& cell) {
   ByteWriter w;
   w.u64(cell.cell_id);
+  // Fixed-size context block at payload offset 8 — patchable in place per
+  // dispatch attempt (twinsvc::patch_trace_context), like kEvalRequest.
+  twinsvc::write_trace_context(w, cell.context);
   w.str(cell.policy_token);
   w.str(cell.policy_label);
   w.str(cell.workload_label);
@@ -169,6 +172,9 @@ Result<CellRequest> decode_run_cell(std::string_view payload) {
   auto cell_id = r.u64();
   if (!cell_id) return cell_id.error();
   cell.cell_id = cell_id.value();
+  auto context = twinsvc::read_trace_context(r);
+  if (!context) return context.error();
+  cell.context = context.value();
   auto policy_token = r.str();
   if (!policy_token) return policy_token.error();
   cell.policy_token = std::move(policy_token).value();

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "campaign/frame.hpp"
+#include "obs/context.hpp"
 #include "obs/registry.hpp"
 #include "util/log.hpp"
 
@@ -13,6 +14,7 @@ bool CampaignCellHandler::handle(twinsvc::Socket& socket,
                                  const twinsvc::Frame& frame,
                                  const twinsvc::FaultDecision& faults,
                                  int io_timeout_ms) {
+  const auto received = std::chrono::steady_clock::now();
   auto cell = decode_run_cell(frame.payload);
   if (!cell) {
     (void)twinsvc::send_frame(
@@ -36,12 +38,33 @@ bool CampaignCellHandler::handle(twinsvc::Socket& socket,
     return false;
   }
 
+  // Queue time: everything between frame receipt and execution start
+  // (decode + injected stall). The merge tool subtracts it, plus the
+  // execution span, from the driver's round trip to estimate wire cost.
+  const auto exec_start = std::chrono::steady_clock::now();
+  const double queue_ms =
+      std::chrono::duration<double, std::milli>(exec_start - received).count();
+  const double span_start_wall = sink_ != nullptr ? sink_->now_wall_ms() : 0.0;
+
   CellResult result;
   if (obs::Registry::enabled()) {
     obs::ScopedTimer scoped(obs::Registry::global().timer("campaign.worker.cell"));
     result = run_cell(cell.value());
   } else {
     result = run_cell(cell.value());
+  }
+
+  if (sink_ != nullptr) {
+    const double span_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - exec_start)
+                               .count();
+    std::vector<obs::TraceArg> args;
+    obs::append_context_args(args, cell.value().context);
+    args.push_back(obs::arg("queue_ms", queue_ms));
+    args.push_back(obs::arg("cell", cell.value().cell_id));
+    sink_->record_span(obs::TraceCategory::kCampaign, "serve_cell",
+                       /*sim_time=*/0, span_start_wall, span_ms,
+                       std::move(args));
   }
 
   std::string reply = encode_cell_result(result);

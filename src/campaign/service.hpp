@@ -16,12 +16,18 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "twinsvc/worker.hpp"
 
 namespace amjs::campaign {
 
 class CampaignCellHandler final : public twinsvc::RequestHandler {
  public:
+  /// Structured kCampaign "serve_cell" spans land here (borrowed; null =
+  /// off). Each span carries the dispatching driver's trace context, so
+  /// trace_merge can parent it under the driver's "rpc" span.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   [[nodiscard]] bool handles(twinsvc::FrameType type) const override {
     return type == twinsvc::FrameType::kRunCell;
   }
@@ -38,6 +44,7 @@ class CampaignCellHandler final : public twinsvc::RequestHandler {
 
  private:
   std::atomic<std::uint64_t> served_{0};
+  obs::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace amjs::campaign

@@ -1,0 +1,135 @@
+#include "obs/catalog.hpp"
+
+#include <algorithm>
+
+namespace amjs::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kTimer: return "timer";
+  }
+  return "?";
+}
+
+namespace {
+
+// Sorted by name (enforced by a test). Keep DESIGN.md "Metric catalog"
+// in sync — it is generated from this table's content.
+constexpr CatalogEntry kCatalog[] = {
+    {"campaign.cells", MetricKind::kCounter,
+     "cells enumerated for the campaign run"},
+    {"campaign.dispatches", MetricKind::kCounter,
+     "cell dispatch attempts sent to workers (retries included)"},
+    {"campaign.duplicate_results", MetricKind::kCounter,
+     "cell results discarded because the cell already completed"},
+    {"campaign.exhausted_cells", MetricKind::kCounter,
+     "cells that burned every remote attempt and fell back locally"},
+    {"campaign.local_cells", MetricKind::kCounter,
+     "cells executed in the driver process"},
+    {"campaign.remote_cells", MetricKind::kCounter,
+     "cells completed by a worker"},
+    {"campaign.requeues", MetricKind::kCounter,
+     "cells put back on the queue after a failed dispatch"},
+    {"campaign.retired_workers", MetricKind::kCounter,
+     "worker endpoints dropped after exceeding the failure limit"},
+    {"campaign.rpc", MetricKind::kTimer,
+     "wall time of one cell dispatch round trip"},
+    {"campaign.rpc_errors", MetricKind::kCounter,
+     "cell dispatch round trips that failed (dial, I/O, decode, deadline)"},
+    {"campaign.run", MetricKind::kTimer,
+     "wall time of the whole campaign run_cells call"},
+    {"campaign.worker.aborts", MetricKind::kCounter,
+     "worker-side cell requests aborted by fault injection"},
+    {"campaign.worker.cell", MetricKind::kTimer,
+     "worker-side wall time simulating one cell"},
+    {"campaign.worker.cells", MetricKind::kCounter,
+     "cells served by this worker"},
+    {"core.permutations", MetricKind::kCounter,
+     "window permutations scored by WindowAllocator"},
+    {"core.window_decide", MetricKind::kTimer,
+     "wall time of one WindowAllocator decision"},
+    {"fleet.poll", MetricKind::kTimer,
+     "wall time of one stats poll round trip to a worker"},
+    {"fleet.poll_errors", MetricKind::kCounter,
+     "stats polls that failed (dial, I/O, decode)"},
+    {"fleet.polls", MetricKind::kCounter,
+     "stats polls attempted across the fleet"},
+    {"sim.sched_pass", MetricKind::kTimer,
+     "wall time of one scheduler pass"},
+    {"sim.snapshot_capture", MetricKind::kTimer,
+     "wall time capturing a SimSnapshot"},
+    {"sim.snapshot_restore", MetricKind::kTimer,
+     "wall time restoring a SimSnapshot"},
+    {"twin.fork_replay", MetricKind::kTimer,
+     "wall time of one forked twin replay"},
+    {"twin.forks", MetricKind::kCounter,
+     "twin replays forked by TwinEngine"},
+    {"twinsvc.consult", MetricKind::kTimer,
+     "wall time of one remote what-if consult (all chunks)"},
+    {"twinsvc.consults", MetricKind::kCounter,
+     "what-if consults routed through RemoteTwinEngine"},
+    {"twinsvc.dispatches", MetricKind::kCounter,
+     "eval request dispatch attempts sent to workers (retries included)"},
+    {"twinsvc.fallback_candidates", MetricKind::kCounter,
+     "candidates evaluated by the local fallback backend"},
+    {"twinsvc.fallbacks", MetricKind::kCounter,
+     "consult chunks that fell back to the local twin"},
+    {"twinsvc.remote_candidates", MetricKind::kCounter,
+     "candidates evaluated remotely"},
+    {"twinsvc.retries", MetricKind::kCounter,
+     "eval dispatches retried after an error"},
+    {"twinsvc.rpc", MetricKind::kTimer,
+     "wall time of one eval request round trip"},
+    {"twinsvc.rpc_errors", MetricKind::kCounter,
+     "eval round trips that failed (dial, I/O, decode, deadline)"},
+    {"twinsvc.worker.aborts", MetricKind::kCounter,
+     "worker-side requests aborted by fault injection"},
+    {"twinsvc.worker.eval", MetricKind::kTimer,
+     "worker-side wall time evaluating one eval request"},
+    {"twinsvc.worker.in_flight", MetricKind::kGauge,
+     "requests this worker is serving right now"},
+    {"twinsvc.worker.requests", MetricKind::kCounter,
+     "requests served by this worker (stats polls excluded)"},
+    {"twinsvc.worker.uptime_ms", MetricKind::kGauge,
+     "wall ms since worker start, stamped when a stats snapshot is taken"},
+    {"twinsvc.worker.verdicts", MetricKind::kCounter,
+     "verdict frames streamed back by this worker"},
+};
+
+// Driver-minted per-endpoint meta gauges that have no global entry of
+// their own: `fleet.<endpoint>.<meta>`.
+constexpr std::string_view kFleetMetaSuffixes[] = {"heartbeat_age_ms"};
+
+}  // namespace
+
+std::span<const CatalogEntry> metric_catalog() { return kCatalog; }
+
+const CatalogEntry* catalog_find(std::string_view name) {
+  const auto it = std::lower_bound(
+      std::begin(kCatalog), std::end(kCatalog), name,
+      [](const CatalogEntry& e, std::string_view key) { return e.name < key; });
+  if (it == std::end(kCatalog) || it->name != name) return nullptr;
+  return it;
+}
+
+bool catalog_contains(std::string_view name) {
+  if (catalog_find(name) != nullptr) return true;
+  constexpr std::string_view kFleetPrefix = "fleet.";
+  if (name.substr(0, kFleetPrefix.size()) != kFleetPrefix) return false;
+  const auto ends_with_dotted = [name](std::string_view suffix) {
+    if (name.size() <= suffix.size() + 1) return false;
+    return name[name.size() - suffix.size() - 1] == '.' &&
+           name.substr(name.size() - suffix.size()) == suffix;
+  };
+  for (const CatalogEntry& entry : kCatalog) {
+    if (ends_with_dotted(entry.name)) return true;
+  }
+  for (const std::string_view meta : kFleetMetaSuffixes) {
+    if (ends_with_dotted(meta)) return true;
+  }
+  return false;
+}
+
+}  // namespace amjs::obs

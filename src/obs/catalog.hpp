@@ -1,0 +1,37 @@
+// Metric-name catalog: the one list of every counter / gauge / timer the
+// codebase records, with kind and meaning (rendered into DESIGN.md's
+// "Metric catalog" table). Tests hold the conformance suites against this
+// list so a new call site cannot mint an undocumented name, and the fleet
+// fold (`fleet.<endpoint>.<name>`) validates its suffixes against it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace amjs::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kTimer };
+
+[[nodiscard]] const char* to_string(MetricKind kind);
+
+struct CatalogEntry {
+  std::string_view name;
+  MetricKind kind;
+  std::string_view help;
+};
+
+/// Every documented metric name, sorted by name.
+[[nodiscard]] std::span<const CatalogEntry> metric_catalog();
+
+/// The catalog entry exactly named `name`, or nullptr.
+[[nodiscard]] const CatalogEntry* catalog_find(std::string_view name);
+
+/// True when `name` is documented: either an exact catalog entry, or a
+/// per-endpoint fleet fold `fleet.<endpoint>.<suffix>` whose suffix is a
+/// catalog entry name or a fleet meta gauge (`heartbeat_age_ms`). The
+/// endpoint segment may itself contain dots (`unix:w1.sock`), so the rule
+/// matches on the suffix, not on segment count.
+[[nodiscard]] bool catalog_contains(std::string_view name);
+
+}  // namespace amjs::obs

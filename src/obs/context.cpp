@@ -1,0 +1,51 @@
+#include "obs/context.hpp"
+
+namespace amjs::obs {
+
+void append_context_args(std::vector<TraceArg>& args, const TraceContext& ctx) {
+  if (ctx.empty()) return;
+  args.push_back(arg(std::string(kArgTraceRun), ctx.run_id));
+  args.push_back(arg(std::string(kArgTraceReq), ctx.request_id));
+  args.push_back(arg(std::string(kArgTraceParent), ctx.parent_span));
+  args.push_back(arg(std::string(kArgTraceOrdinal), ctx.ordinal));
+}
+
+std::optional<std::int64_t> int_arg(const std::vector<TraceArg>& args,
+                                    std::string_view key) {
+  for (const TraceArg& a : args) {
+    if (a.key != key) continue;
+    if (const auto* v = std::get_if<std::int64_t>(&a.value)) return *v;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> number_arg(const std::vector<TraceArg>& args,
+                                 std::string_view key) {
+  for (const TraceArg& a : args) {
+    if (a.key != key) continue;
+    if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+      return static_cast<double>(*i);
+    }
+    if (const auto* d = std::get_if<double>(&a.value)) return *d;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<TraceContext> context_from_args(
+    const std::vector<TraceArg>& args) {
+  const auto run = int_arg(args, kArgTraceRun);
+  const auto req = int_arg(args, kArgTraceReq);
+  const auto parent = int_arg(args, kArgTraceParent);
+  const auto ordinal = int_arg(args, kArgTraceOrdinal);
+  if (!run || !req || !parent || !ordinal) return std::nullopt;
+  TraceContext ctx;
+  ctx.run_id = static_cast<std::uint64_t>(*run);
+  ctx.request_id = static_cast<std::uint64_t>(*req);
+  ctx.parent_span = static_cast<std::uint64_t>(*parent);
+  ctx.ordinal = static_cast<std::uint32_t>(*ordinal);
+  return ctx;
+}
+
+}  // namespace amjs::obs

@@ -6,6 +6,7 @@
 
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
 
 namespace amjs::obs {
 
@@ -51,6 +52,15 @@ Counter& Registry::counter(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Timer& Registry::timer(std::string_view name) {
   std::scoped_lock lock(mutex_);
   auto it = timers_.find(name);
@@ -63,7 +73,45 @@ Timer& Registry::timer(std::string_view name) {
 void Registry::reset_values() {
   std::scoped_lock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, timer] : timers_) timer->reset();
+}
+
+std::uint64_t StatsSnapshot::counter_value(std::string_view name) const {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it == counters.end() || it->first != name) return 0;
+  return it->second;
+}
+
+StatsSnapshot Registry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  StatsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    snap.timers.emplace_back(name, timer->stats());
+  }
+  return snap;
+}
+
+StatsSnapshot Registry::snapshot_prefixed(std::string_view prefix) const {
+  StatsSnapshot snap = snapshot();
+  const auto keep = [prefix](const auto& entry) {
+    return std::string_view(entry.first).substr(0, prefix.size()) == prefix;
+  };
+  std::erase_if(snap.counters, [&](const auto& e) { return !keep(e); });
+  std::erase_if(snap.gauges, [&](const auto& e) { return !keep(e); });
+  std::erase_if(snap.timers, [&](const auto& e) { return !keep(e); });
+  return snap;
 }
 
 namespace {
@@ -89,20 +137,26 @@ void write_json_double(std::ostream& out, double v) {
 
 }  // namespace
 
-void Registry::write_json(std::ostream& out) const {
-  std::scoped_lock lock(mutex_);
+void write_stats_json(std::ostream& out, const StatsSnapshot& snapshot) {
   out << "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : snapshot.counters) {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     write_json_string(out, name);
-    out << ": " << counter->value();
+    out << ": " << value;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(out, name);
+    out << ": " << value;
   }
   out << (first ? "}" : "\n  }") << ",\n  \"timers\": {";
   first = true;
-  for (const auto& [name, timer] : timers_) {
-    const TimerStats s = timer->stats();
+  for (const auto& [name, s] : snapshot.timers) {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     write_json_string(out, name);
@@ -117,6 +171,39 @@ void Registry::write_json(std::ostream& out) const {
     out << "}";
   }
   out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void write_stats_table(std::ostream& out, const StatsSnapshot& snapshot) {
+  if (!snapshot.counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.add_row({name, TextTable::num(static_cast<std::int64_t>(value))});
+    }
+    table.print(out);
+  }
+  if (!snapshot.gauges.empty()) {
+    if (!snapshot.counters.empty()) out << "\n";
+    TextTable table({"gauge", "value"});
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.add_row({name, TextTable::num(value)});
+    }
+    table.print(out);
+  }
+  if (!snapshot.timers.empty()) {
+    if (!snapshot.counters.empty() || !snapshot.gauges.empty()) out << "\n";
+    TextTable table(
+        {"timer", "count", "total_ms", "p50_ms", "p95_ms", "max_ms"});
+    for (const auto& [name, s] : snapshot.timers) {
+      table.add_row({name, TextTable::num(static_cast<std::int64_t>(s.count)),
+                     TextTable::num(s.total_ms, 3), TextTable::num(s.p50_ms, 3),
+                     TextTable::num(s.p95_ms, 3), TextTable::num(s.max_ms, 3)});
+    }
+    table.print(out);
+  }
+}
+
+void Registry::write_json(std::ostream& out) const {
+  write_stats_json(out, snapshot());
 }
 
 std::string Registry::to_json() const {

@@ -27,6 +27,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace amjs::obs {
@@ -42,6 +43,22 @@ class Counter {
 
  private:
   std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level (thread-safe, lock-free). Unlike a Counter the
+/// value may move both ways — in-flight request depth, heartbeat age of a
+/// fleet worker, queue occupancy.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Summary of one timer's samples (milliseconds).
@@ -66,6 +83,31 @@ class Timer {
   std::vector<double> samples_ms_;
 };
 
+/// Point-in-time copy of a registry's values: names sorted, counters /
+/// gauges / timers in separate groups. This is the unit the stats JSON
+/// writer, the human table, and the twinsvc stats wire codec all share, so
+/// a snapshot decoded from a kStatsReply frame serializes byte-identically
+/// to the worker writing its own registry.
+struct StatsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, TimerStats>> timers;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+  /// The counter's value, or 0 when absent (fold / test helper).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+};
+
+/// `{"counters": {...}, "gauges": {...}, "timers": {name: {count,
+/// total_ms, p50_ms, p95_ms, max_ms}}}`, keys in snapshot (i.e. sorted)
+/// order — the machine-parsable --obs-stats format.
+void write_stats_json(std::ostream& out, const StatsSnapshot& snapshot);
+
+/// Human-readable aligned tables (the --obs-stats-pretty format).
+void write_stats_table(std::ostream& out, const StatsSnapshot& snapshot);
+
 class Registry {
  public:
   /// The process-wide instance every instrumented subsystem records into.
@@ -82,14 +124,19 @@ class Registry {
 
   /// Find-or-create by name. The reference stays valid forever.
   [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Timer& timer(std::string_view name);
 
   /// Zero all recorded values, keeping the entries (and outstanding
   /// references) intact. Harness runs call this between configurations.
   void reset_values();
 
-  /// `{"counters": {name: value}, "timers": {name: {count, total_ms,
-  /// p50_ms, p95_ms, max_ms}}}`, keys sorted.
+  /// Consistent point-in-time copy of every entry, names sorted.
+  [[nodiscard]] StatsSnapshot snapshot() const;
+  /// snapshot() filtered to names starting with `prefix` (e.g. "fleet.").
+  [[nodiscard]] StatsSnapshot snapshot_prefixed(std::string_view prefix) const;
+
+  /// write_stats_json(snapshot()) — the --obs-stats format.
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string to_json() const;
 
@@ -100,6 +147,7 @@ class Registry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
 
   static std::atomic<bool> enabled_;

@@ -1,6 +1,7 @@
 #include "obs/session.hpp"
 
 #include <cstdio>
+#include <sstream>
 
 #include "obs/registry.hpp"
 #include "util/log.hpp"
@@ -15,14 +16,20 @@ void add_flags(Flags& flags) {
                "stream events to this JSONL file with a bounded in-memory "
                "buffer (O(1) memory; for month-scale replays)");
   flags.define("obs-stats", "",
-               "enable the obs registry and write its counters and timer "
-               "percentiles (JSON) here");
+               "enable the obs registry and write its counters / gauges / "
+               "timer percentiles here as machine-parsable JSON with stable "
+               "key order");
+  flags.define_bool("obs-stats-pretty",
+                    "also print the registry as human-readable tables on "
+                    "stderr at exit (implies registry enabled)");
   flags.define("log-level", "warn",
                "stderr log threshold: debug|info|warn|error|off");
 }
 
 Session::Session(const Flags& flags)
-    : trace_path_(flags.get("trace")), stats_path_(flags.get("obs-stats")) {
+    : trace_path_(flags.get("trace")),
+      stats_path_(flags.get("obs-stats")),
+      stats_pretty_(flags.get_bool("obs-stats-pretty")) {
   const std::string level_name = flags.get("log-level");
   if (const auto level = log::parse_level(level_name)) {
     log::set_level(*level);
@@ -30,7 +37,7 @@ Session::Session(const Flags& flags)
     log::warn("obs: unknown --log-level '{}' (want debug|info|warn|error|off)",
               level_name);
   }
-  if (!stats_path_.empty()) {
+  if (!stats_path_.empty() || stats_pretty_) {
     Registry::set_enabled(true);
     Registry::global().reset_values();
   }
@@ -86,6 +93,12 @@ bool Session::flush() {
   if (!stats_path_.empty()) {
     ok = Registry::global().save_json(stats_path_) && ok;
     if (ok) std::fprintf(stderr, "obs: wrote registry stats to %s\n", stats_path_.c_str());
+  }
+  if (stats_pretty_) {
+    std::ostringstream table;
+    write_stats_table(table, Registry::global().snapshot());
+    const std::string rendered = table.str();
+    std::fwrite(rendered.data(), 1, rendered.size(), stderr);
   }
   return ok;
 }

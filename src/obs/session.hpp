@@ -44,7 +44,9 @@ class Session {
   [[nodiscard]] TraceRecorder* recorder() { return recorder_.get(); }
 
   [[nodiscard]] bool tracing() const { return sink_ != nullptr; }
-  [[nodiscard]] bool stats_enabled() const { return !stats_path_.empty(); }
+  [[nodiscard]] bool stats_enabled() const {
+    return !stats_path_.empty() || stats_pretty_;
+  }
 
   /// Write the Chrome trace (+ JSONL sibling), flush the stream sink, and
   /// write the registry JSON to the flag-given paths. Idempotent; returns
@@ -54,6 +56,7 @@ class Session {
  private:
   std::string trace_path_;
   std::string stats_path_;
+  bool stats_pretty_ = false;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<JsonlStreamSink> stream_;
   std::unique_ptr<TeeSink> tee_;

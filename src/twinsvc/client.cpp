@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/context.hpp"
 #include "obs/registry.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
@@ -91,6 +92,10 @@ RemoteTwinEngine::ChunkOutcome RemoteTwinEngine::run_chunk(
   const auto request_bytes = encode_eval_request(request);
 
   if (request_bytes.ok()) {
+    // One mutable copy: each retry re-stamps the fixed-size trace-context
+    // block in place (patch_trace_context) instead of re-encoding the
+    // snapshot payload per attempt.
+    std::string frame_bytes = request_bytes.value();
     for (int attempt_index = 0; attempt_index <= config_.max_retries;
          ++attempt_index) {
       if (attempt_index > 0) {
@@ -105,6 +110,18 @@ RemoteTwinEngine::ChunkOutcome RemoteTwinEngine::run_chunk(
           config_.workers[(chunk_index + static_cast<std::size_t>(attempt_index)) %
                           config_.workers.size()];
       count("twinsvc.dispatches");
+
+      obs::TraceContext ctx;
+      ctx.run_id = config_.trace_run_id;
+      ctx.request_id = request_id;
+      ctx.ordinal = static_cast<std::uint32_t>(attempt_index + 1);
+      ctx.parent_span = obs::dispatch_span_id(request_id, ctx.ordinal);
+      if (Status patched = patch_trace_context(frame_bytes, ctx);
+          !patched.ok()) {
+        log::warn("twinsvc: trace-context patch failed: {}",
+                  patched.error().to_string());
+      }
+
       if (sink != nullptr) {
         sink->record(obs::TraceCategory::kTwin, "dispatch", snapshot.now,
                      {obs::arg("worker", worker.to_string()),
@@ -112,12 +129,28 @@ RemoteTwinEngine::ChunkOutcome RemoteTwinEngine::run_chunk(
                       obs::arg("attempt", attempt_index),
                       obs::arg("candidates", chunk.size())});
       }
+      const double rpc_start_wall =
+          sink != nullptr ? sink->now_wall_ms() : 0.0;
       const auto rpc_start = std::chrono::steady_clock::now();
       auto verdicts =
-          attempt(worker, request_bytes.value(), request_id, chunk.size());
-      record_ms("twinsvc.rpc", std::chrono::duration<double, std::milli>(
-                                   std::chrono::steady_clock::now() - rpc_start)
-                                   .count());
+          attempt(worker, frame_bytes, request_id, chunk.size());
+      const double rpc_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - rpc_start)
+                                .count();
+      record_ms("twinsvc.rpc", rpc_ms);
+      if (sink != nullptr) {
+        // The dispatch span the worker's serve_eval span parents under:
+        // one per attempt, success or not, so unanswered dispatches are
+        // visible in the merged timeline.
+        std::vector<obs::TraceArg> args;
+        obs::append_context_args(args, ctx);
+        args.push_back(
+            obs::arg(std::string(obs::kArgTraceSpan), ctx.parent_span));
+        args.push_back(obs::arg("worker", worker.to_string()));
+        args.push_back(obs::arg("ok", verdicts.ok() ? 1 : 0));
+        sink->record_span(obs::TraceCategory::kTwin, "rpc", snapshot.now,
+                          rpc_start_wall, rpc_ms, std::move(args));
+      }
       if (verdicts.ok()) {
         count("twinsvc.remote_candidates", chunk.size());
         if (sink != nullptr) {
@@ -228,6 +261,8 @@ Result<std::vector<TwinForkResult>> RemoteTwinEngine::attempt(
       case FrameType::kEvalRequest:
       case FrameType::kRunCell:
       case FrameType::kCellResult:
+      case FrameType::kStatsRequest:
+      case FrameType::kStatsReply:
         return Error{format("unexpected frame type {} on a verdict stream",
                             static_cast<int>(frame.value().type))};
     }

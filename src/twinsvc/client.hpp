@@ -50,6 +50,11 @@ struct RemoteTwinConfig {
   /// Exponential backoff before retry k: base * 2^(k-1), capped.
   int backoff_base_ms = 100;
   int backoff_max_ms = 2000;
+
+  /// Trace-context run id stamped into every dispatched frame (0 = not
+  /// tracing distributedly). Worker-side events carry it back, so one
+  /// merge joins only this run's spans.
+  std::uint64_t trace_run_id = 0;
 };
 
 class RemoteTwinEngine final : public TwinBackend {

@@ -1,5 +1,7 @@
 #include "twinsvc/frame.hpp"
 
+#include <algorithm>
+
 #include "snapshot_io/binio.hpp"
 #include "snapshot_io/snapshot_codec.hpp"
 #include "util/fmt.hpp"
@@ -22,6 +24,65 @@ std::string seal_frame(FrameType type, std::string_view payload) {
   w.bytes(payload);
   w.u32(crc32(payload));
   return w.take();
+}
+
+void write_trace_context(ByteWriter& w, const obs::TraceContext& ctx) {
+  w.u8(obs::kTraceContextVersion);
+  w.u64(ctx.run_id);
+  w.u64(ctx.request_id);
+  w.u64(ctx.parent_span);
+  w.u32(ctx.ordinal);
+}
+
+Result<obs::TraceContext> read_trace_context(ByteReader& r) {
+  auto version = r.u8();
+  if (!version) return version.error();
+  if (version.value() != obs::kTraceContextVersion) {
+    return Error{format(
+        "unsupported trace-context version {} (this peer speaks {})",
+        version.value(), obs::kTraceContextVersion)};
+  }
+  obs::TraceContext ctx;
+  auto run = r.u64();
+  if (!run) return run.error();
+  ctx.run_id = run.value();
+  auto req = r.u64();
+  if (!req) return req.error();
+  ctx.request_id = req.value();
+  auto parent = r.u64();
+  if (!parent) return parent.error();
+  ctx.parent_span = parent.value();
+  auto ordinal = r.u32();
+  if (!ordinal) return ordinal.error();
+  ctx.ordinal = ordinal.value();
+  return ctx;
+}
+
+Status patch_trace_context(std::string& frame, const obs::TraceContext& ctx) {
+  auto header = decode_frame_header(
+      std::string_view(frame).substr(0, std::min(frame.size(), kFrameHeaderSize)));
+  if (!header) return header.error();
+  if (header.value().type != FrameType::kEvalRequest &&
+      header.value().type != FrameType::kRunCell) {
+    return Error{format("cannot patch trace context into frame type {}",
+                        static_cast<int>(header.value().type))};
+  }
+  if (frame.size() != kFrameOverhead + header.value().payload_size ||
+      header.value().payload_size <
+          kTraceContextPayloadOffset + kTraceContextEncodedSize) {
+    return Error{"frame too short to hold a trace-context block"};
+  }
+  ByteWriter block;
+  write_trace_context(block, ctx);
+  frame.replace(kFrameHeaderSize + kTraceContextPayloadOffset,
+                kTraceContextEncodedSize, block.data());
+  const std::string_view payload =
+      std::string_view(frame).substr(kFrameHeaderSize,
+                                     header.value().payload_size);
+  ByteWriter crc;
+  crc.u32(crc32(payload));
+  frame.replace(frame.size() - 4, 4, crc.data());
+  return Status::success();
 }
 
 void write_machine_spec(ByteWriter& w, const MachineSpec& spec) {
@@ -202,6 +263,7 @@ Result<std::string> encode_eval_request(const EvalRequest& request) {
   if (!snapshot_bytes) return snapshot_bytes.error();
   ByteWriter w;
   w.u64(request.request_id);
+  write_trace_context(w, request.context);
   write_machine_spec(w, request.machine);
   w.i64(request.twin.horizon);
   w.i64(request.twin.metric_check_interval);
@@ -236,6 +298,34 @@ std::string encode_error(const ErrorFrame& error) {
   return seal_frame(FrameType::kError, w.data());
 }
 
+std::string encode_stats_request() {
+  return seal_frame(FrameType::kStatsRequest, {});
+}
+
+std::string encode_stats_reply(const obs::StatsSnapshot& snapshot) {
+  ByteWriter w;
+  w.u64(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u64(snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.str(name);
+    w.i64(value);
+  }
+  w.u64(snapshot.timers.size());
+  for (const auto& [name, s] : snapshot.timers) {
+    w.str(name);
+    w.u64(s.count);
+    w.f64(s.total_ms);
+    w.f64(s.p50_ms);
+    w.f64(s.p95_ms);
+    w.f64(s.max_ms);
+  }
+  return seal_frame(FrameType::kStatsReply, w.data());
+}
+
 Result<FrameHeader> decode_frame_header(std::string_view bytes) {
   if (bytes.size() != kFrameHeaderSize) {
     return Error{format("frame header is {} bytes, got {}", kFrameHeaderSize,
@@ -254,7 +344,7 @@ Result<FrameHeader> decode_frame_header(std::string_view bytes) {
   auto type = r.u8();
   if (!type) return type.error();
   if (type.value() < static_cast<std::uint8_t>(FrameType::kEvalRequest) ||
-      type.value() > static_cast<std::uint8_t>(FrameType::kCellResult)) {
+      type.value() > static_cast<std::uint8_t>(FrameType::kStatsReply)) {
     return Error{format("unknown frame type {}", type.value())};
   }
   auto length = r.u64();
@@ -313,6 +403,9 @@ Result<EvalRequest> decode_eval_request(std::string_view payload) {
   auto id = r.u64();
   if (!id) return id.error();
   request.request_id = id.value();
+  auto context = read_trace_context(r);
+  if (!context) return context.error();
+  request.context = context.value();
   auto machine = read_machine_spec(r);
   if (!machine) return machine.error();
   request.machine = machine.value();
@@ -391,6 +484,74 @@ Result<DoneFrame> decode_done(std::string_view payload) {
     return Error{format("{} trailing bytes after done frame", r.remaining())};
   }
   return done;
+}
+
+Result<obs::StatsSnapshot> decode_stats_reply(std::string_view payload) {
+  ByteReader r(payload);
+  obs::StatsSnapshot snapshot;
+  // Each entry carries at least a string length prefix plus its smallest
+  // fixed-width value; capping the declared counts by remaining bytes over
+  // that floor keeps reserve() proportional to bytes actually received.
+  constexpr std::uint64_t kMinEncodedScalarBytes = 8 + 8;
+  auto n_counters = r.count(r.remaining() / kMinEncodedScalarBytes);
+  if (!n_counters) return n_counters.error();
+  snapshot.counters.reserve(n_counters.value());
+  for (std::uint64_t i = 0; i < n_counters.value(); ++i) {
+    auto name = r.str();
+    if (!name) return name.error();
+    auto value = r.u64();
+    if (!value) return value.error();
+    snapshot.counters.emplace_back(std::move(name).value(), value.value());
+  }
+  auto n_gauges = r.count(r.remaining() / kMinEncodedScalarBytes);
+  if (!n_gauges) return n_gauges.error();
+  snapshot.gauges.reserve(n_gauges.value());
+  for (std::uint64_t i = 0; i < n_gauges.value(); ++i) {
+    auto name = r.str();
+    if (!name) return name.error();
+    auto value = r.i64();
+    if (!value) return value.error();
+    snapshot.gauges.emplace_back(std::move(name).value(), value.value());
+  }
+  constexpr std::uint64_t kMinEncodedTimerBytes = 8 + 5 * 8;
+  auto n_timers = r.count(r.remaining() / kMinEncodedTimerBytes);
+  if (!n_timers) return n_timers.error();
+  snapshot.timers.reserve(n_timers.value());
+  for (std::uint64_t i = 0; i < n_timers.value(); ++i) {
+    auto name = r.str();
+    if (!name) return name.error();
+    obs::TimerStats s;
+    auto count = r.u64();
+    if (!count) return count.error();
+    s.count = count.value();
+    auto total = r.f64();
+    if (!total) return total.error();
+    s.total_ms = total.value();
+    auto p50 = r.f64();
+    if (!p50) return p50.error();
+    s.p50_ms = p50.value();
+    auto p95 = r.f64();
+    if (!p95) return p95.error();
+    s.p95_ms = p95.value();
+    auto max = r.f64();
+    if (!max) return max.error();
+    s.max_ms = max.value();
+    snapshot.timers.emplace_back(std::move(name).value(), s);
+  }
+  const auto sorted = [](const auto& entries) {
+    return std::is_sorted(entries.begin(), entries.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                          });
+  };
+  if (!sorted(snapshot.counters) || !sorted(snapshot.gauges) ||
+      !sorted(snapshot.timers)) {
+    return Error{"stats reply entries are not sorted by name"};
+  }
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after stats reply", r.remaining())};
+  }
+  return snapshot;
 }
 
 Result<ErrorFrame> decode_error(std::string_view payload) {

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "core/twin_backend.hpp"
+#include "obs/context.hpp"
+#include "obs/registry.hpp"
 #include "platform/machine_spec.hpp"
 #include "sim/snapshot.hpp"
 #include "snapshot_io/binio.hpp"
@@ -69,14 +71,55 @@ enum class FrameType : std::uint8_t {
   // like any other failed dispatch.
   kRunCell = 5,      // driver -> worker
   kCellResult = 6,   // worker -> driver
+  // Fleet telemetry (see DESIGN.md "Distributed observability"): a driver
+  // polls any worker for a deterministic snapshot of its obs::Registry.
+  // Stats requests are served out-of-band — they touch no worker counters
+  // and skip the fault-injection ordinal, so a final poll's snapshot is
+  // exactly what the worker itself writes via --obs-stats at exit.
+  kStatsRequest = 7,  // driver -> worker, empty payload
+  kStatsReply = 8,    // worker -> driver, encoded StatsSnapshot
 };
 
 /// Candidate family tag carried per candidate; v1 ships the metric-aware
 /// scheduler family only. Unknown tags are rejected, not guessed at.
 inline constexpr std::string_view kCandidateFamilyMetricAware = "metric_aware.v1";
 
+// --- Trace-context block. ----------------------------------------------
+// Fixed-size encoded form of obs::TraceContext, carried by every
+// kEvalRequest and kRunCell payload immediately after the leading id
+// (payload offset 8):
+//
+//   offset  size  field
+//   0       1     context version (u8, obs::kTraceContextVersion)
+//   1       8     run id (u64)
+//   9       8     request id (u64)
+//   17      8     parent span id (u64)
+//   25      4     attempt ordinal (u32)
+//
+// The block is fixed-size so a retry can re-stamp an already-encoded
+// frame in place (patch_trace_context) instead of re-encoding a
+// multi-megabyte snapshot payload per attempt.
+
+inline constexpr std::size_t kTraceContextEncodedSize = 1 + 8 + 8 + 8 + 4;
+/// Offset of the context block within an eval-request / run-cell payload.
+inline constexpr std::size_t kTraceContextPayloadOffset = 8;
+
+void write_trace_context(snapshot_io::ByteWriter& w,
+                         const obs::TraceContext& ctx);
+[[nodiscard]] Result<obs::TraceContext> read_trace_context(
+    snapshot_io::ByteReader& r);
+
+/// Overwrite the context block of a sealed kEvalRequest / kRunCell frame
+/// in place and re-seal the CRC. Fails if `frame` is not a sealed frame of
+/// one of those types or is too short to hold the block.
+[[nodiscard]] Status patch_trace_context(std::string& frame,
+                                         const obs::TraceContext& ctx);
+
 struct EvalRequest {
   std::uint64_t request_id = 0;
+  /// Trace context of this dispatch attempt (empty when tracing is off;
+  /// travels either way so the layout is static).
+  obs::TraceContext context;
   MachineSpec machine;
   /// horizon / metric_check_interval / weights travel; `threads` is a
   /// worker-local concern and stays out of the wire format.
@@ -118,6 +161,13 @@ struct ErrorFrame {
 [[nodiscard]] std::string encode_done(const DoneFrame& done);
 [[nodiscard]] std::string encode_error(const ErrorFrame& error);
 
+/// Fleet telemetry: a stats request carries no payload; the reply is the
+/// worker's registry snapshot, names sorted — deterministic for a given
+/// registry state, so a decoded reply serializes byte-identically to the
+/// worker writing its own stats.
+[[nodiscard]] std::string encode_stats_request();
+[[nodiscard]] std::string encode_stats_reply(const obs::StatsSnapshot& snapshot);
+
 // --- Decoding. ---------------------------------------------------------
 
 struct FrameHeader {
@@ -148,6 +198,8 @@ struct Frame {
 [[nodiscard]] Result<VerdictFrame> decode_verdict(std::string_view payload);
 [[nodiscard]] Result<DoneFrame> decode_done(std::string_view payload);
 [[nodiscard]] Result<ErrorFrame> decode_error(std::string_view payload);
+[[nodiscard]] Result<obs::StatsSnapshot> decode_stats_reply(
+    std::string_view payload);
 
 // --- Shared field codecs. ----------------------------------------------
 // Building blocks the campaign.v1 payloads reuse: a machine model as data

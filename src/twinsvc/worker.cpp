@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/context.hpp"
 #include "obs/registry.hpp"
 #include "util/log.hpp"
 
@@ -110,10 +111,38 @@ void TwinWorker::serve_connection(Socket socket) {
   }
 }
 
+bool TwinWorker::serve_stats_request(Socket& socket) {
+  // Out-of-band telemetry: touches no worker counters and skips the fault
+  // ordinal, so a final poll's snapshot is exactly what the worker itself
+  // writes via --obs-stats at exit, and `--fail-after N` still means "N
+  // real requests".
+  if (obs::Registry::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.gauge("twinsvc.worker.in_flight")
+        .set(in_flight_.load(std::memory_order_relaxed));
+    registry.gauge("twinsvc.worker.uptime_ms")
+        .set(std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - start_time_)
+                 .count());
+  }
+  return send_frame(socket,
+                    encode_stats_reply(obs::Registry::global().snapshot()),
+                    config_.io_timeout_ms)
+      .ok();
+}
+
 bool TwinWorker::serve_request(Socket& socket, const Frame& frame) {
+  if (frame.type == FrameType::kStatsRequest) {
+    return serve_stats_request(socket);
+  }
   if (obs::Registry::enabled()) {
     obs::Registry::global().counter("twinsvc.worker.requests").add();
   }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  struct InFlightGuard {
+    std::atomic<std::int64_t>& depth;
+    ~InFlightGuard() { depth.fetch_sub(1, std::memory_order_relaxed); }
+  } in_flight_guard{in_flight_};
   if (frame.type != FrameType::kEvalRequest) {
     if (config_.extension != nullptr && config_.extension->handles(frame.type)) {
       // Extension families share the worker's request ordinal, so one
@@ -137,6 +166,7 @@ bool TwinWorker::serve_request(Socket& socket, const Frame& frame) {
         config_.io_timeout_ms);
     return false;
   }
+  const auto received = std::chrono::steady_clock::now();
   auto request = decode_eval_request(frame.payload);
   if (!request) {
     (void)send_frame(socket,
@@ -163,12 +193,34 @@ bool TwinWorker::serve_request(Socket& socket, const Frame& frame) {
   candidates.reserve(eval.candidates.size());
   for (const auto& spec : eval.candidates) candidates.push_back(to_candidate(spec));
 
+  // Queue time: everything between frame receipt and execution start
+  // (decode + injected stall). The merge tool subtracts it, plus the
+  // execution span, from the driver's round trip to estimate wire cost.
+  const auto exec_start = std::chrono::steady_clock::now();
+  const double queue_ms =
+      std::chrono::duration<double, std::milli>(exec_start - received).count();
+  const double span_start_wall =
+      config_.trace_sink != nullptr ? config_.trace_sink->now_wall_ms() : 0.0;
+
   std::vector<TwinForkResult> results;
   if (obs::Registry::enabled()) {
     obs::ScopedTimer scoped(obs::Registry::global().timer("twinsvc.worker.eval"));
     results = engine.evaluate(eval.trace, eval.snapshot, candidates);
   } else {
     results = engine.evaluate(eval.trace, eval.snapshot, candidates);
+  }
+
+  if (config_.trace_sink != nullptr && !abort_this_request) {
+    const double span_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - exec_start)
+                               .count();
+    std::vector<obs::TraceArg> args;
+    obs::append_context_args(args, eval.context);
+    args.push_back(obs::arg("queue_ms", queue_ms));
+    args.push_back(obs::arg("candidates", results.size()));
+    config_.trace_sink->record_span(obs::TraceCategory::kTwin, "serve_eval",
+                                    /*sim_time=*/0, span_start_wall, span_ms,
+                                    std::move(args));
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -21,11 +21,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "twinsvc/socket.hpp"
 #include "util/result.hpp"
 
@@ -91,6 +93,11 @@ struct WorkerConfig {
   /// Extension handler for frame families beyond kEvalRequest (borrowed,
   /// not owned; may be null). Shares the worker's fault schedule.
   RequestHandler* extension = nullptr;
+
+  /// Worker-side trace sink (borrowed; may be null). Served eval requests
+  /// record a kTwin "serve_eval" span stamped with the request's trace
+  /// context, so the driver's and worker's JSONL join per attempt.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 class TwinWorker {
@@ -117,20 +124,31 @@ class TwinWorker {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Requests being served right now (stats polls excluded).
+  [[nodiscard]] std::int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
  private:
   void accept_loop();
   void serve_connection(Socket socket);
   /// One request: decode, evaluate, stream verdicts. False = drop the
   /// connection (fault-injected abort or I/O failure).
   [[nodiscard]] bool serve_request(Socket& socket, const Frame& frame);
+  /// kStatsRequest: snapshot the registry and reply. Out-of-band — no
+  /// counters, no fault schedule, no request ordinal.
+  [[nodiscard]] bool serve_stats_request(Socket& socket);
   /// Join connection threads that have finished serving, so a long-running
   /// worker does not accumulate one dead thread handle per connection.
   void reap_finished_connections();
 
   Listener listener_;
   WorkerConfig config_;
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::int64_t> request_ordinal_{0};
   std::thread accept_thread_;
   std::mutex threads_mutex_;

@@ -10,7 +10,8 @@ namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
 std::mutex g_emit_mutex;
-Sink g_sink;  // guarded by g_emit_mutex; empty = stderr
+Sink g_sink;        // guarded by g_emit_mutex; empty = stderr
+std::string g_tag;  // guarded by g_emit_mutex; empty = no tag
 
 constexpr const char* level_tag(Level lvl) {
   switch (lvl) {
@@ -43,14 +44,29 @@ void set_sink(Sink sink) {
   g_sink = std::move(sink);
 }
 
+void set_tag(std::string tag) {
+  std::scoped_lock lock(g_emit_mutex);
+  g_tag = std::move(tag);
+}
+
+std::string tag() {
+  std::scoped_lock lock(g_emit_mutex);
+  return g_tag;
+}
+
 void emit(Level lvl, std::string_view message) {
   std::scoped_lock lock(g_emit_mutex);
   if (g_sink) {
     g_sink(lvl, message);
     return;
   }
-  std::fprintf(stderr, "[amjs %s] %.*s\n", level_tag(lvl),
-               static_cast<int>(message.size()), message.data());
+  if (g_tag.empty()) {
+    std::fprintf(stderr, "[amjs %s] %.*s\n", level_tag(lvl),
+                 static_cast<int>(message.size()), message.data());
+  } else {
+    std::fprintf(stderr, "[amjs %s %s] %.*s\n", level_tag(lvl), g_tag.c_str(),
+                 static_cast<int>(message.size()), message.data());
+  }
 }
 
 }  // namespace amjs::log

@@ -33,6 +33,12 @@ using Sink = std::function<void(Level, std::string_view)>;
 /// under the emission lock, so it need not be thread-safe itself.
 void set_sink(Sink sink);
 
+/// Process-wide tag prepended to every emitted line ("[amjs level tag]
+/// message"); empty (the default) omits it. A fleet worker sets this to
+/// its endpoint so interleaved stderr from many workers stays attributable.
+void set_tag(std::string tag);
+[[nodiscard]] std::string tag();
+
 /// Emit one line ("[level] message") unconditionally — level gating lives
 /// in the debug()/info()/warn()/error() wrappers so the format work is
 /// skipped when the line would be dropped.

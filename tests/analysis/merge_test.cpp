@@ -1,0 +1,253 @@
+// trace_merge golden suite: the join pins exact span parentage (which
+// worker span landed inside which dispatch attempt), the canonical merged
+// JSONL is byte-stable with wall fields and nondeterministic args
+// stripped, and the wire/queue/exec breakdown decomposes the driver round
+// trip. Unserved dispatches and orphaned worker spans stay distinct.
+#include "analysis/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
+
+namespace amjs::analysis {
+namespace {
+
+obs::TraceContext make_context(std::uint64_t run, std::uint64_t req,
+                               std::uint32_t ord) {
+  obs::TraceContext ctx;
+  ctx.run_id = run;
+  ctx.request_id = req;
+  ctx.ordinal = ord;
+  ctx.parent_span = obs::dispatch_span_id(req, ord);
+  return ctx;
+}
+
+/// Driver-side dispatch span, exactly as campaign::run_cells records it:
+/// context args + its own span id + the (nondeterministic) worker
+/// endpoint + the outcome.
+obs::TraceEvent rpc_span(const obs::TraceContext& ctx, double wall_start,
+                         double wall_ms, bool ok = true) {
+  obs::TraceEvent e;
+  e.category = obs::TraceCategory::kCampaign;
+  e.name = "rpc";
+  obs::append_context_args(e.args, ctx);
+  e.args.push_back(obs::arg(std::string(obs::kArgTraceSpan), ctx.parent_span));
+  e.args.push_back(obs::arg("worker", "tcp:127.0.0.1:1"));
+  e.args.push_back(obs::arg("ok", ok ? 1 : 0));
+  e.wall_start_ms = wall_start;
+  e.wall_ms = wall_ms;
+  return e;
+}
+
+/// Worker-side serve span: same context, no trace_span (it is the child,
+/// not a dispatch), plus its queue time and the cell id.
+obs::TraceEvent serve_span(const obs::TraceContext& ctx, double wall_start,
+                           double wall_ms, double queue_ms) {
+  obs::TraceEvent e;
+  e.category = obs::TraceCategory::kCampaign;
+  e.name = "serve_cell";
+  obs::append_context_args(e.args, ctx);
+  e.args.push_back(obs::arg("queue_ms", queue_ms));
+  e.args.push_back(obs::arg("cell", ctx.request_id));
+  e.wall_start_ms = wall_start;
+  e.wall_ms = wall_ms;
+  return e;
+}
+
+/// The golden scenario: one joined dispatch (request 1), one unserved
+/// dispatch (request 2 — the attempt failed, no worker span), and one
+/// orphaned worker span (request 9 — no matching dispatch).
+std::vector<ProcessTrace> golden_traces() {
+  ProcessTrace driver;
+  driver.label = "driver.jsonl";
+  driver.events.push_back(rpc_span(make_context(77, 2, 1), 2000.0, 20.0,
+                                   /*ok=*/false));
+  driver.events.push_back(rpc_span(make_context(77, 1, 1), 1000.0, 50.0));
+  obs::TraceEvent instant;  // non-context events pass through untouched
+  instant.category = obs::TraceCategory::kCampaign;
+  instant.name = "dispatch";
+  driver.events.push_back(instant);
+
+  ProcessTrace worker;
+  worker.label = "w1.jsonl";
+  worker.events.push_back(serve_span(make_context(77, 1, 1), 500.0, 30.0, 5.0));
+  worker.events.push_back(serve_span(make_context(77, 9, 1), 600.0, 10.0, 1.0));
+  return {std::move(driver), std::move(worker)};
+}
+
+TEST(TraceMerge, GoldenJoinPinsSpanParentage) {
+  auto merged = merge_traces(golden_traces());
+  ASSERT_TRUE(merged.ok()) << merged.error().to_string();
+  const MergeResult& m = merged.value();
+
+  ASSERT_EQ(m.pairs.size(), 2u);  // sorted by (category, run, request, ord)
+  EXPECT_EQ(m.pairs[0].context.request_id, 1u);
+  ASSERT_TRUE(m.pairs[0].joined);
+  EXPECT_EQ(m.pairs[0].driver_process, 0u);
+  EXPECT_EQ(m.pairs[0].worker_process, 1u);
+  EXPECT_EQ(m.pairs[0].worker_span.name, "serve_cell");
+  EXPECT_EQ(m.pairs[0].worker_span.args.size(), 6u);
+
+  EXPECT_EQ(m.pairs[1].context.request_id, 2u);
+  EXPECT_FALSE(m.pairs[1].joined);
+
+  EXPECT_EQ(m.joined, 1u);
+  EXPECT_EQ(m.unserved_dispatches, 1u);
+  ASSERT_EQ(m.orphans.size(), 1u);
+  EXPECT_EQ(m.orphans[0].process, 1u);
+  const auto orphan_ctx = obs::context_from_args(m.orphans[0].span.args);
+  ASSERT_TRUE(orphan_ctx.has_value());
+  EXPECT_EQ(orphan_ctx->request_id, 9u);
+}
+
+TEST(TraceMerge, BreakdownSplitsTheDriverRoundTrip) {
+  auto merged = merge_traces(golden_traces());
+  ASSERT_TRUE(merged.ok());
+  const MergedPair& pair = merged.value().pairs[0];
+  EXPECT_DOUBLE_EQ(pair.driver_ms, 50.0);
+  EXPECT_DOUBLE_EQ(pair.queue_ms, 5.0);
+  EXPECT_DOUBLE_EQ(pair.exec_ms, 30.0);
+  EXPECT_DOUBLE_EQ(pair.wire_ms, 15.0);  // 50 - 5 - 30
+}
+
+TEST(TraceMerge, WireTimeClampsAtZero) {
+  // Clock noise can make queue + exec exceed the driver's measured round
+  // trip; the wire remainder must clamp rather than go negative.
+  std::vector<ProcessTrace> traces(2);
+  traces[0].label = "driver.jsonl";
+  traces[0].events.push_back(rpc_span(make_context(1, 1, 1), 100.0, 20.0));
+  traces[1].label = "w1.jsonl";
+  traces[1].events.push_back(serve_span(make_context(1, 1, 1), 90.0, 30.0, 5.0));
+  auto merged = merge_traces(std::move(traces));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_DOUBLE_EQ(merged.value().pairs[0].wire_ms, 0.0);
+}
+
+TEST(TraceMerge, SkewNormalizesWorkerClocksOntoTheDriverEpoch) {
+  auto merged = merge_traces(golden_traces());
+  ASSERT_TRUE(merged.ok());
+  const MergeResult& m = merged.value();
+  ASSERT_EQ(m.skew_offset_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.skew_offset_ms[0], 0.0);  // the driver is the epoch
+  // Driver span midpoint 1025, worker span midpoint 515 → +510ms shift.
+  EXPECT_DOUBLE_EQ(m.skew_offset_ms[1], 510.0);
+}
+
+TEST(TraceMerge, DuplicateDispatchSpanNamesBothProcesses) {
+  std::vector<ProcessTrace> traces(2);
+  traces[0].label = "driver-a.jsonl";
+  traces[0].events.push_back(rpc_span(make_context(1, 1, 1), 0.0, 1.0));
+  traces[1].label = "driver-b.jsonl";
+  traces[1].events.push_back(rpc_span(make_context(1, 1, 1), 0.0, 1.0));
+  auto merged = merge_traces(std::move(traces));
+  ASSERT_FALSE(merged.ok());
+  const std::string message = merged.error().to_string();
+  EXPECT_NE(message.find("driver-a.jsonl"), std::string::npos) << message;
+  EXPECT_NE(message.find("driver-b.jsonl"), std::string::npos) << message;
+}
+
+TEST(TraceMerge, CanonicalJsonlMatchesTheGolden) {
+  auto merged = merge_traces(golden_traces());
+  ASSERT_TRUE(merged.ok());
+  std::ostringstream actual;
+  write_merged_jsonl(actual, merged.value());
+
+  // Expected: pair order (driver then its worker span), orphans last;
+  // wall fields stripped but ph stays "X"; args reduced to the canonical
+  // allowlist in its fixed order (worker endpoint and queue_ms dropped).
+  const auto canonical = [](obs::TraceEvent e, bool keep_span_args) {
+    std::vector<obs::TraceArg> args;
+    for (const auto& a : e.args) {
+      if (a.key == "worker" || a.key == "queue_ms") continue;
+      if (a.key == "ok" || a.key == "cell") continue;  // re-added in order
+      args.push_back(a);
+    }
+    for (const auto& a : e.args) {
+      if (a.key == "cell") args.push_back(a);
+    }
+    for (const auto& a : e.args) {
+      if (keep_span_args && a.key == "ok") args.push_back(a);
+    }
+    e.args = std::move(args);
+    e.wall_start_ms = 0.0;
+    e.wall_ms = 0.0;
+    return e;
+  };
+  std::ostringstream expected;
+  obs::write_event_jsonl(
+      expected, canonical(rpc_span(make_context(77, 1, 1), 0, 0), true), false);
+  obs::write_event_jsonl(
+      expected, canonical(serve_span(make_context(77, 1, 1), 0, 0, 0), false),
+      false);
+  obs::write_event_jsonl(
+      expected, canonical(rpc_span(make_context(77, 2, 1), 0, 0, false), true),
+      false);
+  obs::write_event_jsonl(
+      expected, canonical(serve_span(make_context(77, 9, 1), 0, 0, 0), false),
+      false);
+  EXPECT_EQ(actual.str(), expected.str());
+}
+
+TEST(TraceMerge, MergedOutputsAreByteIdenticalAcrossRuns) {
+  auto first = merge_traces(golden_traces());
+  auto second = merge_traces(golden_traces());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  std::ostringstream jsonl_a, jsonl_b, summary_a, summary_b;
+  write_merged_jsonl(jsonl_a, first.value());
+  write_merged_jsonl(jsonl_b, second.value());
+  EXPECT_EQ(jsonl_a.str(), jsonl_b.str());
+  EXPECT_NE(jsonl_a.str().find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(jsonl_a.str().find("wall_start_ms"), std::string::npos);
+  EXPECT_EQ(jsonl_a.str().find("worker"), std::string::npos);
+
+  write_merge_summary_json(summary_a, first.value(), /*include_wall=*/false);
+  write_merge_summary_json(summary_b, second.value(), /*include_wall=*/false);
+  EXPECT_EQ(summary_a.str(), summary_b.str());
+  EXPECT_EQ(summary_a.str(),
+            "{\"processes\": 2, \"dispatches\": 2, \"joined\": 1, "
+            "\"unserved_dispatches\": 1, \"orphaned_worker_spans\": 1}\n");
+}
+
+TEST(TraceMerge, WallSummaryAddsProcessDetailAndBreakdown) {
+  auto merged = merge_traces(golden_traces());
+  ASSERT_TRUE(merged.ok());
+  std::ostringstream out;
+  write_merge_summary_json(out, merged.value(), /*include_wall=*/true);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"process_detail\""), std::string::npos);
+  EXPECT_NE(json.find("\"driver.jsonl\""), std::string::npos);
+  EXPECT_NE(json.find("\"skew_offset_ms\": 510.000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"breakdown_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire\""), std::string::npos);
+}
+
+TEST(TraceMerge, ChromeExportHasLanesAndFlowArrows) {
+  auto merged = merge_traces(golden_traces());
+  ASSERT_TRUE(merged.ok());
+  std::ostringstream out;
+  write_merged_chrome(out, merged.value());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"driver.jsonl\""), std::string::npos);
+  EXPECT_NE(json.find("\"w1.jsonl\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);  // flow start
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);  // flow end
+}
+
+TEST(TraceMerge, FileVariantNamesTheUnreadablePath) {
+  auto merged = merge_trace_files({"/nonexistent/trace.jsonl"});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.error().to_string().find("/nonexistent/trace.jsonl"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace amjs::analysis

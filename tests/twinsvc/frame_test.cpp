@@ -225,12 +225,12 @@ TEST(TwinsvcFrame, HugeDeclaredJobCountRejectedBeforeAllocation) {
   auto frame = decode_frame(bytes.value());
   ASSERT_TRUE(frame.ok());
   // The job count u64 sits at a fixed payload offset: request id (8),
-  // machine spec (1 + 4*8), twin params (4*8). Declare ~2^64 jobs; the
-  // decoder must reject the count against the bytes actually present
-  // instead of letting a CRC-valid crafted frame drive a multi-gigabyte
-  // reserve().
+  // trace context (29), machine spec (1 + 4*8), twin params (4*8).
+  // Declare ~2^64 jobs; the decoder must reject the count against the
+  // bytes actually present instead of letting a CRC-valid crafted frame
+  // drive a multi-gigabyte reserve().
   std::string payload = frame.value().payload;
-  const std::size_t count_at = 8 + 33 + 32;
+  const std::size_t count_at = 8 + kTraceContextEncodedSize + 33 + 32;
   for (std::size_t i = 0; i < 8; ++i) {
     payload[count_at + i] = static_cast<char>(0xff);
   }
