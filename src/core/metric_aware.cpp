@@ -164,7 +164,7 @@ void MetricAwareScheduler::schedule(SchedContext& ctx) {
 void MetricAwareScheduler::schedule_easy(SchedContext& ctx,
                                          const std::vector<JobId>& ranked) {
   const SimTime now = ctx.now();
-  auto plan = ctx.machine().make_plan(now);
+  auto plan = ctx.plan();
 
   // Step 5 on the first window only: its placements (including future
   // reservations) are the protected set.
@@ -197,8 +197,7 @@ void MetricAwareScheduler::schedule_easy(SchedContext& ctx,
 
 void MetricAwareScheduler::schedule_conservative(SchedContext& ctx,
                                                  const std::vector<JobId>& ranked) {
-  const SimTime now = ctx.now();
-  auto plan = ctx.machine().make_plan(now);
+  auto plan = ctx.plan();
 
   // Step 5 window-by-window over the whole queue; every placement is
   // committed, so no reservation can be delayed (conservative semantics).

@@ -57,7 +57,16 @@ Objective place_all(const Plan& base, const std::vector<const Job*>& window,
   return obj;
 }
 
-void search(const Plan& plan, Objective so_far, std::uint32_t used_mask,
+// `used_mask` is one bit per window slot: 64 bits bounds the window the
+// search can handle at kMaxWindow (the constructor clamps there). A
+// narrower mask silently aliases slots past its width — slot 32 in a
+// uint32_t mask wraps onto slot 0 and the search revisits placed jobs.
+//
+// Plans with undo support (Plan::supports_undo) are explored by
+// commit + undo_last_commit on the one plan — no per-branch clone; plans
+// without it fall back to clone-per-branch. Both walks visit identical
+// states in identical order, so the chosen permutation cannot differ.
+void search(Plan& plan, Objective so_far, std::uint64_t used_mask,
             SearchState& state) {
   const auto& window = *state.window;
   if (state.current.size() == window.size()) {
@@ -69,25 +78,30 @@ void search(const Plan& plan, Objective so_far, std::uint32_t used_mask,
     return;
   }
   for (std::size_t i = 0; i < window.size(); ++i) {
-    if (used_mask & (1u << i)) continue;
+    if (used_mask & (std::uint64_t{1} << i)) continue;
     const Job* job = window[i];
     const SimTime start = plan.find_start(*job, state.now);
     const Objective next{std::max(so_far.makespan, start + job->walltime),
                          so_far.start_sum + (start - state.now)};
     if (!next.can_beat(state.best_objective)) continue;
-    auto child = plan.clone();
-    child->commit(*job, start);
     state.current.push_back({job->id, start});
-    search(*child, next, used_mask | (1u << i), state);
+    if (plan.supports_undo()) {
+      plan.commit(*job, start);
+      search(plan, next, used_mask | (std::uint64_t{1} << i), state);
+      plan.undo_last_commit();
+    } else {
+      auto child = plan.clone();
+      child->commit(*job, start);
+      search(*child, next, used_mask | (std::uint64_t{1} << i), state);
+    }
     state.current.pop_back();
   }
 }
 
 }  // namespace
 
-WindowAllocator::WindowAllocator(int max_window) : max_window_(max_window) {
-  assert(max_window_ >= 1 && max_window_ <= 12);
-}
+WindowAllocator::WindowAllocator(int max_window)
+    : max_window_(std::clamp(max_window, 1, kMaxWindow)) {}
 
 WindowDecision WindowAllocator::decide(const Plan& plan,
                                        const std::vector<const Job*>& window,
@@ -130,7 +144,9 @@ WindowDecision WindowAllocator::decide(const Plan& plan,
   if (exhaustive_ && jobs.size() > 1 && any_fits_now &&
       state.best_objective.start_sum > 0) {
     state.current.reserve(jobs.size());
-    search(plan, Objective{now, 0}, 0, state);
+    // One root clone; undo-capable plans mutate it in place down the tree.
+    auto root = plan.clone();
+    search(*root, Objective{now, 0}, 0, state);
   }
 
   decision.placements = std::move(state.best);

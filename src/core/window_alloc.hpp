@@ -41,8 +41,15 @@ struct WindowDecision {
 
 class WindowAllocator {
  public:
+  /// Hard cap on the window the permutation search can represent: one bit
+  /// per window slot in a 64-bit used mask. (Long before 64 the W! search
+  /// is intractable anyway; the cap exists so an out-of-range request is
+  /// clamped instead of overflowing the mask.)
+  static constexpr int kMaxWindow = 64;
+
   /// Windows larger than `max_window` are truncated (W! growth; the paper
-  /// itself stops at W = 5).
+  /// itself stops at W = 5). Out-of-range values are clamped to
+  /// [1, kMaxWindow] in all build types.
   explicit WindowAllocator(int max_window = 8);
 
   [[nodiscard]] int max_window() const { return max_window_; }

@@ -89,6 +89,20 @@ class Plan {
   /// a backfilled job physically landing on a partition the plan reserved
   /// for someone else silently breaks the reservation.
   [[nodiscard]] virtual int last_placement() const { return -1; }
+
+  /// Whether undo_last_commit() is available. Plans whose commit()
+  /// appends to internal ledgers can pop the most recent entry in O(1);
+  /// the window permutation search then explores branches by
+  /// commit + undo on a single plan instead of cloning at every tree
+  /// level. Plans that fold commits into a merged profile (e.g. a step
+  /// function) keep the default and the search falls back to clone().
+  [[nodiscard]] virtual bool supports_undo() const { return false; }
+
+  /// Exactly reverse the most recent commit() on this plan. Only valid
+  /// when supports_undo() is true, in strict LIFO order, and only for
+  /// hard commits (commit_soft is not undoable). last_placement() is
+  /// unspecified afterwards.
+  virtual void undo_last_commit() {}
 };
 
 class Machine {

@@ -289,6 +289,15 @@ void PartitionPlan::commit(const Job& job, SimTime start) {
   last_placement_ = idx;
 }
 
+void PartitionPlan::undo_last_commit() {
+  // commit() appends exactly one pinned and one capacity interval; strict
+  // LIFO popping restores the pre-commit plan bit for bit.
+  assert(!pinned_.empty() && !committed_.empty());
+  pinned_.pop_back();
+  committed_.pop_back();
+  last_placement_ = -1;
+}
+
 void PartitionPlan::commit_soft(const Job& job, SimTime start) {
   const NodeCount occ = machine_->occupancy(job);
   assert(feasible_at(job, start, occ) && "commit at an infeasible start");

@@ -150,6 +150,8 @@ class PartitionPlan final : public Plan {
   void commit(const Job& job, SimTime start) override;
   void commit_soft(const Job& job, SimTime start) override;
   [[nodiscard]] int last_placement() const override { return last_placement_; }
+  [[nodiscard]] bool supports_undo() const override { return true; }
+  void undo_last_commit() override;
 
  private:
   struct MaskInterval {

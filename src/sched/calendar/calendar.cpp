@@ -1,0 +1,23 @@
+#include "sched/calendar/calendar.hpp"
+
+#include "platform/flat.hpp"
+#include "platform/partition.hpp"
+#include "sched/calendar/flat_calendar.hpp"
+#include "sched/calendar/partition_calendar.hpp"
+
+namespace amjs {
+
+std::unique_ptr<PlanProvider> make_plan_provider(const Machine& machine,
+                                                 PlanMode mode) {
+  if (mode == PlanMode::kCalendar) {
+    if (const auto* flat = dynamic_cast<const FlatMachine*>(&machine)) {
+      return std::make_unique<FlatCalendar>(*flat);
+    }
+    if (const auto* part = dynamic_cast<const PartitionMachine*>(&machine)) {
+      return std::make_unique<PartitionCalendar>(*part);
+    }
+  }
+  return std::make_unique<RebuildPlanProvider>(machine);
+}
+
+}  // namespace amjs

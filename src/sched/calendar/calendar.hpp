@@ -1,0 +1,98 @@
+// Incremental reservation calendar — the scheduling hot path's persistent
+// plan source.
+//
+// The seed implementation rebuilds a Plan from the live machine at every
+// scheduler pass (Machine::make_plan walks the running set and re-derives
+// the whole free-capacity profile), and the window permutation search
+// deep-clones that plan at every branch. A PlanProvider replaces both
+// rebuilds with a long-lived calendar mutated by event deltas:
+//
+//   * job start / job end deltas are *recorded* as they happen and
+//     *applied* lazily at the next plan() call — a scheduler's live plan
+//     view must not see mid-pass machine mutations (the scheduler already
+//     committed those jobs into its own view, exactly as the seed plan
+//     semantics require);
+//   * plan() hands out a Plan-compatible view whose commits land in a
+//     small per-pass overlay; the shared base profile is never touched by
+//     a view, so Plan::clone() copies only the overlay (copy-on-write) and
+//     the W! window search stops paying O(profile) per branch;
+//   * find_start results against the bare base profile are memoized per
+//     (job, earliest-range) and invalidated by the calendar epoch, which
+//     bumps whenever an applied delta changes the profile.
+//
+// Equivalence contract: a calendar-backed view must answer find_start /
+// fits_at / commit byte-identically to the Plan the machine would build
+// from scratch at the same instant. The conformance and differential
+// suites in tests/sched hold both implementations side by side; the seed
+// path stays selectable through PlanMode::kRebuild.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/machine.hpp"
+
+namespace amjs {
+
+/// How a simulation sources its scheduler plans.
+enum class PlanMode : std::uint8_t {
+  /// Incremental calendar (default): persistent profile + event deltas.
+  kCalendar,
+  /// Seed behaviour: Machine::make_plan rebuild at every pass (the A/B
+  /// conformance reference).
+  kRebuild,
+};
+
+/// A long-lived source of Plan views over one machine's future.
+///
+/// Lifetime contract: a view returned by plan() is valid until the next
+/// plan() call (one scheduler pass); the provider must outlive its views.
+/// Deltas may be recorded at any time; they take effect at the next
+/// plan() call.
+class PlanProvider {
+ public:
+  virtual ~PlanProvider() = default;
+
+  /// A Plan view of the machine's future as of `now`. `now` must be
+  /// monotonically non-decreasing across calls.
+  [[nodiscard]] virtual std::unique_ptr<Plan> plan(SimTime now) = 0;
+
+  /// `job` just started on the machine at `now` (the machine already
+  /// holds the allocation; implementations capture placement/occupancy
+  /// from it immediately, application is deferred to the next plan()).
+  virtual void on_job_start(const Job& job, SimTime now) { (void)job, (void)now; }
+
+  /// `job`'s allocation was just released at `now`.
+  virtual void on_job_finish(JobId job, SimTime now) { (void)job, (void)now; }
+
+  /// The machine changed wholesale (reset / snapshot restore): drop all
+  /// derived state and pending deltas; the next plan() rebuilds from the
+  /// live machine.
+  virtual void resync() {}
+
+  /// Profile epoch: bumps whenever applied deltas changed the base
+  /// profile. Memoized query results are valid within one epoch only.
+  [[nodiscard]] virtual std::uint64_t epoch() const { return 0; }
+};
+
+/// Seed-compatible provider: every plan() call rebuilds from the machine.
+class RebuildPlanProvider final : public PlanProvider {
+ public:
+  explicit RebuildPlanProvider(const Machine& machine) : machine_(&machine) {}
+
+  [[nodiscard]] std::unique_ptr<Plan> plan(SimTime now) override {
+    return machine_->make_plan(now);
+  }
+
+ private:
+  const Machine* machine_;
+};
+
+/// Provider for `machine` under `mode`. kCalendar returns the incremental
+/// calendar matching the machine's concrete model; machine models without
+/// a calendar implementation (or kRebuild) fall back to the seed rebuild
+/// path, so unknown machines keep working unchanged.
+[[nodiscard]] std::unique_ptr<PlanProvider> make_plan_provider(
+    const Machine& machine, PlanMode mode);
+
+}  // namespace amjs

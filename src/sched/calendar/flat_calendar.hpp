@@ -1,0 +1,101 @@
+// Incremental calendar over a FlatMachine: a persistent free-capacity step
+// profile (the same representation as FlatPlan) updated by job start/end
+// deltas instead of rebuilt from the running set every pass.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sched/calendar/calendar.hpp"
+
+namespace amjs {
+
+class FlatMachine;
+class FlatCalendarPlan;
+
+class FlatCalendar final : public PlanProvider {
+ public:
+  explicit FlatCalendar(const FlatMachine& machine);
+
+  [[nodiscard]] std::unique_ptr<Plan> plan(SimTime now) override;
+  void on_job_start(const Job& job, SimTime now) override;
+  void on_job_finish(JobId job, SimTime now) override;
+  void resync() override;
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+
+  /// One breakpoint of the free-capacity step function (value holds until
+  /// the next breakpoint; the last segment extends forever).
+  struct Step {
+    SimTime time;
+    NodeCount free;
+  };
+
+  /// The base profile (tests only; views read it through the plan).
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  friend class FlatCalendarPlan;
+
+  struct Delta {
+    enum class Kind : std::uint8_t { kStart, kFinish } kind;
+    JobId job;
+    SimTime at;
+    // kStart only: the capacity hold being added.
+    SimTime end = 0;
+    NodeCount nodes = 0;
+  };
+
+  void apply_pending();
+  void trim(SimTime now);
+  void rebuild(SimTime now);
+  /// Add (negative `nodes`: release) capacity usage over [from, to).
+  void occupy(SimTime from, SimTime to, NodeCount nodes);
+
+  const FlatMachine* machine_;
+  bool synced_ = false;
+  std::vector<Step> steps_;
+  /// Live holds mirrored from applied start deltas: job -> (end, nodes).
+  std::map<JobId, std::pair<SimTime, NodeCount>> holds_;
+  std::vector<Delta> pending_;
+  /// Bumps when the profile semantically changes (memo invalidation).
+  std::uint64_t epoch_ = 0;
+  /// Bumps on any structural change incl. trims (view invalidation).
+  std::uint64_t gen_ = 0;
+
+  /// find_start memo: valid for any earliest in [earliest_lo, start]
+  /// within one epoch (feasibility ahead of the cached start is
+  /// unaffected by moving the query origin later — see find_start).
+  struct MemoEntry {
+    SimTime earliest_lo;
+    SimTime start;
+    NodeCount nodes;
+    Duration walltime;
+  };
+  std::map<JobId, MemoEntry> memo_;
+};
+
+/// Plan view over a FlatCalendar: shared immutable base profile plus a
+/// private overlay step function of this pass's commitments. clone()
+/// copies the overlay only.
+class FlatCalendarPlan final : public Plan {
+ public:
+  FlatCalendarPlan(FlatCalendar& base, SimTime now);
+
+  [[nodiscard]] std::unique_ptr<Plan> clone() const override;
+  [[nodiscard]] SimTime find_start(const Job& job, SimTime earliest) const override;
+  [[nodiscard]] bool fits_at(const Job& job, SimTime t) const override;
+  void commit(const Job& job, SimTime start) override;
+
+ private:
+  [[nodiscard]] SimTime scan_find_start(const Job& job, SimTime earliest) const;
+
+  FlatCalendar* base_;  // non-owning; outlives the view
+  SimTime origin_;
+  NodeCount total_;
+  std::uint64_t base_gen_;  // staleness check (debug)
+  /// Committed usage step function over [origin, inf); starts flat zero.
+  std::vector<FlatCalendar::Step> overlay_;
+  bool committed_any_ = false;
+};
+
+}  // namespace amjs

@@ -1,0 +1,376 @@
+#include "sched/calendar/partition_calendar.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amjs {
+
+PartitionCalendar::PartitionCalendar(const PartitionMachine& machine)
+    : machine_(&machine) {
+  // Per-tier partition lists in ascending partition-index order — the
+  // same lists tier_partitions() serves, reachable by tier index instead
+  // of a per-query occupancy + map lookup.
+  const auto& tiers = machine.tiers();
+  const auto& parts = machine.partitions();
+  tier_parts_.resize(tiers.size());
+  for (int i = 0; i < static_cast<int>(parts.size()); ++i) {
+    const auto it = std::lower_bound(tiers.begin(), tiers.end(),
+                                     parts[static_cast<std::size_t>(i)].size);
+    assert(it != tiers.end() && *it == parts[static_cast<std::size_t>(i)].size);
+    tier_parts_[static_cast<std::size_t>(it - tiers.begin())].push_back(i);
+  }
+}
+
+void PartitionCalendar::resync() {
+  synced_ = false;
+  pending_.clear();
+}
+
+void PartitionCalendar::rebuild(SimTime now) {
+  holds_.clear();
+  for (const auto& [id, live] : machine_->running_allocs()) {
+    // Same convention as PartitionPlan's constructor: jobs at/after their
+    // predicted end contribute nothing (the simulator resolves them).
+    const SimTime end = std::max(live.alloc.predicted_end, now);
+    if (end > now) {
+      holds_.push_back(Hold{id, now, end,
+                            machine_->partition_mask(live.partition),
+                            live.alloc.occupied});
+    }
+  }
+  pending_.clear();
+  synced_ = true;
+  ++epoch_;
+  memo_.clear();
+  timeline_dirty_ = true;
+}
+
+std::size_t PartitionCalendar::Timeline::index_after(SimTime t) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(ends.begin(), ends.end(), t) - ends.begin());
+}
+
+PartitionMachine::LeafMask PartitionCalendar::Timeline::busy_after(
+    SimTime t) const {
+  const std::size_t i = index_after(t);
+  return i < ends.size() ? busy_from[i] : PartitionMachine::LeafMask{};
+}
+
+NodeCount PartitionCalendar::Timeline::occupied_after(SimTime t) const {
+  const std::size_t i = index_after(t);
+  return i < ends.size() ? occupied_from[i] : 0;
+}
+
+std::size_t PartitionCalendar::Timeline::first_free_after(std::size_t tier,
+                                                          SimTime t) const {
+  const std::size_t i = index_after(t);
+  return i < ends.size() ? first_free_pos[tier][i] : 0;
+}
+
+void PartitionCalendar::build_timeline() {
+  Timeline& tl = timeline_;
+  tl.ends.clear();
+  tl.busy_from.clear();
+  tl.occupied_from.clear();
+  tl.first_free_pos.assign(tier_parts_.size(), {});
+  if (holds_.empty()) return;
+
+  std::vector<const Hold*> by_end(holds_.size());
+  for (std::size_t i = 0; i < holds_.size(); ++i) by_end[i] = &holds_[i];
+  std::sort(by_end.begin(), by_end.end(),
+            [](const Hold* a, const Hold* b) { return a->end < b->end; });
+
+  // Back-to-front suffix aggregation; one entry per distinct end time.
+  PartitionMachine::LeafMask busy;
+  NodeCount occ = 0;
+  for (std::size_t i = by_end.size(); i-- > 0;) {
+    busy |= by_end[i]->mask;
+    occ += by_end[i]->occupied;
+    if (i == 0 || by_end[i - 1]->end != by_end[i]->end) {
+      tl.ends.push_back(by_end[i]->end);
+      tl.busy_from.push_back(busy);
+      tl.occupied_from.push_back(occ);
+    }
+  }
+  std::reverse(tl.ends.begin(), tl.ends.end());
+  std::reverse(tl.busy_from.begin(), tl.busy_from.end());
+  std::reverse(tl.occupied_from.begin(), tl.occupied_from.end());
+
+  // First base-conflict-free position per (tier, timeline index). Walking
+  // i downward only grows the busy mask, so the position is monotone and
+  // the whole table costs O(ends + tier size) per tier.
+  for (std::size_t ti = 0; ti < tier_parts_.size(); ++ti) {
+    const auto& list = tier_parts_[ti];
+    auto& ff = tl.first_free_pos[ti];
+    ff.assign(tl.ends.size(), 0);
+    std::size_t pos = 0;
+    for (std::size_t i = tl.ends.size(); i-- > 0;) {
+      while (pos < list.size() &&
+             (tl.busy_from[i] &
+              machine_->partition_mask(list[pos]))
+                 .any()) {
+        ++pos;
+      }
+      ff[i] = pos;
+    }
+  }
+}
+
+const PartitionCalendar::Timeline& PartitionCalendar::timeline() {
+  if (timeline_dirty_) {
+    build_timeline();
+    timeline_dirty_ = false;
+  }
+  return timeline_;
+}
+
+void PartitionCalendar::on_job_start(const Job& job, SimTime now) {
+  if (!synced_) return;  // next plan() rebuilds from the machine anyway
+  const auto it = machine_->running_allocs().find(job.id);
+  assert(it != machine_->running_allocs().end() &&
+         "start delta for a job the machine does not hold");
+  if (it == machine_->running_allocs().end()) {
+    resync();
+    return;
+  }
+  Delta d{Delta::Kind::kStart, job.id, now,
+          it->second.alloc.predicted_end,
+          machine_->partition_mask(it->second.partition),
+          it->second.alloc.occupied};
+  pending_.push_back(d);
+}
+
+void PartitionCalendar::on_job_finish(JobId job, SimTime now) {
+  if (!synced_) return;
+  pending_.push_back({Delta::Kind::kFinish, job, now, 0, {}, 0});
+}
+
+void PartitionCalendar::apply_pending() {
+  if (pending_.empty()) return;
+  for (const Delta& d : pending_) {
+    if (d.kind == Delta::Kind::kStart) {
+      if (d.end > d.at) {
+        holds_.push_back(Hold{d.job, d.at, d.end, d.mask, d.occupied});
+      }
+    } else {
+      // Finished jobs vanish from the future outright — exactly as a
+      // from-scratch plan built after the finish would never see them.
+      std::erase_if(holds_, [&](const Hold& h) { return h.job == d.job; });
+    }
+  }
+  pending_.clear();
+  ++epoch_;
+  memo_.clear();
+  timeline_dirty_ = true;
+}
+
+void PartitionCalendar::compact(SimTime now) {
+  // Fully elapsed holds (end <= now) are invisible to every query at
+  // t >= now; dropping them keeps the hold set proportional to the
+  // running-job count instead of the simulation's history.
+  const std::size_t before = holds_.size();
+  std::erase_if(holds_, [&](const Hold& h) { return h.end <= now; });
+  if (holds_.size() != before) timeline_dirty_ = true;
+}
+
+std::unique_ptr<Plan> PartitionCalendar::plan(SimTime now) {
+  if (!synced_) {
+    rebuild(now);
+  } else {
+    apply_pending();
+    compact(now);
+  }
+  ++gen_;  // any outstanding view from a previous pass is now stale
+  return std::make_unique<PartitionCalendarPlan>(*this, now);
+}
+
+PartitionCalendarPlan::PartitionCalendarPlan(PartitionCalendar& base,
+                                             SimTime now)
+    : base_(&base), origin_(now), base_gen_(base.gen_) {}
+
+std::unique_ptr<Plan> PartitionCalendarPlan::clone() const {
+  // Copy-on-write: base holds are shared; only this view's overlays (a
+  // handful of commitments) are copied per window-search branch.
+  return std::make_unique<PartitionCalendarPlan>(*this);
+}
+
+PartitionCalendarPlan::TierRef PartitionCalendarPlan::tier_ref(
+    const Job& job) const {
+  const auto& tiers = base_->machine_->tiers();
+  const auto it =
+      std::lower_bound(tiers.begin(), tiers.end(), base_->machine_->occupancy(job));
+  assert(it != tiers.end());
+  const auto tier = static_cast<std::size_t>(it - tiers.begin());
+  return {tier, &base_->tier_parts_[tier]};
+}
+
+int PartitionCalendarPlan::free_partition_during(const Job& job,
+                                                 SimTime t) const {
+  return free_partition_in(tier_ref(job), t, t + job.walltime);
+}
+
+int PartitionCalendarPlan::free_partition_in(const TierRef& tr, SimTime t,
+                                             SimTime end) const {
+  const PartitionMachine& m = *base_->machine_;
+  const auto& parts = *tr.parts;
+  const auto& tl = base_->timeline();
+  // Base holds all start at or before the plan origin <= t, so a base hold
+  // overlaps [t, end) iff its end exceeds t — the busy set is a suffix of
+  // the end-sorted timeline, and the first tier position clear of it is
+  // precomputed per epoch. A partition conflicts with *some* overlapping
+  // hold iff it intersects the union of their masks, so positions before
+  // the precomputed one stay in conflict under any overlay.
+  std::size_t pos = tl.first_free_after(tr.tier, t);
+  if (pos >= parts.size()) return -1;
+  if (pinned_ovl_.empty()) return parts[pos];
+  PartitionMachine::LeafMask ovl;
+  bool any_ovl = false;
+  for (const auto& iv : pinned_ovl_) {
+    if (iv.end > t && iv.start < end) {
+      ovl |= iv.mask;
+      any_ovl = true;
+    }
+  }
+  if (!any_ovl) return parts[pos];
+  const PartitionMachine::LeafMask busy = tl.busy_after(t) | ovl;
+  for (; pos < parts.size(); ++pos) {
+    if (!(busy & m.partition_mask(parts[pos])).any()) return parts[pos];
+  }
+  return -1;
+}
+
+NodeCount PartitionCalendarPlan::peak_usage(SimTime t, Duration duration) const {
+  // Base usage at any s >= t is the suffix sum of end-sorted holds (their
+  // starts all precede the origin), so it is non-increasing in s and the
+  // base alone peaks at t. Adding the overlay, the combined usage can only
+  // rise where an overlay commitment begins — so the exact peak over
+  // [t, t+duration) is the max of the usage at t and at each overlay start
+  // inside the window, the same value PartitionPlan's full boundary sweep
+  // computes in O((holds + overlay) log) per query.
+  const SimTime end = t + duration;
+  const auto& tl = base_->timeline();
+  const auto usage_at = [&](SimTime s) {
+    NodeCount occ = tl.occupied_after(s);
+    for (const auto& c : cap_ovl_) {
+      if (c.start <= s && c.end > s) occ += c.occupied;
+    }
+    return occ;
+  };
+  NodeCount peak = usage_at(t);
+  for (const auto& c : cap_ovl_) {
+    if (c.start > t && c.start < end) peak = std::max(peak, usage_at(c.start));
+  }
+  return peak;
+}
+
+bool PartitionCalendarPlan::feasible_at(const Job& job, SimTime t,
+                                        NodeCount occ) const {
+  return feasible_in(tier_ref(job), job.walltime, occ, t);
+}
+
+bool PartitionCalendarPlan::feasible_in(const TierRef& tr, Duration walltime,
+                                        NodeCount occ, SimTime t) const {
+  if (free_partition_in(tr, t, t + walltime) < 0) return false;
+  return peak_usage(t, walltime) + occ <= base_->machine_->total_nodes();
+}
+
+bool PartitionCalendarPlan::fits_at(const Job& job, SimTime t) const {
+  assert(base_gen_ == base_->gen_ && "stale plan view used across passes");
+  return feasible_at(job, t, base_->machine_->occupancy(job));
+}
+
+SimTime PartitionCalendarPlan::scan_find_start(const Job& job,
+                                               SimTime earliest) const {
+  assert(base_->machine_->fits(job));
+  const TierRef tr = tier_ref(job);
+  // occupancy(job) is the tier size by construction.
+  const NodeCount occ = base_->machine_->tiers()[tr.tier];
+  const auto& tl = base_->timeline();
+
+  // Candidate starts: `earliest` plus every time capacity or a partition
+  // frees up — identical to PartitionPlan::find_start's candidate set
+  // (base hold ends appear once here where the seed lists them in both
+  // pinned_ and committed_). The timeline's end list is already sorted and
+  // distinct, so merge-walking it against the few overlay ends visits the
+  // seed's sort+unique candidate sequence without materializing it.
+  std::vector<SimTime>& ovl_ends = scratch_ends_;
+  ovl_ends.clear();
+  for (const auto& iv : pinned_ovl_) {
+    if (iv.end > earliest) ovl_ends.push_back(iv.end);
+  }
+  for (const auto& c : cap_ovl_) {
+    if (c.end > earliest) ovl_ends.push_back(c.end);
+  }
+  std::sort(ovl_ends.begin(), ovl_ends.end());
+
+  std::size_t bi = tl.index_after(earliest);
+  std::size_t oi = 0;
+  SimTime t = earliest;
+  while (true) {
+    if (feasible_in(tr, job.walltime, occ, t)) break;
+    SimTime next = kNever;
+    if (bi < tl.ends.size()) next = tl.ends[bi];
+    if (oi < ovl_ends.size()) next = std::min(next, ovl_ends[oi]);
+    // Past the last commitment the machine is empty, so the walk always
+    // stops at or before the final candidate.
+    if (next == kNever) break;
+    while (bi < tl.ends.size() && tl.ends[bi] == next) ++bi;
+    while (oi < ovl_ends.size() && ovl_ends[oi] == next) ++oi;
+    t = next;
+  }
+  ovl_ends.clear();
+  return t;
+}
+
+SimTime PartitionCalendarPlan::find_start(const Job& job,
+                                          SimTime earliest) const {
+  assert(base_gen_ == base_->gen_ && "stale plan view used across passes");
+  earliest = std::max(earliest, origin_);
+  if (!pinned_ovl_.empty() || !cap_ovl_.empty()) {
+    return scan_find_start(job, earliest);
+  }
+
+  // Bare-profile query: memoizable with the same earliest-range validity
+  // as the flat calendar (base holds all start at or before the plan
+  // origin, so no candidate between earliest_lo and the cached start can
+  // become feasible by moving the query origin later).
+  const auto it = base_->memo_.find(job.id);
+  if (it != base_->memo_.end() && it->second.nodes == job.nodes &&
+      it->second.walltime == job.walltime &&
+      earliest >= it->second.earliest_lo && earliest <= it->second.start) {
+    return it->second.start;
+  }
+  const SimTime start = scan_find_start(job, earliest);
+  base_->memo_[job.id] =
+      PartitionCalendar::MemoEntry{earliest, start, job.nodes, job.walltime};
+  return start;
+}
+
+void PartitionCalendarPlan::commit(const Job& job, SimTime start) {
+  const NodeCount occ = base_->machine_->occupancy(job);
+  assert(feasible_at(job, start, occ) && "commit at an infeasible start");
+  const int idx = free_partition_during(job, start);
+  assert(idx >= 0);
+  pinned_ovl_.push_back(
+      {start, start + job.walltime, base_->machine_->partition_mask(idx)});
+  cap_ovl_.push_back({start, start + job.walltime, occ});
+  last_placement_ = idx;
+}
+
+void PartitionCalendarPlan::undo_last_commit() {
+  // commit() appends exactly one pinned and one capacity overlay entry;
+  // strict LIFO popping restores the pre-commit view bit for bit.
+  assert(!pinned_ovl_.empty() && !cap_ovl_.empty());
+  pinned_ovl_.pop_back();
+  cap_ovl_.pop_back();
+  last_placement_ = -1;
+}
+
+void PartitionCalendarPlan::commit_soft(const Job& job, SimTime start) {
+  const NodeCount occ = base_->machine_->occupancy(job);
+  assert(feasible_at(job, start, occ) && "commit at an infeasible start");
+  cap_ovl_.push_back({start, start + job.walltime, occ});
+  last_placement_ = -1;
+}
+
+}  // namespace amjs

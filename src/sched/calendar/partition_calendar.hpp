@@ -1,0 +1,177 @@
+// Incremental calendar over a PartitionMachine: persistent pinned-mask /
+// capacity holds for running jobs, updated by start/finish deltas instead
+// of re-derived from the allocation table every pass.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "platform/partition.hpp"
+#include "sched/calendar/calendar.hpp"
+
+namespace amjs {
+
+class PartitionCalendarPlan;
+
+class PartitionCalendar final : public PlanProvider {
+ public:
+  explicit PartitionCalendar(const PartitionMachine& machine);
+
+  [[nodiscard]] std::unique_ptr<Plan> plan(SimTime now) override;
+  void on_job_start(const Job& job, SimTime now) override;
+  void on_job_finish(JobId job, SimTime now) override;
+  void resync() override;
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+
+  /// One running job's hold: a concrete partition (contiguity) plus its
+  /// node occupancy (capacity), both over [start, end).
+  struct Hold {
+    JobId job;
+    SimTime start;
+    SimTime end;
+    PartitionMachine::LeafMask mask;
+    NodeCount occupied;
+  };
+
+  /// The base holds (tests only; views read them through the plan).
+  [[nodiscard]] const std::vector<Hold>& holds() const { return holds_; }
+
+  /// Per-epoch derived timeline over the base holds. Every base hold
+  /// starts at or before the plan origin, so for any query time t >= origin
+  /// the holds overlapping [t, anything) are exactly the holds whose end
+  /// exceeds t — a suffix of the end-sorted hold list. Both aggregates a
+  /// query needs over that suffix are precomputed once per epoch:
+  ///   * busy_from[i]  = OR of masks of holds with end >= ends[i]
+  ///     (the leaf set any partition must avoid for a start in
+  ///     [ends[i-1], ends[i]));
+  ///   * occupied_from[i] = sum of their node occupancies (base capacity
+  ///     usage at such a start; non-increasing in time, so it is also the
+  ///     base's peak over any window starting there).
+  /// This turns the per-candidate O(holds x partitions) conflict scan and
+  /// the O(holds log holds) capacity sweep into one binary search each.
+  struct Timeline {
+    std::vector<SimTime> ends;  // distinct hold ends, ascending
+    std::vector<PartitionMachine::LeafMask> busy_from;
+    std::vector<NodeCount> occupied_from;
+    /// first_free_pos[tier][i]: first position in tier `tier`'s partition
+    /// list (ascending partition index, as tier_partitions() orders it)
+    /// whose partition has no base-hold conflict for starts in
+    /// [ends[i-1], ends[i]); the tier's list size when every partition
+    /// conflicts. Every earlier position conflicts with a base hold
+    /// regardless of any overlay, so per-query scans may start here.
+    std::vector<std::vector<std::size_t>> first_free_pos;
+
+    [[nodiscard]] std::size_t index_after(SimTime t) const;
+    [[nodiscard]] PartitionMachine::LeafMask busy_after(SimTime t) const;
+    [[nodiscard]] NodeCount occupied_after(SimTime t) const;
+    [[nodiscard]] std::size_t first_free_after(std::size_t tier, SimTime t) const;
+  };
+
+  /// The timeline for the current hold set (rebuilt lazily after deltas).
+  [[nodiscard]] const Timeline& timeline();
+
+ private:
+  friend class PartitionCalendarPlan;
+
+  struct Delta {
+    enum class Kind : std::uint8_t { kStart, kFinish } kind;
+    JobId job;
+    SimTime at;
+    // kStart only: placement captured from the machine at delta time (the
+    // allocation may be gone again by the time the delta is applied).
+    SimTime end = 0;
+    PartitionMachine::LeafMask mask;
+    NodeCount occupied = 0;
+  };
+
+  void apply_pending();
+  void compact(SimTime now);
+  void rebuild(SimTime now);
+  void build_timeline();
+
+  const PartitionMachine* machine_;
+  bool synced_ = false;
+  std::vector<Hold> holds_;
+  std::vector<Delta> pending_;
+  Timeline timeline_;
+  bool timeline_dirty_ = true;
+  /// Per-tier partition index lists, mirroring tier_partitions() (the
+  /// machine's topology is immutable; built once in the constructor).
+  std::vector<std::vector<int>> tier_parts_;
+  /// Bumps when the hold set semantically changes (memo invalidation).
+  std::uint64_t epoch_ = 0;
+  /// Bumps on any structural change incl. compaction (view invalidation).
+  std::uint64_t gen_ = 0;
+
+  /// find_start memo: valid for any earliest in [earliest_lo, start]
+  /// within one epoch (see FlatCalendar::MemoEntry for the argument; it
+  /// holds here because base holds all begin at or before the plan origin,
+  /// so usage is non-increasing over the queried future).
+  struct MemoEntry {
+    SimTime earliest_lo;
+    SimTime start;
+    NodeCount nodes;
+    Duration walltime;
+  };
+  std::map<JobId, MemoEntry> memo_;
+};
+
+/// Plan view over a PartitionCalendar: shared immutable base holds plus
+/// private overlays of this pass's commitments (pinned for hard commits,
+/// capacity for both hard and soft). clone() copies the overlays only.
+class PartitionCalendarPlan final : public Plan {
+ public:
+  PartitionCalendarPlan(PartitionCalendar& base, SimTime now);
+
+  [[nodiscard]] std::unique_ptr<Plan> clone() const override;
+  [[nodiscard]] SimTime find_start(const Job& job, SimTime earliest) const override;
+  [[nodiscard]] bool fits_at(const Job& job, SimTime t) const override;
+  void commit(const Job& job, SimTime start) override;
+  void commit_soft(const Job& job, SimTime start) override;
+  [[nodiscard]] int last_placement() const override { return last_placement_; }
+  [[nodiscard]] bool supports_undo() const override { return true; }
+  void undo_last_commit() override;
+
+ private:
+  struct MaskInterval {
+    SimTime start;
+    SimTime end;
+    PartitionMachine::LeafMask mask;
+  };
+  struct CapacityInterval {
+    SimTime start;
+    SimTime end;
+    NodeCount occupied;
+  };
+
+  /// A job's tier resolved once per query: index into machine tiers()
+  /// plus that tier's partition list.
+  struct TierRef {
+    std::size_t tier;
+    const std::vector<int>* parts;
+  };
+  [[nodiscard]] TierRef tier_ref(const Job& job) const;
+
+  [[nodiscard]] int free_partition_during(const Job& job, SimTime t) const;
+  [[nodiscard]] int free_partition_in(const TierRef& tr, SimTime t,
+                                      SimTime end) const;
+  [[nodiscard]] NodeCount peak_usage(SimTime t, Duration duration) const;
+  [[nodiscard]] bool feasible_at(const Job& job, SimTime t, NodeCount occ) const;
+  [[nodiscard]] bool feasible_in(const TierRef& tr, Duration walltime,
+                                 NodeCount occ, SimTime t) const;
+  [[nodiscard]] SimTime scan_find_start(const Job& job, SimTime earliest) const;
+
+  PartitionCalendar* base_;  // non-owning; outlives the view
+  SimTime origin_;
+  std::uint64_t base_gen_;  // staleness check (debug)
+  /// This pass's hard commits (concrete partitions).
+  std::vector<MaskInterval> pinned_ovl_;
+  /// This pass's capacity commitments (hard and soft).
+  std::vector<CapacityInterval> cap_ovl_;
+  /// Reused overlay-end buffer for scan_find_start (empty between calls,
+  /// so clones copy nothing; capacity persists across the whole search).
+  mutable std::vector<SimTime> scratch_ends_;
+  int last_placement_ = -1;
+};
+
+}  // namespace amjs

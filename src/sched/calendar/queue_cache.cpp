@@ -1,0 +1,75 @@
+#include "sched/calendar/queue_cache.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace amjs {
+
+void SortedQueueCache::rebuild_soa(const std::vector<JobId>& queue,
+                                   const JobTrace& trace) {
+  const std::size_t n = queue.size();
+  ids_ = queue;
+  submit_.resize(n);
+  walltime_.resize(n);
+  nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Job& j = trace.job(queue[i]);
+    submit_[i] = j.submit;
+    walltime_[i] = j.walltime;
+    nodes_[i] = j.nodes;
+  }
+  soa_version_ = version_;
+}
+
+std::vector<JobId> SortedQueueCache::sorted(const std::vector<JobId>& queue,
+                                            const JobTrace& trace,
+                                            SortSpec spec) {
+  Entry* entry = nullptr;
+  for (auto& e : entries_) {
+    if (e.spec == spec) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    entries_.push_back(Entry{spec, ~std::uint64_t{0}, {}});
+    entry = &entries_.back();
+  }
+  if (entry->version == version_) {
+    ++hits_;
+    return entry->ids;
+  }
+  ++misses_;
+  if (soa_version_ != version_) rebuild_soa(queue, trace);
+
+  const std::size_t n = ids_.size();
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  // Total order: primary field (per spec), then (submit, id) — exactly the
+  // comparator family in sched/queue_policies.cpp. Totality makes
+  // std::sort deterministic and equal to the seed's stable_sort.
+  const auto tie = [&](std::uint32_t a, std::uint32_t b) {
+    if (submit_[a] != submit_[b]) return submit_[a] < submit_[b];
+    return ids_[a] < ids_[b];
+  };
+  auto sort_by = [&](const auto& key) {
+    std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (key[a] != key[b]) {
+        return spec.descending ? key[a] > key[b] : key[a] < key[b];
+      }
+      return tie(a, b);
+    });
+  };
+  switch (spec.field) {
+    case SortKeyField::kSubmit: sort_by(submit_); break;
+    case SortKeyField::kWalltime: sort_by(walltime_); break;
+    case SortKeyField::kNodes: sort_by(nodes_); break;
+  }
+
+  entry->ids.resize(n);
+  for (std::size_t i = 0; i < n; ++i) entry->ids[i] = ids_[idx[i]];
+  entry->version = version_;
+  return entry->ids;
+}
+
+}  // namespace amjs

@@ -1,0 +1,78 @@
+// SortedQueueCache: structure-of-arrays cache of priority-sorted queue
+// views, re-sorted only when the queue changes.
+//
+// Every scheduler pass in the seed re-sorts the full waiting queue
+// (sorted_queue copies the id vector and stable_sorts it with per-compare
+// Job lookups). Between most passes the queue is unchanged — metric-check
+// passes in particular mutate nothing — so the sort is pure waste. The
+// cache keys each ordering on a queue version that the simulator bumps at
+// every queue mutation; on a hit the cached order is returned as-is.
+//
+// Sort keys are mirrored into dense arrays (SoA) once per queue change, so
+// re-sorts compare flat int64 columns instead of chasing Job references.
+//
+// Equivalence: every ordering's comparator is total (field, then submit,
+// then id — matching sched/queue_policies.cpp), so the sorted result is
+// the unique total order of the queued set and identical to the seed's
+// stable_sort output regardless of input order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace amjs {
+
+/// Primary sort key of a queue ordering. Combined with `descending`, this
+/// spans the classical orders: FCFS = (kSubmit, asc), SJF/LJF =
+/// (kWalltime, asc/desc), SmallestFirst/LargestFirst = (kNodes, asc/desc).
+enum class SortKeyField : std::uint8_t { kSubmit, kWalltime, kNodes };
+
+struct SortSpec {
+  SortKeyField field = SortKeyField::kSubmit;
+  bool descending = false;
+
+  [[nodiscard]] bool operator==(const SortSpec&) const = default;
+};
+
+class SortedQueueCache {
+ public:
+  /// The queue changed (push/erase/reset): cached orders are stale.
+  void invalidate() { ++version_; }
+
+  /// `queue` sorted under `spec`. `queue` must reflect every invalidate()
+  /// call made so far (the simulator bumps the version at each mutation).
+  /// Returns by value: callers iterate while starting jobs, which
+  /// invalidates the cache mid-iteration.
+  [[nodiscard]] std::vector<JobId> sorted(const std::vector<JobId>& queue,
+                                          const JobTrace& trace,
+                                          SortSpec spec);
+
+  /// Cache effectiveness counters (tests and bench introspection).
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  void rebuild_soa(const std::vector<JobId>& queue, const JobTrace& trace);
+
+  std::uint64_t version_ = 0;
+  std::uint64_t soa_version_ = ~std::uint64_t{0};
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+
+  // Sort-key columns, parallel to ids_ (the queue in submission order).
+  std::vector<JobId> ids_;
+  std::vector<SimTime> submit_;
+  std::vector<Duration> walltime_;
+  std::vector<NodeCount> nodes_;
+
+  struct Entry {
+    SortSpec spec;
+    std::uint64_t version;
+    std::vector<JobId> ids;
+  };
+  std::vector<Entry> entries_;  // one per distinct spec seen (<= 6)
+};
+
+}  // namespace amjs

@@ -15,7 +15,7 @@ std::string ConservativeBackfillScheduler::name() const {
 void ConservativeBackfillScheduler::schedule(SchedContext& ctx) {
   reservations_.clear();
   const SimTime now = ctx.now();
-  auto plan = ctx.machine().make_plan(now);
+  auto plan = ctx.plan();
 
   // One pass in priority order. Each job is placed at its earliest start
   // given *all* earlier placements; jobs whose slot is "now" start
@@ -23,7 +23,15 @@ void ConservativeBackfillScheduler::schedule(SchedContext& ctx) {
   // reservation is ever delayed by a backfill.
   for (const JobId id : sorted_queue(ctx, order_)) {
     const Job& j = ctx.job(id);
-    const SimTime start = plan->fits_at(j, now) ? now : plan->find_start(j, now);
+    SimTime start = plan->fits_at(j, now) ? now : plan->find_start(j, now);
+    if (start == now && !ctx.machine().can_start(j)) {
+      // Plan/machine divergence: the plan's profile admits the job now but
+      // the live machine refuses (fragmentation the capacity profile can't
+      // see). Re-plan at the next instant so the job gets a reservation
+      // instead of silently dropping out of the pass — and so debug
+      // (assert) and release builds take the same path.
+      start = plan->find_start(j, now + 1);
+    }
     plan->commit(j, start);
     if (start == now) {
       const bool ok = ctx.start_job(id, plan->last_placement());

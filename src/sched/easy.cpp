@@ -31,7 +31,7 @@ void EasyBackfillScheduler::schedule(SchedContext& ctx) {
 
   // Phase 2: reserve the blocked head at its earliest feasible start.
   const SimTime now = ctx.now();
-  auto plan = ctx.machine().make_plan(now);
+  auto plan = ctx.plan();
   const Job& blocked = ctx.job(ids[head]);
   const SimTime reservation = plan->find_start(blocked, now);
   plan->commit(blocked, reservation);

@@ -34,7 +34,7 @@ void LookaheadBackfillScheduler::schedule(SchedContext& ctx) {
   if (head >= ids.size()) return;
 
   // Phase 2: protect the head reservation.
-  auto plan = ctx.machine().make_plan(now);
+  auto plan = ctx.plan();
   const Job& blocked = ctx.job(ids[head]);
   plan->commit(blocked, plan->find_start(blocked, now));
 

@@ -49,13 +49,23 @@ std::function<bool(const Job&, const Job&)> comparator(QueueOrder order) {
   return tie;
 }
 
+SortSpec sort_spec(QueueOrder order) {
+  switch (order) {
+    case QueueOrder::kFcfs: return {SortKeyField::kSubmit, false};
+    case QueueOrder::kSjf: return {SortKeyField::kWalltime, false};
+    case QueueOrder::kLjf: return {SortKeyField::kWalltime, true};
+    case QueueOrder::kSmallestFirst: return {SortKeyField::kNodes, false};
+    case QueueOrder::kLargestFirst: return {SortKeyField::kNodes, true};
+  }
+  assert(false && "unknown queue order");
+  return {SortKeyField::kSubmit, false};
+}
+
 std::vector<JobId> sorted_queue(const SchedContext& ctx, QueueOrder order) {
-  std::vector<JobId> ids = ctx.queue();
-  const auto cmp = comparator(order);
-  std::stable_sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
-    return cmp(ctx.job(a), ctx.job(b));
-  });
-  return ids;
+  // Served from the simulation's SortedQueueCache; every comparator() above
+  // is total with the same (field, submit, id) key chain, so the cached
+  // order equals the stable_sort of ctx.queue() under comparator(order).
+  return ctx.sorted_queue(sort_spec(order));
 }
 
 }  // namespace amjs

@@ -24,7 +24,13 @@ enum class QueueOrder {
 /// ordering is total and deterministic.
 [[nodiscard]] std::function<bool(const Job&, const Job&)> comparator(QueueOrder order);
 
-/// The context's queue (submission order) sorted under `order`.
+/// The SortedQueueCache key equivalent to comparator(order).
+[[nodiscard]] SortSpec sort_spec(QueueOrder order);
+
+/// The context's queue (submission order) sorted under `order`. Served
+/// from the simulation's sorted-queue cache: free when the queue is
+/// unchanged since the last pass, identical to stable_sorting ctx.queue()
+/// with comparator(order) always.
 [[nodiscard]] std::vector<JobId> sorted_queue(const SchedContext& ctx, QueueOrder order);
 
 }  // namespace amjs

@@ -38,7 +38,7 @@ void RelaxedBackfillScheduler::schedule(SchedContext& ctx) {
   // have to clear the relaxed deadline, so more of them fit; the head can
   // end up starting anywhere in [earliest, earliest + slack].
   const Job& blocked = ctx.job(ids[head]);
-  auto plan = ctx.machine().make_plan(now);
+  auto plan = ctx.plan();
   const SimTime earliest = plan->find_start(blocked, now);
   const auto slack = static_cast<Duration>(
       std::llround(config_.slack_factor * static_cast<double>(blocked.walltime)));

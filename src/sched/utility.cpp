@@ -65,7 +65,7 @@ void UtilityScheduler::schedule(SchedContext& ctx) {
   }
   if (head >= ids.size()) return;
 
-  auto plan = ctx.machine().make_plan(now);
+  auto plan = ctx.plan();
   const Job& blocked = ctx.job(ids[head]);
   plan->commit(blocked, plan->find_start(blocked, now));
 

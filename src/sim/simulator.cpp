@@ -20,6 +20,14 @@ SimSnapshot SchedContext::capture() const { return sim_.capture(); }
 Machine& SchedContext::machine() { return sim_.machine_; }
 const Machine& SchedContext::machine() const { return sim_.machine_; }
 
+std::vector<JobId> SchedContext::sorted_queue(SortSpec spec) const {
+  return sim_.queue_cache_.sorted(sim_.queue_, *sim_.trace_, spec);
+}
+
+std::unique_ptr<Plan> SchedContext::plan() const {
+  return sim_.plan_provider_->plan(sim_.now_);
+}
+
 const std::vector<JobId>& SchedContext::queue() const { return sim_.queue_; }
 
 const Job& SchedContext::job(JobId id) const { return sim_.trace_->job(id); }
@@ -57,9 +65,12 @@ bool SchedContext::start_job(JobId id, int placement) {
   sim.failure_pending_[static_cast<std::size_t>(id)] = fails;
   sim.events_.push(sim.now_ + (fails ? ttf : run_for), EventType::kJobEnd, id);
 
+  sim.plan_provider_->on_job_start(j, sim.now_);
+
   const auto it = std::find(sim.queue_.begin(), sim.queue_.end(), id);
   assert(it != sim.queue_.end());
   sim.queue_.erase(it);
+  sim.queue_cache_.invalidate();
 
   sim.result_.busy_nodes.set(sim.now_,
                              static_cast<double>(sim.machine_.busy_nodes()));
@@ -76,7 +87,10 @@ void Scheduler::on_metric_check(SchedContext& /*ctx*/, double /*queue_depth_minu
 void Scheduler::restore_state(const SchedulerState& /*state*/) { reset(); }
 
 Simulator::Simulator(Machine& machine, Scheduler& scheduler, SimConfig config)
-    : machine_(machine), scheduler_(scheduler), config_(std::move(config)) {
+    : machine_(machine),
+      scheduler_(scheduler),
+      config_(std::move(config)),
+      plan_provider_(make_plan_provider(machine, config_.plan_mode)) {
   assert(config_.metric_check_interval > 0);
 }
 
@@ -105,6 +119,7 @@ void Simulator::handle_submit(JobId id) {
   }
   states_[static_cast<std::size_t>(id)] = JobState::kQueued;
   queue_.push_back(id);
+  queue_cache_.invalidate();
   if (auto* tr = config_.trace_sink) {
     tr->record(obs::TraceCategory::kJob, "submit", now_,
                {obs::arg("job", id), obs::arg("nodes", j.nodes)});
@@ -114,6 +129,7 @@ void Simulator::handle_submit(JobId id) {
 void Simulator::handle_end(JobId id) {
   assert(states_[static_cast<std::size_t>(id)] == JobState::kRunning);
   machine_.finish(id, now_);
+  plan_provider_->on_job_finish(id, now_);
   result_.busy_nodes.set(now_, static_cast<double>(machine_.busy_nodes()));
   auto& entry = result_.schedule[static_cast<std::size_t>(id)];
 
@@ -130,6 +146,7 @@ void Simulator::handle_end(JobId id) {
       ++stats.restarts;
       states_[static_cast<std::size_t>(id)] = JobState::kQueued;
       queue_.push_back(id);
+      queue_cache_.invalidate();
       if (auto* tr = config_.trace_sink) {
         tr->record(obs::TraceCategory::kJob, "fail_retry", now_,
                    {obs::arg("job", id),
@@ -205,6 +222,7 @@ SimSnapshot Simulator::capture() const {
 }
 
 void Simulator::run_sched_pass(SchedContext& ctx) {
+  ++passes_run_;
   obs::TraceSink* tr = config_.trace_sink;
   const bool registry_on = obs::Registry::enabled();
   if (tr == nullptr && !registry_on) {
@@ -245,10 +263,13 @@ SimResult Simulator::run(const JobTrace& trace) {
   trace_ = &trace;
   machine_.reset();
   scheduler_.reset();
+  plan_provider_->resync();
+  queue_cache_.invalidate();
   events_ = EventQueue{};
   queue_.clear();
   now_ = 0;
   check_index_ = 0;
+  passes_run_ = 0;
   result_ = SimResult{};
   result_.machine_nodes = machine_.total_nodes();
   result_.schedule.resize(trace.size());
@@ -301,6 +322,9 @@ SimResult Simulator::resume(const JobTrace& trace, const SimSnapshot& snapshot,
     check_index_ = snapshot.check_index;
     result_ = snapshot.result;
     machine_.restore_state(*snapshot.machine);
+    plan_provider_->resync();
+    queue_cache_.invalidate();
+    passes_run_ = 0;
     if (mode == ResumeScheduler::kRestore && snapshot.scheduler != nullptr) {
       scheduler_.restore_state(*snapshot.scheduler);
     } else {
@@ -384,10 +408,13 @@ SimResult Simulator::drain(SchedContext& ctx) {
     result_.end_time = now_;
 
     if (stop_job_settled()) break;
+    if (config_.stop_after_passes != 0 && passes_run_ >= config_.stop_after_passes) {
+      break;
+    }
   }
 
   if (!queue_.empty() && config_.stop_once_started == kInvalidJob &&
-      config_.stop_at == kNever) {
+      config_.stop_at == kNever && config_.stop_after_passes == 0) {
     log::warn("simulation drained events with {} jobs still queued", queue_.size());
   }
   trace_ = nullptr;

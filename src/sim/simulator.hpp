@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "platform/machine.hpp"
+#include "sched/calendar/calendar.hpp"
+#include "sched/calendar/queue_cache.hpp"
 #include "sim/events.hpp"
 #include "sim/failures.hpp"
 #include "sim/result.hpp"
@@ -42,6 +44,20 @@ class SchedContext {
 
   /// Waiting jobs in submission order.
   [[nodiscard]] const std::vector<JobId>& queue() const;
+
+  /// The queue sorted under `spec`, served from the simulation's
+  /// SortedQueueCache: re-sorted only when the queue changed since the
+  /// last pass (metric-check passes on an unchanged queue are hits).
+  /// Identical to stable_sorting queue() with the matching comparator.
+  [[nodiscard]] std::vector<JobId> sorted_queue(SortSpec spec) const;
+
+  /// A Plan view of the machine's future as of now(), served by the
+  /// simulation's PlanProvider (SimConfig::plan_mode). Under the default
+  /// incremental calendar this costs O(deltas since the last call)
+  /// instead of a full rebuild, and answers find_start / fits_at /
+  /// commit byte-identically to machine().make_plan(now()). The view is
+  /// valid until the next plan() call (one scheduler pass).
+  [[nodiscard]] std::unique_ptr<Plan> plan() const;
 
   [[nodiscard]] const Job& job(JobId id) const;
 
@@ -156,6 +172,17 @@ struct SimConfig {
   /// branch-cheap: the only cost of disabled tracing is pointer tests.
   obs::TraceSink* trace_sink = nullptr;
 
+  /// How SchedContext::plan() sources its plans: the incremental
+  /// reservation calendar (default), or the seed per-pass rebuild via
+  /// Machine::make_plan (the A/B conformance reference). Both produce
+  /// byte-identical schedules; kRebuild exists so tests can prove it.
+  PlanMode plan_mode = PlanMode::kCalendar;
+
+  /// If non-zero, stop after exactly this many scheduler passes. Bench
+  /// harnesses use it to pin the iteration count across configurations so
+  /// per-iteration costs are an apples-to-apples series.
+  std::size_t stop_after_passes = 0;
+
   /// Failure injection (disabled by default; see sim/failures.hpp).
   FailureModel failures;
 };
@@ -216,6 +243,13 @@ class Simulator {
   Machine& machine_;
   Scheduler& scheduler_;
   SimConfig config_;
+  /// Long-lived plan source (SimConfig::plan_mode); fed job start/finish
+  /// deltas and resynced on reset/restore so SchedContext::plan() never
+  /// pays a from-scratch rebuild on the hot path.
+  std::unique_ptr<PlanProvider> plan_provider_;
+  /// Priority-order cache behind SchedContext::sorted_queue; invalidated
+  /// at every queue mutation.
+  mutable SortedQueueCache queue_cache_;
 
   // Per-run state.
   const JobTrace* trace_ = nullptr;
@@ -227,6 +261,7 @@ class Simulator {
   std::vector<SimTime> attempt_start_;   // start of the current attempt
   SimTime now_ = 0;
   std::size_t unfinished_ = 0;
+  std::size_t passes_run_ = 0;           // scheduler passes this run
   std::size_t check_index_ = 0;          // metric checks processed so far
   // Valid during the metric-check phase of the current instant (capture()
   // folds them into the snapshot so resume can replay the instant's tail).

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "platform/flat.hpp"
+#include "platform/partition.hpp"
 #include "util/rng.hpp"
 
 namespace amjs {
@@ -244,6 +245,136 @@ TEST(WindowAllocTest, PermutationCountGrowsWithWindow) {
     last = d.permutations_tried;
   }
   (void)last;
+}
+
+TEST(WindowAllocTest, ConstructorClampsWindowToMaskWidth) {
+  // The search's used mask has one bit per slot: out-of-range requests are
+  // clamped in all build types rather than overflowing the shift.
+  EXPECT_EQ(WindowAllocator::kMaxWindow, 64);
+  EXPECT_EQ(WindowAllocator(0).max_window(), 1);
+  EXPECT_EQ(WindowAllocator(-7).max_window(), 1);
+  EXPECT_EQ(WindowAllocator(64).max_window(), 64);
+  EXPECT_EQ(WindowAllocator(65).max_window(), 64);
+  EXPECT_EQ(WindowAllocator(1000).max_window(), 64);
+}
+
+TEST(WindowAllocTest, OversizedWindowTruncatesAtClampedMax) {
+  // 80 queued jobs, allocator asked for 200 slots: the window must be cut
+  // at the 64-slot mask capacity, and every kept placement replayable.
+  FlatMachine m(64);
+  const auto plan = m.make_plan(0);
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 80; ++i) jobs.push_back(make_job(i, 8, 100));
+  std::vector<const Job*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  WindowAllocator alloc(200);
+  alloc.set_exhaustive(false);  // 64! search is not the point here
+  const auto d = alloc.decide(*plan, window, 0);
+  ASSERT_EQ(d.placements.size(), 64u);
+  auto replay = plan->clone();
+  for (const auto& p : d.placements) {
+    const Job& j = jobs[static_cast<std::size_t>(p.id)];
+    EXPECT_EQ(replay->find_start(j, p.start), p.start);
+    replay->commit(j, p.start);
+  }
+}
+
+TEST(WindowAllocTest, GreedyPlacementPastThirtyTwoSlots) {
+  // Regression for the slot-mask width: slots >= 32 must be distinct bits,
+  // not aliases of slots 0.. (the former uint32 mask wrapped them). With a
+  // 40-job window the greedy pass walks slots 32..39; each job must be
+  // placed exactly once.
+  Rng rng(55);
+  FlatMachine m(64);
+  ASSERT_TRUE(m.start(make_job(99, 32, 500), 0));
+  const auto plan = m.make_plan(0);
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 40; ++i) {
+    jobs.push_back(make_job(i, rng.uniform_int(4, 48), rng.uniform_int(50, 800)));
+  }
+  std::vector<const Job*> window;
+  for (const auto& j : jobs) window.push_back(&j);
+  WindowAllocator alloc(64);
+  alloc.set_exhaustive(false);
+  const auto d = alloc.decide(*plan, window, 0);
+  ASSERT_EQ(d.placements.size(), 40u);
+  std::vector<bool> seen(40, false);
+  for (const auto& p : d.placements) {
+    ASSERT_GE(p.id, 0);
+    ASSERT_LT(p.id, 40);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p.id)]) << "job " << p.id
+        << " placed twice (mask aliasing)";
+    seen[static_cast<std::size_t>(p.id)] = true;
+  }
+}
+
+/// Forwarding plan that hides the inner plan's undo support, forcing the
+/// search down its clone-per-branch fallback.
+class NoUndoPlan final : public Plan {
+ public:
+  explicit NoUndoPlan(std::unique_ptr<Plan> inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::unique_ptr<Plan> clone() const override {
+    return std::make_unique<NoUndoPlan>(inner_->clone());
+  }
+  [[nodiscard]] SimTime find_start(const Job& job, SimTime earliest) const override {
+    return inner_->find_start(job, earliest);
+  }
+  [[nodiscard]] bool fits_at(const Job& job, SimTime t) const override {
+    return inner_->fits_at(job, t);
+  }
+  void commit(const Job& job, SimTime start) override { inner_->commit(job, start); }
+  void commit_soft(const Job& job, SimTime start) override {
+    inner_->commit_soft(job, start);
+  }
+  [[nodiscard]] int last_placement() const override {
+    return inner_->last_placement();
+  }
+  // supports_undo stays the default false.
+
+ private:
+  std::unique_ptr<Plan> inner_;
+};
+
+TEST(WindowAllocTest, UndoSearchMatchesCloneSearch) {
+  // The undo-log walk and the clone-per-branch walk must choose the same
+  // permutation: same placements, makespan, and leaf count. Run both over
+  // random contended partition-machine scenarios (PartitionPlan supports
+  // undo; wrapping it in NoUndoPlan forces the clone fallback).
+  Rng rng(66);
+  PartitionConfig topo;
+  topo.leaf_nodes = 512;
+  topo.row_leaves = 4;
+  topo.rows = 1;  // 2048 nodes
+  for (int trial = 0; trial < 15; ++trial) {
+    PartitionMachine m(topo);
+    (void)m.start(make_job(99, 512 * rng.uniform_int(1, 3), rng.uniform_int(200, 900)), 0);
+    const auto plan = m.make_plan(0);
+    ASSERT_TRUE(plan->supports_undo());
+    const NoUndoPlan wrapped(plan->clone());
+
+    std::vector<Job> jobs;
+    for (JobId i = 0; i < 5; ++i) {
+      jobs.push_back(make_job(i, rng.uniform_int(1, 2048), rng.uniform_int(50, 1500)));
+    }
+    std::vector<const Job*> window;
+    for (const auto& j : jobs) window.push_back(&j);
+
+    WindowAllocator alloc(8);
+    const auto with_undo = alloc.decide(*plan, window, 0);
+    const auto with_clone = alloc.decide(wrapped, window, 0);
+
+    EXPECT_EQ(with_undo.makespan, with_clone.makespan) << "trial " << trial;
+    EXPECT_EQ(with_undo.permutations_tried, with_clone.permutations_tried)
+        << "trial " << trial;
+    ASSERT_EQ(with_undo.placements.size(), with_clone.placements.size());
+    for (std::size_t i = 0; i < with_undo.placements.size(); ++i) {
+      EXPECT_EQ(with_undo.placements[i].id, with_clone.placements[i].id)
+          << "trial " << trial << " slot " << i;
+      EXPECT_EQ(with_undo.placements[i].start, with_clone.placements[i].start)
+          << "trial " << trial << " slot " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,280 @@
+// Randomized differential suite: the incremental calendars vs the seed
+// plans they replace.
+//
+// The conformance suite proves whole-run equivalence; this one attacks the
+// query layer directly. Random event streams (starts, early finishes, time
+// advances) are applied to a machine and mirrored into its calendar as
+// deltas; at every step a calendar view and a from-scratch machine plan
+// answer the same find_start / fits_at / commit sequences and must agree
+// exactly — including the partition placement choice, which pins live
+// allocations. Probe jobs keep stable identities across steps so the
+// find_start memo is repeatedly exercised across epoch bumps (a stale memo
+// entry surviving a delta is precisely the bug class this hunts).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "platform/flat.hpp"
+#include "platform/partition.hpp"
+#include "sched/calendar/calendar.hpp"
+#include "sched/calendar/flat_calendar.hpp"
+#include "sched/calendar/partition_calendar.hpp"
+#include "util/rng.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(JobId id, NodeCount nodes, Duration walltime) {
+  Job j;
+  j.id = id;
+  j.submit = 0;
+  j.runtime = walltime;
+  j.walltime = walltime;
+  j.nodes = nodes;
+  return j;
+}
+
+PartitionConfig small_topology() {
+  PartitionConfig topo;
+  topo.leaf_nodes = 512;
+  topo.row_leaves = 4;
+  topo.rows = 2;  // 4096 nodes, tiers 512..4096
+  return topo;
+}
+
+/// One running job in the driver's bookkeeping: when it *actually* ends
+/// (runtime <= walltime, so early completions exercise finish deltas that
+/// release holds before their predicted ends).
+struct Live {
+  JobId id;
+  SimTime actual_end;
+};
+
+/// Drives `machine` + `cal` through a random event stream, comparing the
+/// calendar view against a fresh machine plan at every step.
+template <typename MachineT>
+void run_differential(MachineT& machine, PlanProvider& cal, Rng& rng,
+                      NodeCount max_nodes, bool compare_placement) {
+  SimTime now = 0;
+  std::vector<Live> running;
+  JobId next_id = 1;
+
+  // Stable probe shapes: reusing (id, nodes, walltime) across steps makes
+  // the memo serve earlier answers that deltas must invalidate.
+  std::vector<Job> probes;
+  for (JobId q = 0; q < 6; ++q) {
+    probes.push_back(make_job(9000 + q,
+                              static_cast<NodeCount>(rng.uniform_int(1, static_cast<int>(max_nodes))),
+                              rng.uniform_int(60, 3000)));
+  }
+
+  for (int step = 0; step < 30; ++step) {
+    now += rng.uniform_int(0, 400);
+
+    // Deliver due completions (actual end <= now).
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].actual_end <= now) {
+        machine.finish(running[i].id, now);
+        cal.on_job_finish(running[i].id, now);
+        running[i] = running.back();
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // Start up to two random jobs.
+    const int starts = static_cast<int>(rng.uniform_int(0, 2));
+    for (int s = 0; s < starts; ++s) {
+      const Duration walltime = rng.uniform_int(120, 2500);
+      const Duration runtime =
+          std::max<Duration>(1, walltime * rng.uniform_int(50, 100) / 100);
+      Job j = make_job(next_id++,
+                       static_cast<NodeCount>(rng.uniform_int(1, static_cast<int>(max_nodes))),
+                       walltime);
+      j.runtime = runtime;
+      if (machine.start(j, now)) {
+        cal.on_job_start(j, now);
+        running.push_back({j.id, now + runtime});
+      }
+    }
+
+    auto a = cal.plan(now);
+    auto b = machine.make_plan(now);
+
+    for (const Job& probe : probes) {
+      const SimTime earliest = now + rng.uniform_int(0, 500);
+      EXPECT_EQ(a->find_start(probe, earliest), b->find_start(probe, earliest))
+          << "step " << step << " probe " << probe.id;
+      const SimTime t = now + rng.uniform_int(0, 2500);
+      EXPECT_EQ(a->fits_at(probe, t), b->fits_at(probe, t))
+          << "step " << step << " probe " << probe.id;
+    }
+
+    // Commit agreement: both views absorb the same two commitments, then
+    // must keep answering identically (overlay vs rebuilt-plan ledgers).
+    auto a2 = a->clone();
+    auto b2 = b->clone();
+    for (std::size_t c = 0; c < 2; ++c) {
+      const Job& probe = probes[c];
+      const SimTime sa = a2->find_start(probe, now);
+      const SimTime sb = b2->find_start(probe, now);
+      ASSERT_EQ(sa, sb) << "step " << step;
+      a2->commit(probe, sa);
+      b2->commit(probe, sb);
+      if (compare_placement) {
+        EXPECT_EQ(a2->last_placement(), b2->last_placement()) << "step " << step;
+      }
+    }
+    for (const Job& probe : probes) {
+      EXPECT_EQ(a2->find_start(probe, now), b2->find_start(probe, now))
+          << "step " << step << " post-commit probe " << probe.id;
+    }
+  }
+}
+
+TEST(CalendarDiffTest, FlatRandomDifferential) {
+  for (int trial = 0; trial < 6; ++trial) {
+    FlatMachine machine(256);
+    FlatCalendar cal(machine);
+    Rng rng(1000 + static_cast<std::uint64_t>(trial));
+    run_differential(machine, cal, rng, 256, /*compare_placement=*/false);
+  }
+}
+
+TEST(CalendarDiffTest, PartitionRandomDifferential) {
+  for (int trial = 0; trial < 6; ++trial) {
+    PartitionMachine machine(small_topology());
+    PartitionCalendar cal(machine);
+    Rng rng(2000 + static_cast<std::uint64_t>(trial));
+    run_differential(machine, cal, rng, 4096, /*compare_placement=*/true);
+  }
+}
+
+TEST(CalendarDiffTest, FlatMemoInvalidatedByFinishDelta) {
+  FlatMachine machine(100);
+  FlatCalendar cal(machine);
+  const Job blocker = make_job(1, 100, 500);
+  ASSERT_TRUE(machine.start(blocker, 0));
+  cal.on_job_start(blocker, 0);
+
+  const Job probe = make_job(2, 100, 100);
+  {
+    auto p = cal.plan(0);
+    EXPECT_EQ(p->find_start(probe, 0), 500);
+    EXPECT_EQ(p->find_start(probe, 0), 500);  // memo hit: same answer
+  }
+
+  machine.finish(1, 200);  // early completion frees the machine at 200
+  cal.on_job_finish(1, 200);
+  auto p2 = cal.plan(200);
+  EXPECT_EQ(p2->find_start(probe, 200), 200);
+}
+
+TEST(CalendarDiffTest, PartitionMemoInvalidatedByFinishDelta) {
+  PartitionMachine machine(small_topology());
+  PartitionCalendar cal(machine);
+  const Job blocker = make_job(1, 4096, 500);
+  ASSERT_TRUE(machine.start(blocker, 0));
+  cal.on_job_start(blocker, 0);
+
+  const Job probe = make_job(2, 4096, 100);
+  {
+    auto p = cal.plan(0);
+    EXPECT_EQ(p->find_start(probe, 0), 500);
+    EXPECT_EQ(p->find_start(probe, 0), 500);
+  }
+
+  machine.finish(1, 150);
+  cal.on_job_finish(1, 150);
+  auto p2 = cal.plan(150);
+  EXPECT_EQ(p2->find_start(probe, 150), 150);
+}
+
+TEST(CalendarDiffTest, EpochBumpsOnlyWhenDeltasApply) {
+  FlatMachine machine(100);
+  FlatCalendar cal(machine);
+  (void)cal.plan(0);
+  const std::uint64_t e0 = cal.epoch();
+
+  (void)cal.plan(10);  // no deltas: memoized answers stay valid
+  EXPECT_EQ(cal.epoch(), e0);
+
+  const Job j = make_job(1, 50, 100);
+  ASSERT_TRUE(machine.start(j, 10));
+  cal.on_job_start(j, 10);
+  EXPECT_EQ(cal.epoch(), e0);  // recorded, not yet applied
+
+  (void)cal.plan(10);  // delta applies here
+  EXPECT_GT(cal.epoch(), e0);
+}
+
+TEST(CalendarDiffTest, ResyncRebuildsFromLiveMachine) {
+  FlatMachine machine(100);
+  FlatCalendar cal(machine);
+  const Job j = make_job(1, 60, 1000);
+  ASSERT_TRUE(machine.start(j, 0));
+  cal.on_job_start(j, 0);
+  (void)cal.plan(0);
+
+  // Wholesale machine change the calendar never saw deltas for.
+  machine.reset();
+  const Job k = make_job(2, 40, 300);
+  ASSERT_TRUE(machine.start(k, 50));
+  cal.resync();
+
+  auto a = cal.plan(50);
+  auto b = machine.make_plan(50);
+  const Job probe = make_job(3, 80, 200);
+  EXPECT_EQ(a->find_start(probe, 50), b->find_start(probe, 50));
+  EXPECT_EQ(a->fits_at(probe, 50), b->fits_at(probe, 50));
+}
+
+TEST(CalendarDiffTest, UndoRestoresCalendarPlanExactly) {
+  PartitionMachine machine(small_topology());
+  PartitionCalendar cal(machine);
+  const Job runner = make_job(1, 1024, 800);
+  ASSERT_TRUE(machine.start(runner, 0));
+  cal.on_job_start(runner, 0);
+
+  auto p = cal.plan(0);
+  ASSERT_TRUE(p->supports_undo());
+
+  const Job a = make_job(10, 2048, 400);
+  const Job b = make_job(11, 4096, 300);
+  const SimTime a_before = p->find_start(a, 0);
+  const SimTime b_before = p->find_start(b, 0);
+
+  // Nested commits undone in LIFO order must restore every answer.
+  p->commit(a, p->find_start(a, 0));
+  p->commit(b, p->find_start(b, 0));
+  p->undo_last_commit();
+  p->undo_last_commit();
+
+  EXPECT_EQ(p->find_start(a, 0), a_before);
+  EXPECT_EQ(p->find_start(b, 0), b_before);
+
+  // And the undone view still matches a fresh machine plan.
+  auto ref = machine.make_plan(0);
+  EXPECT_EQ(p->find_start(a, 0), ref->find_start(a, 0));
+  EXPECT_EQ(p->find_start(b, 0), ref->find_start(b, 0));
+}
+
+TEST(CalendarDiffTest, FactorySelectsProviderByModeAndModel) {
+  FlatMachine flat(64);
+  PartitionMachine part(small_topology());
+
+  auto flat_cal = make_plan_provider(flat, PlanMode::kCalendar);
+  EXPECT_NE(dynamic_cast<FlatCalendar*>(flat_cal.get()), nullptr);
+
+  auto part_cal = make_plan_provider(part, PlanMode::kCalendar);
+  EXPECT_NE(dynamic_cast<PartitionCalendar*>(part_cal.get()), nullptr);
+
+  auto rebuild = make_plan_provider(flat, PlanMode::kRebuild);
+  EXPECT_NE(dynamic_cast<RebuildPlanProvider*>(rebuild.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace amjs

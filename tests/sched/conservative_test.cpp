@@ -128,5 +128,75 @@ TEST(ConservativeTest, EarlyCompletionPullsWorkForward) {
   EXPECT_EQ(result.schedule[1].start, 300);
 }
 
+/// Machine whose can_start/start veto one job a fixed number of times:
+/// manufactures the plan/machine divergence (plan says "fits now", live
+/// machine refuses) that real partition fragmentation produces rarely.
+class VetoMachine final : public Machine {
+ public:
+  VetoMachine(NodeCount nodes, JobId veto, int refusals)
+      : inner_(nodes), veto_(veto), refusals_left_(refusals) {}
+
+  [[nodiscard]] NodeCount total_nodes() const override { return inner_.total_nodes(); }
+  [[nodiscard]] NodeCount busy_nodes() const override { return inner_.busy_nodes(); }
+  [[nodiscard]] bool fits(const Job& job) const override { return inner_.fits(job); }
+  [[nodiscard]] NodeCount occupancy(const Job& job) const override {
+    return inner_.occupancy(job);
+  }
+  [[nodiscard]] bool can_start(const Job& job) const override {
+    if (job.id == veto_ && refusals_left_ > 0) {
+      --refusals_left_;
+      return false;
+    }
+    return inner_.can_start(job);
+  }
+  [[nodiscard]] bool start(const Job& job, SimTime now, int placement) override {
+    if (job.id == veto_ && refusals_left_ > 0) return false;
+    return inner_.start(job, now, placement);
+  }
+  void finish(JobId job, SimTime now) override { inner_.finish(job, now); }
+  [[nodiscard]] std::vector<RunningAlloc> running() const override {
+    return inner_.running();
+  }
+  [[nodiscard]] std::unique_ptr<Plan> make_plan(SimTime now) const override {
+    return inner_.make_plan(now);
+  }
+  [[nodiscard]] std::unique_ptr<MachineState> save_state() const override {
+    return inner_.save_state();
+  }
+  void restore_state(const MachineState& state) override {
+    inner_.restore_state(state);
+  }
+  void reset() override { inner_.reset(); }
+
+ private:
+  FlatMachine inner_;
+  JobId veto_;
+  /// Mutable: can_start is const but the veto budget must tick down, or
+  /// the refused job would never start and the run would not terminate.
+  mutable int refusals_left_;
+};
+
+TEST(ConservativeTest, MachineRefusalConvertsToReservationNotSilentDrop) {
+  // Regression: when the plan admits a job at `now` but the live machine
+  // refuses the start, conservative must fall back to a reservation at the
+  // next instant (and keep the job in the pass) instead of asserting /
+  // silently dropping it from reservations. Job 0 is vetoed twice — at the
+  // t=0 pass and the t=10 pass — then starts normally at the t=20 pass.
+  VetoMachine machine(100, /*veto=*/0, /*refusals=*/2);
+  ConservativeBackfillScheduler sched;
+  Simulator sim(machine, sched);
+  const auto result = sim.run(trace_of({
+      make_job(0, 100, 60),    // vetoed at t=0 and t=10
+      make_job(0, 50, 10),     // starts immediately
+      make_job(10, 50, 10),    // its submit triggers the second vetoed pass
+      make_job(20, 50, 10),    // its submit triggers the pass that succeeds
+  }));
+  EXPECT_EQ(result.schedule[1].start, 0);
+  EXPECT_EQ(result.schedule[0].start, 20);  // started once the veto expired
+  // The small jobs were never blocked by the divergence handling.
+  EXPECT_EQ(result.schedule[2].start, 10);
+  EXPECT_EQ(result.schedule[3].start, 20);
+}
+
 }  // namespace
 }  // namespace amjs

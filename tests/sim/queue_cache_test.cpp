@@ -1,0 +1,163 @@
+// SortedQueueCache: equivalence with the seed's per-pass stable_sort, and
+// the version/hit accounting that makes it a cache rather than a re-sort.
+// Plus SimConfig::stop_after_passes, the bench harness's iteration pin.
+#include "sched/calendar/queue_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+#include "platform/flat.hpp"
+#include "sched/queue_policies.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace amjs {
+namespace {
+
+Job make_job(SimTime submit, Duration walltime, NodeCount nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = walltime;
+  j.walltime = walltime;
+  j.nodes = nodes;
+  return j;
+}
+
+JobTrace trace_of(std::vector<Job> jobs) {
+  auto t = JobTrace::from_jobs(std::move(jobs));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+/// A trace with deliberate key collisions (equal walltimes, equal node
+/// counts, equal submits) so every tie-break path is exercised.
+JobTrace collision_trace(Rng& rng, int n) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(make_job(rng.uniform_int(0, 5) * 100,
+                            rng.uniform_int(1, 4) * 60,
+                            static_cast<NodeCount>(rng.uniform_int(1, 4) * 8)));
+  }
+  return trace_of(std::move(jobs));
+}
+
+/// The seed semantics: stable_sort of the submission-order queue under
+/// sched/queue_policies comparator(order).
+std::vector<JobId> seed_sorted(const std::vector<JobId>& queue,
+                               const JobTrace& trace, QueueOrder order) {
+  std::vector<JobId> ids = queue;
+  const auto cmp = comparator(order);
+  std::stable_sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+    return cmp(trace.job(a), trace.job(b));
+  });
+  return ids;
+}
+
+constexpr QueueOrder kAllOrders[] = {
+    QueueOrder::kFcfs, QueueOrder::kSjf, QueueOrder::kLjf,
+    QueueOrder::kSmallestFirst, QueueOrder::kLargestFirst};
+
+TEST(QueueCacheTest, MatchesSeedStableSortUnderEveryOrder) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const JobTrace trace = collision_trace(rng, 40);
+    // Random sub-queue in submission order (ids ascending == submit order).
+    std::vector<JobId> queue;
+    const JobId count = static_cast<JobId>(trace.size());
+    for (JobId id = 0; id < count; ++id) {
+      if (rng.uniform_int(0, 2) != 0) queue.push_back(id);
+    }
+    SortedQueueCache cache;
+    for (const QueueOrder order : kAllOrders) {
+      EXPECT_EQ(cache.sorted(queue, trace, sort_spec(order)),
+                seed_sorted(queue, trace, order))
+          << "trial " << trial << " order " << to_string(order);
+    }
+  }
+}
+
+TEST(QueueCacheTest, RepeatLookupsHitUntilInvalidated) {
+  Rng rng(32);
+  const JobTrace trace = collision_trace(rng, 20);
+  std::vector<JobId> queue;
+  const JobId count = static_cast<JobId>(trace.size());
+  for (JobId id = 0; id < count; ++id) queue.push_back(id);
+
+  SortedQueueCache cache;
+  const SortSpec spec = sort_spec(QueueOrder::kSjf);
+  const auto first = cache.sorted(queue, trace, spec);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Unchanged queue: served from cache, identical contents.
+  EXPECT_EQ(cache.sorted(queue, trace, spec), first);
+  EXPECT_EQ(cache.sorted(queue, trace, spec), first);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // A different ordering of the same queue is its own entry (miss once,
+  // then hits), without evicting the first.
+  const SortSpec other = sort_spec(QueueOrder::kLargestFirst);
+  (void)cache.sorted(queue, trace, other);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.sorted(queue, trace, spec), first);
+  EXPECT_EQ(cache.hits(), 3u);
+
+  // Queue mutation: the next lookup re-sorts.
+  queue.pop_back();
+  cache.invalidate();
+  EXPECT_EQ(cache.sorted(queue, trace, spec),
+            seed_sorted(queue, trace, QueueOrder::kSjf));
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(StopAfterPassesTest, PinsSchedulerPassCount) {
+  // Ten spaced arrivals on an uncontended machine: every submit triggers
+  // its own scheduler pass, so an unpinned run makes at least ten.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back(make_job(i * 100, 50, 10));
+  const JobTrace trace = trace_of(std::move(jobs));
+
+  const auto passes_with = [&](std::size_t cap) {
+    FlatMachine machine(100);
+    MetricAwareScheduler sched;  // exposes schedule_calls via stats()
+    SimConfig config;
+    config.stop_after_passes = cap;
+    Simulator sim(machine, sched, config);
+    (void)sim.run(trace);
+    return sched.stats().schedule_calls;
+  };
+
+  EXPECT_EQ(passes_with(3), 3u);
+  EXPECT_EQ(passes_with(7), 7u);
+  EXPECT_GE(passes_with(0), 10u);  // 0 = unlimited (run to completion)
+}
+
+TEST(StopAfterPassesTest, GenerousCapDoesNotChangeTheRun) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(make_job(i * 10, 200, 40));
+  const JobTrace trace = trace_of(std::move(jobs));
+
+  const auto run_with = [&](std::size_t cap) {
+    FlatMachine machine(100);
+    MetricAwareScheduler sched;
+    SimConfig config;
+    config.stop_after_passes = cap;
+    Simulator sim(machine, sched, config);
+    return sim.run(trace);
+  };
+
+  const auto unlimited = run_with(0);
+  const auto capped = run_with(100000);
+  ASSERT_EQ(capped.schedule.size(), unlimited.schedule.size());
+  for (std::size_t i = 0; i < unlimited.schedule.size(); ++i) {
+    EXPECT_EQ(capped.schedule[i].start, unlimited.schedule[i].start) << i;
+  }
+}
+
+}  // namespace
+}  // namespace amjs
