@@ -1,0 +1,330 @@
+// svc_client: command-line client for the scheduler service (src/svc).
+//
+// One binary covers every plugin plus a mixed-traffic soak mode — the
+// load generator CI points at a live sched_server:
+//
+//   $ ./svc_client --connect unix:/tmp/sched.sock --submit 64:3600
+//   $ ./svc_client --connect ... --what-if 0.5:4,1.0:1
+//   $ ./svc_client --connect ... --explain-a run_a.jsonl --explain-b run_b.jsonl
+//   $ ./svc_client --connect ... --reload --seed 7 --label swap
+//   $ ./svc_client --connect ... --stats
+//   $ ./svc_client --connect ... --soak-seconds 10 --reload-every 40
+//
+// The soak loop rotates submit-job / what-if / trace-explain traffic on
+// several client threads and issues a reload every N requests; it exits
+// nonzero if any request errors, which is exactly what the CI smoke job
+// asserts.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metric_aware.hpp"
+#include "obs/registry.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "svc/client.hpp"
+#include "util/flags.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+using namespace amjs;
+
+namespace {
+
+Result<MachineSpec> parse_machine(const std::string& text) {
+  if (text == "intrepid") return MachineSpec::partitioned();
+  if (text.rfind("flat:", 0) == 0) {
+    const auto nodes = parse_i64(std::string_view(text).substr(5));
+    if (!nodes || *nodes <= 0) {
+      return Error{"machine flat:<nodes> needs a positive node count"};
+    }
+    return MachineSpec::flat(*nodes);
+  }
+  return Error{"unknown machine '" + text + "' (intrepid or flat:<nodes>)"};
+}
+
+/// "<bf>:<w>" -> candidate spec, Table-II style label.
+Result<TwinCandidateSpec> parse_candidate(std::string_view token) {
+  const auto parts = split(token, ':');
+  if (parts.size() != 2) return Error{"candidate must be <bf>:<w>"};
+  const auto bf = parse_f64(parts[0]);
+  const auto w = parse_i64(parts[1]);
+  if (!bf || !w || *w <= 0) return Error{"candidate must be <bf>:<w>"};
+  MetricAwareConfig config;
+  config.policy = {*bf, static_cast<int>(*w)};
+  return TwinCandidateSpec{config.policy.label(), config};
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ok = in.good() || in.eof();
+  return buffer.str();
+}
+
+/// Two tiny wall-stripped JSONL traces that diverge at the second event —
+/// deterministic trace-explain traffic for the soak loop.
+std::pair<std::string, std::string> synthetic_trace_pair(std::uint64_t salt) {
+  const auto render = [salt](SimTime second_start) {
+    obs::TraceRecorder recorder;
+    recorder.record(obs::TraceCategory::kJob, "submit", 0,
+                    {obs::arg("job", static_cast<std::int64_t>(salt % 97))});
+    recorder.record(obs::TraceCategory::kJob, "start", second_start,
+                    {obs::arg("job", static_cast<std::int64_t>(salt % 97))});
+    std::ostringstream out;
+    recorder.write_jsonl(out, /*include_wall=*/false);
+    return out.str();
+  };
+  return {render(100), render(160)};
+}
+
+struct SoakTally {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> replies{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> reloads{0};
+};
+
+void soak_thread(const svc::ClientConfig& config, int seconds,
+                 std::int64_t reload_every, unsigned ordinal,
+                 SoakTally& tally) {
+  svc::SvcClient client(config);
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  std::uint64_t sent = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    ++sent;
+    tally.requests.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t salt = ordinal * 1000003ull + sent;
+    Status status = Status::success();
+    if (reload_every > 0 && ordinal == 0 &&
+        sent % static_cast<std::uint64_t>(reload_every) == 0) {
+      svc::DatasetSpec spec;
+      spec.label = format("soak-{}", sent);
+      spec.seed = salt;
+      spec.horizon = days(1);
+      auto ack = client.reload(spec);
+      if (ack.ok()) tally.reloads.fetch_add(1, std::memory_order_relaxed);
+      status = ack.ok() ? Status::success() : Status(ack.error());
+    } else if (salt % 3 == 0) {
+      Job job;
+      job.id = static_cast<JobId>(salt % 512);
+      job.nodes = static_cast<NodeCount>(1 + salt % 64);
+      job.walltime = 1800 + static_cast<Duration>(salt % 7200);
+      auto projection = client.submit_job(job);
+      status =
+          projection.ok() ? Status::success() : Status(projection.error());
+    } else if (salt % 3 == 1) {
+      auto pair = synthetic_trace_pair(salt);
+      auto report = client.trace_explain(pair.first, pair.second);
+      status = report.ok() ? Status::success() : Status(report.error());
+    } else {
+      MetricAwareConfig config_a;
+      config_a.policy = {0.5, 4};
+      MetricAwareConfig config_b;
+      config_b.policy = {1.0, 1};
+      auto verdicts = client.what_if(
+          {{config_a.policy.label(), config_a},
+           {config_b.policy.label(), config_b}});
+      status = verdicts.ok() ? Status::success() : Status(verdicts.error());
+    }
+    if (status.ok()) {
+      tally.replies.fetch_add(1, std::memory_order_relaxed);
+    } else if (svc::SvcClient::is_busy(status.error())) {
+      tally.busy.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      tally.errors.fetch_add(1, std::memory_order_relaxed);
+      log::warn("svc_client: soak request failed: {}",
+                status.error().to_string());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  Flags flags;
+  flags.define("connect", "unix:/tmp/amjs_sched_server.sock",
+               "scheduler service endpoint");
+  flags.define("timeout-ms", "30000", "per-socket-operation timeout");
+  flags.define("deadline-ms", "0",
+               "per-request deadline budget (0 = none)");
+  flags.define("submit", "",
+               "project one job: <nodes>:<walltime_s>");
+  flags.define_list("what-if", "",
+                    "score candidates against the resident snapshot: "
+                    "<bf>:<w>[,...]");
+  flags.define("explain-a", "", "trace-explain: baseline JSONL path");
+  flags.define("explain-b", "", "trace-explain: comparison JSONL path");
+  flags.define_bool("reload", "hot-swap the resident dataset");
+  flags.define("label", "reload", "reload: dataset label");
+  flags.define("machine", "flat:512",
+               "reload: machine model (intrepid or flat:<nodes>)");
+  flags.define("seed", "2012", "reload: synthetic seed");
+  flags.define("days", "2", "reload: synthetic horizon in days");
+  flags.define("rate", "6.0", "reload: mean arrival rate, jobs/hour");
+  flags.define_bool("stats", "poll the server's obs registry, print JSON");
+  flags.define("soak-seconds", "0",
+               "mixed-traffic soak for this many seconds (0 = off)");
+  flags.define("soak-threads", "4", "client threads in the soak");
+  flags.define("reload-every", "0",
+               "soak: hot-swap the dataset every N requests (0 = never)");
+  obs::add_flags(flags);
+  if (const auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage("svc_client").c_str());
+    return 1;
+  }
+  obs::Session obs_session(flags);
+
+  auto endpoint = twinsvc::Endpoint::parse(flags.get("connect"));
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "%s\n", endpoint.error().to_string().c_str());
+    return 1;
+  }
+  svc::ClientConfig config;
+  config.endpoint = endpoint.value();
+  config.timeout_ms = static_cast<int>(flags.get_i64("timeout-ms"));
+  config.deadline_ms = flags.get_i64("deadline-ms");
+
+  if (const std::int64_t seconds = flags.get_i64("soak-seconds");
+      seconds > 0) {
+    const auto threads =
+        static_cast<unsigned>(std::max<std::int64_t>(1, flags.get_i64("soak-threads")));
+    SoakTally tally;
+    std::vector<std::thread> pool;
+    for (unsigned i = 0; i < threads; ++i) {
+      pool.emplace_back([&, i] {
+        soak_thread(config, static_cast<int>(seconds),
+                    flags.get_i64("reload-every"), i, tally);
+      });
+    }
+    for (auto& thread : pool) thread.join();
+    std::printf(
+        "soak: %llu requests, %llu replies, %llu busy, %llu errors, "
+        "%llu reloads\n",
+        static_cast<unsigned long long>(tally.requests.load()),
+        static_cast<unsigned long long>(tally.replies.load()),
+        static_cast<unsigned long long>(tally.busy.load()),
+        static_cast<unsigned long long>(tally.errors.load()),
+        static_cast<unsigned long long>(tally.reloads.load()));
+    return tally.errors.load() == 0 ? 0 : 1;
+  }
+
+  svc::SvcClient client(config);
+
+  if (const std::string submit = flags.get("submit"); !submit.empty()) {
+    const auto parts = split(submit, ':');
+    std::optional<std::int64_t> nodes;
+    std::optional<std::int64_t> walltime;
+    if (parts.size() == 2) {
+      nodes = parse_i64(parts[0]);
+      walltime = parse_i64(parts[1]);
+    }
+    if (!nodes || !walltime || *nodes <= 0 || *walltime <= 0) {
+      std::fprintf(stderr, "--submit needs <nodes>:<walltime_s>\n");
+      return 1;
+    }
+    Job job;
+    job.id = 0;
+    job.nodes = static_cast<NodeCount>(*nodes);
+    job.walltime = *walltime;
+    auto projection = client.submit_job(job);
+    if (!projection.ok()) {
+      std::fprintf(stderr, "%s\n", projection.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("start %lld  wait %s  (world version %llu)\n",
+                static_cast<long long>(projection.value().start),
+                format_duration(projection.value().wait).c_str(),
+                static_cast<unsigned long long>(client.last_world_version()));
+    return 0;
+  }
+
+  if (const auto tokens = flags.get_list("what-if"); !tokens.empty()) {
+    std::vector<TwinCandidateSpec> candidates;
+    for (const std::string& token : tokens) {
+      auto candidate = parse_candidate(token);
+      if (!candidate.ok()) {
+        std::fprintf(stderr, "%s\n", candidate.error().to_string().c_str());
+        return 1;
+      }
+      candidates.push_back(std::move(candidate).value());
+    }
+    auto verdicts = client.what_if(candidates);
+    if (!verdicts.ok()) {
+      std::fprintf(stderr, "%s\n", verdicts.error().to_string().c_str());
+      return 1;
+    }
+    for (const TwinForkResult& verdict : verdicts.value()) {
+      std::printf("%-12s objective %.3f  queue %.1f min  util %.4f\n",
+                  verdict.label.c_str(), verdict.objective,
+                  verdict.avg_queue_depth_min, verdict.utilization);
+    }
+    return 0;
+  }
+
+  if (!flags.get("explain-a").empty() || !flags.get("explain-b").empty()) {
+    bool ok_a = false;
+    bool ok_b = false;
+    const std::string a = read_file(flags.get("explain-a"), ok_a);
+    const std::string b = read_file(flags.get("explain-b"), ok_b);
+    if (!ok_a || !ok_b) {
+      std::fprintf(stderr, "cannot read --explain-a/--explain-b\n");
+      return 1;
+    }
+    auto report = client.trace_explain(a, b);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report.value().c_str());
+    return 0;
+  }
+
+  if (flags.get_bool("reload")) {
+    auto machine = parse_machine(flags.get("machine"));
+    if (!machine.ok()) {
+      std::fprintf(stderr, "%s\n", machine.error().to_string().c_str());
+      return 1;
+    }
+    svc::DatasetSpec spec;
+    spec.label = flags.get("label");
+    spec.machine = machine.value();
+    spec.seed = static_cast<std::uint64_t>(flags.get_i64("seed"));
+    spec.horizon = days(flags.get_i64("days"));
+    spec.base_rate_per_hour = flags.get_f64("rate");
+    auto ack = client.reload(spec);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "%s\n", ack.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("reloaded: dataset %s is world version %llu\n",
+                ack.value().label.c_str(),
+                static_cast<unsigned long long>(ack.value().version));
+    return 0;
+  }
+
+  if (flags.get_bool("stats")) {
+    auto snapshot = client.stats();
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "%s\n", snapshot.error().to_string().c_str());
+      return 1;
+    }
+    obs::write_stats_json(std::cout, snapshot.value());
+    return 0;
+  }
+
+  std::fprintf(stderr, "%s", flags.usage("svc_client").c_str());
+  return 1;
+}

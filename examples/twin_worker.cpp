@@ -20,7 +20,6 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -178,12 +177,10 @@ int main(int argc, const char** argv) {
 
   if (flags.get_bool("selfcheck")) return selfcheck();
 
-  auto endpoint = twinsvc::Endpoint::parse(flags.get("listen"));
-  if (!endpoint.ok()) {
-    std::fprintf(stderr, "%s\n", endpoint.error().to_string().c_str());
-    return 1;
-  }
-  auto listener = twinsvc::Listener::bind(endpoint.value());
+  twinsvc::ListenOptions listen_options;
+  listen_options.ready_file = flags.get("ready-file");
+  auto listener =
+      twinsvc::bind_listener(flags.get("listen"), listen_options);
   if (!listener.ok()) {
     std::fprintf(stderr, "%s\n", listener.error().to_string().c_str());
     return 1;
@@ -212,10 +209,6 @@ int main(int argc, const char** argv) {
   // governs worker chatter exactly as it does driver chatter.
   log::set_tag(worker.endpoint().to_string());
   log::info("twin_worker: serving {}", worker.endpoint().to_string());
-  if (const std::string ready = flags.get("ready-file"); !ready.empty()) {
-    std::ofstream out(ready);
-    out << worker.endpoint().to_string() << "\n";
-  }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);

@@ -142,6 +142,11 @@ Result<FailureModel> read_failure_model(ByteReader& r) {
 }  // namespace
 
 std::string encode_run_cell(const CellRequest& cell) {
+  return twinsvc::seal_frame(twinsvc::FrameType::kRunCell,
+                             encode_run_cell_payload(cell));
+}
+
+std::string encode_run_cell_payload(const CellRequest& cell) {
   ByteWriter w;
   w.u64(cell.cell_id);
   // Fixed-size context block at payload offset 8 — patchable in place per
@@ -163,7 +168,7 @@ std::string encode_run_cell(const CellRequest& cell) {
   w.i64(cell.metric_check_interval);
   w.u64(cell.fairness_stride);
   w.i64(cell.fairness_tolerance);
-  return twinsvc::seal_frame(twinsvc::FrameType::kRunCell, w.data());
+  return std::move(w).take();
 }
 
 Result<CellRequest> decode_run_cell(std::string_view payload) {
@@ -236,6 +241,11 @@ Result<CellRequest> decode_run_cell(std::string_view payload) {
 }
 
 std::string encode_cell_result(const CellResult& result) {
+  return twinsvc::seal_frame(twinsvc::FrameType::kCellResult,
+                             encode_cell_result_payload(result));
+}
+
+std::string encode_cell_result_payload(const CellResult& result) {
   ByteWriter w;
   w.u64(result.cell_id);
   snapshot_io::write_sim_result(w, result.result);
@@ -247,7 +257,7 @@ std::string encode_cell_result(const CellResult& result) {
     for (const JobId id : result.fairness.unfair_jobs) w.i64(id);
   }
   w.i64(result.wall_ms);
-  return twinsvc::seal_frame(twinsvc::FrameType::kCellResult, w.data());
+  return std::move(w).take();
 }
 
 Result<CellResult> decode_cell_result(std::string_view payload) {

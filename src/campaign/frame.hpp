@@ -31,6 +31,13 @@ inline constexpr std::string_view kCampaignProtocolName = "campaign.v1";
 [[nodiscard]] std::string encode_run_cell(const CellRequest& cell);
 [[nodiscard]] std::string encode_cell_result(const CellResult& result);
 
+/// Bare payloads (no frame header/CRC) — what the scheduler service's
+/// campaign plugin nests inside an svc.v1 request/reply body. The sealed
+/// encoders above wrap exactly these bytes, so a nested cell decodes with
+/// the same decode_run_cell / decode_cell_result used on the wire.
+[[nodiscard]] std::string encode_run_cell_payload(const CellRequest& cell);
+[[nodiscard]] std::string encode_cell_result_payload(const CellResult& result);
+
 /// Payload decoders (the frame layer has already verified header + CRC).
 [[nodiscard]] Result<CellRequest> decode_run_cell(std::string_view payload);
 [[nodiscard]] Result<CellResult> decode_cell_result(std::string_view payload);

@@ -62,6 +62,40 @@ constexpr CatalogEntry kCatalog[] = {
      "wall time capturing a SimSnapshot"},
     {"sim.snapshot_restore", MetricKind::kTimer,
      "wall time restoring a SimSnapshot"},
+    {"svc.in_flight", MetricKind::kGauge,
+     "scheduler-service requests executing right now"},
+    {"svc.plugin.campaign", MetricKind::kCounter,
+     "campaign-cell plugin requests served"},
+    {"svc.plugin.reload", MetricKind::kCounter,
+     "reload admin requests that hot-swapped the dataset"},
+    {"svc.plugin.submit_job", MetricKind::kCounter,
+     "submit-job plugin requests served"},
+    {"svc.plugin.trace_explain", MetricKind::kCounter,
+     "trace-explain plugin requests served"},
+    {"svc.plugin.what_if", MetricKind::kCounter,
+     "what-if plugin requests served"},
+    {"svc.queue_depth", MetricKind::kGauge,
+     "requests waiting in the admission queue right now"},
+    {"svc.rejected.busy", MetricKind::kCounter,
+     "requests shed with kSvcBusy because the admission queue was full"},
+    {"svc.rejected.deadline", MetricKind::kCounter,
+     "requests rejected because their deadline lapsed before execution"},
+    {"svc.rejected.frame", MetricKind::kCounter,
+     "connections dropped on a malformed frame (bad header, CRC, decode)"},
+    {"svc.rejected.plugin", MetricKind::kCounter,
+     "well-formed requests naming an unknown plugin or frame family"},
+    {"svc.reloads", MetricKind::kCounter,
+     "dataset hot-swaps applied by the reload admin plugin"},
+    {"svc.replies", MetricKind::kCounter,
+     "successful kSvcReply frames sent"},
+    {"svc.request", MetricKind::kTimer,
+     "wall time executing one admitted service request"},
+    {"svc.requests", MetricKind::kCounter,
+     "service requests admitted for execution"},
+    {"svc.uptime_ms", MetricKind::kGauge,
+     "wall ms since server start, stamped when a stats snapshot is taken"},
+    {"svc.world_version", MetricKind::kGauge,
+     "version of the resident dataset currently serving reads"},
     {"twin.fork_replay", MetricKind::kTimer,
      "wall time of one forked twin replay"},
     {"twin.forks", MetricKind::kCounter,

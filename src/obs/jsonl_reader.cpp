@@ -15,7 +15,7 @@ std::optional<TraceCategory> category_from_string(std::string_view name) {
       TraceCategory::kJob,      TraceCategory::kSched,
       TraceCategory::kTuning,   TraceCategory::kBackfill,
       TraceCategory::kSnapshot, TraceCategory::kTwin,
-      TraceCategory::kCampaign,
+      TraceCategory::kCampaign, TraceCategory::kSvc,
   };
   for (const TraceCategory c : kAll) {
     if (name == to_string(c)) return c;

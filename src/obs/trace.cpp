@@ -18,6 +18,7 @@ const char* to_string(TraceCategory category) {
     case TraceCategory::kSnapshot: return "snapshot";
     case TraceCategory::kTwin: return "twin";
     case TraceCategory::kCampaign: return "campaign";
+    case TraceCategory::kSvc: return "svc";
   }
   return "?";
 }
@@ -201,7 +202,7 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
       TraceCategory::kJob,      TraceCategory::kSched,
       TraceCategory::kTuning,   TraceCategory::kBackfill,
       TraceCategory::kSnapshot, TraceCategory::kTwin,
-      TraceCategory::kCampaign,
+      TraceCategory::kCampaign, TraceCategory::kSvc,
   };
   for (const TraceCategory c : kCategories) {
     const int tid = static_cast<int>(c) + 1;

@@ -52,6 +52,7 @@ enum class TraceCategory : std::uint8_t {
   kSnapshot,  // SimSnapshot captures / restores
   kTwin,      // twin consultations, forks, verdicts
   kCampaign,  // campaign cell dispatches / results / requeues
+  kSvc,       // scheduler-service requests, reloads, rejections
 };
 
 [[nodiscard]] const char* to_string(TraceCategory category);

@@ -1,0 +1,334 @@
+#include "svc/frame.hpp"
+
+#include <utility>
+
+#include "snapshot_io/binio.hpp"
+#include "util/fmt.hpp"
+
+namespace amjs::svc {
+
+using snapshot_io::ByteReader;
+using snapshot_io::ByteWriter;
+
+const char* to_string(Plugin plugin) {
+  switch (plugin) {
+    case Plugin::kSubmitJob: return "submit_job";
+    case Plugin::kWhatIf: return "what_if";
+    case Plugin::kTraceExplain: return "trace_explain";
+    case Plugin::kCampaign: return "campaign";
+    case Plugin::kReload: return "reload";
+  }
+  return "?";
+}
+
+std::string encode_svc_request(const SvcRequest& request) {
+  ByteWriter w;
+  w.u64(request.request_id);
+  w.u32(request.plugin);
+  w.i64(request.deadline_ms);
+  w.str(request.body);
+  return twinsvc::seal_frame(twinsvc::FrameType::kSvcRequest, w.data());
+}
+
+std::string encode_svc_reply(const SvcReply& reply) {
+  ByteWriter w;
+  w.u64(reply.request_id);
+  w.u32(reply.plugin);
+  w.u64(reply.world_version);
+  w.str(reply.body);
+  return twinsvc::seal_frame(twinsvc::FrameType::kSvcReply, w.data());
+}
+
+std::string encode_svc_busy(std::uint64_t request_id) {
+  ByteWriter w;
+  w.u64(request_id);
+  return twinsvc::seal_frame(twinsvc::FrameType::kSvcBusy, w.data());
+}
+
+Result<SvcRequest> decode_svc_request(std::string_view payload) {
+  ByteReader r(payload);
+  SvcRequest request;
+  auto request_id = r.u64();
+  if (!request_id) return request_id.error();
+  request.request_id = request_id.value();
+  auto plugin = r.u32();
+  if (!plugin) return plugin.error();
+  request.plugin = plugin.value();
+  auto deadline = r.i64();
+  if (!deadline) return deadline.error();
+  request.deadline_ms = deadline.value();
+  auto body = r.str();
+  if (!body) return body.error();
+  request.body = std::move(body).value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after svc request payload",
+                        r.remaining())};
+  }
+  return request;
+}
+
+Result<SvcReply> decode_svc_reply(std::string_view payload) {
+  ByteReader r(payload);
+  SvcReply reply;
+  auto request_id = r.u64();
+  if (!request_id) return request_id.error();
+  reply.request_id = request_id.value();
+  auto plugin = r.u32();
+  if (!plugin) return plugin.error();
+  reply.plugin = plugin.value();
+  auto world_version = r.u64();
+  if (!world_version) return world_version.error();
+  reply.world_version = world_version.value();
+  auto body = r.str();
+  if (!body) return body.error();
+  reply.body = std::move(body).value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after svc reply payload",
+                        r.remaining())};
+  }
+  return reply;
+}
+
+Result<std::uint64_t> decode_svc_busy(std::string_view payload) {
+  ByteReader r(payload);
+  auto request_id = r.u64();
+  if (!request_id) return request_id.error();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after svc busy payload",
+                        r.remaining())};
+  }
+  return request_id.value();
+}
+
+// --- Plugin bodies. ----------------------------------------------------
+
+std::string encode_submit_job(const Job& job) {
+  ByteWriter w;
+  w.i64(job.id);
+  w.i64(job.submit);
+  w.i64(job.runtime);
+  w.i64(job.walltime);
+  w.i64(job.nodes);
+  w.str(job.user);
+  w.i64(job.queue);
+  return std::move(w).take();
+}
+
+Result<Job> decode_submit_job(std::string_view body) {
+  ByteReader r(body);
+  Job job;
+  auto id = r.i64();
+  if (!id) return id.error();
+  job.id = static_cast<JobId>(id.value());
+  auto submit = r.i64();
+  if (!submit) return submit.error();
+  job.submit = submit.value();
+  auto runtime = r.i64();
+  if (!runtime) return runtime.error();
+  job.runtime = runtime.value();
+  auto walltime = r.i64();
+  if (!walltime) return walltime.error();
+  job.walltime = walltime.value();
+  auto nodes = r.i64();
+  if (!nodes) return nodes.error();
+  job.nodes = static_cast<NodeCount>(nodes.value());
+  auto user = r.str();
+  if (!user) return user.error();
+  job.user = std::move(user).value();
+  auto queue = r.i64();
+  if (!queue) return queue.error();
+  job.queue = static_cast<int>(queue.value());
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after submit-job body",
+                        r.remaining())};
+  }
+  if (job.walltime <= 0 || job.nodes <= 0) {
+    return Error{format("submit-job {}: walltime and nodes must be positive",
+                        job.id)};
+  }
+  return job;
+}
+
+std::string encode_start_projection(const StartProjection& p) {
+  ByteWriter w;
+  w.i64(p.start);
+  w.i64(p.wait);
+  return std::move(w).take();
+}
+
+Result<StartProjection> decode_start_projection(std::string_view body) {
+  ByteReader r(body);
+  StartProjection projection;
+  auto start = r.i64();
+  if (!start) return start.error();
+  projection.start = start.value();
+  auto wait = r.i64();
+  if (!wait) return wait.error();
+  projection.wait = wait.value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after start-projection body",
+                        r.remaining())};
+  }
+  return projection;
+}
+
+std::string encode_candidates(
+    const std::vector<TwinCandidateSpec>& candidates) {
+  ByteWriter w;
+  w.u64(candidates.size());
+  for (const auto& spec : candidates) twinsvc::write_candidate_spec(w, spec);
+  return std::move(w).take();
+}
+
+Result<std::vector<TwinCandidateSpec>> decode_candidates(
+    std::string_view body) {
+  ByteReader r(body);
+  auto count = r.count(r.remaining() / twinsvc::kMinEncodedCandidateBytes);
+  if (!count) return count.error();
+  std::vector<TwinCandidateSpec> candidates;
+  candidates.reserve(count.value());
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto spec = twinsvc::read_candidate_spec(r);
+    if (!spec) return spec.error();
+    candidates.push_back(std::move(spec).value());
+  }
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after candidate batch",
+                        r.remaining())};
+  }
+  return candidates;
+}
+
+std::string encode_verdicts(const std::vector<TwinForkResult>& verdicts) {
+  ByteWriter w;
+  w.u64(verdicts.size());
+  for (const auto& verdict : verdicts) twinsvc::write_fork_result(w, verdict);
+  return std::move(w).take();
+}
+
+Result<std::vector<TwinForkResult>> decode_verdicts(std::string_view body) {
+  ByteReader r(body);
+  // Smallest encoded fork result: label length prefix + 4 doubles + u64.
+  constexpr std::uint64_t kMinEncodedVerdictBytes = 8 + 4 * 8 + 8;
+  auto count = r.count(r.remaining() / kMinEncodedVerdictBytes);
+  if (!count) return count.error();
+  std::vector<TwinForkResult> verdicts;
+  verdicts.reserve(count.value());
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto verdict = twinsvc::read_fork_result(r);
+    if (!verdict) return verdict.error();
+    verdicts.push_back(std::move(verdict).value());
+  }
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after verdict batch",
+                        r.remaining())};
+  }
+  return verdicts;
+}
+
+std::string encode_trace_pair(const TracePair& pair) {
+  ByteWriter w;
+  w.str(pair.a);
+  w.str(pair.b);
+  return std::move(w).take();
+}
+
+Result<TracePair> decode_trace_pair(std::string_view body) {
+  ByteReader r(body);
+  TracePair pair;
+  auto a = r.str();
+  if (!a) return a.error();
+  pair.a = std::move(a).value();
+  auto b = r.str();
+  if (!b) return b.error();
+  pair.b = std::move(b).value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after trace pair", r.remaining())};
+  }
+  return pair;
+}
+
+std::string encode_dataset_spec(const DatasetSpec& spec) {
+  ByteWriter w;
+  w.str(spec.label);
+  twinsvc::write_machine_spec(w, spec.machine);
+  w.u64(spec.seed);
+  w.i64(spec.horizon);
+  w.f64(spec.base_rate_per_hour);
+  w.u64(spec.snapshot_check);
+  w.i64(spec.twin.horizon);
+  w.i64(spec.twin.metric_check_interval);
+  w.f64(spec.twin.queue_weight);
+  w.f64(spec.twin.util_weight);
+  return std::move(w).take();
+}
+
+Result<DatasetSpec> decode_dataset_spec(std::string_view body) {
+  ByteReader r(body);
+  DatasetSpec spec;
+  auto label = r.str();
+  if (!label) return label.error();
+  spec.label = std::move(label).value();
+  auto machine = twinsvc::read_machine_spec(r);
+  if (!machine) return machine.error();
+  spec.machine = machine.value();
+  auto seed = r.u64();
+  if (!seed) return seed.error();
+  spec.seed = seed.value();
+  auto horizon = r.i64();
+  if (!horizon) return horizon.error();
+  spec.horizon = horizon.value();
+  auto rate = r.f64();
+  if (!rate) return rate.error();
+  spec.base_rate_per_hour = rate.value();
+  auto check = r.u64();
+  if (!check) return check.error();
+  spec.snapshot_check = check.value();
+  auto twin_horizon = r.i64();
+  if (!twin_horizon) return twin_horizon.error();
+  spec.twin.horizon = twin_horizon.value();
+  auto twin_interval = r.i64();
+  if (!twin_interval) return twin_interval.error();
+  spec.twin.metric_check_interval = twin_interval.value();
+  auto queue_weight = r.f64();
+  if (!queue_weight) return queue_weight.error();
+  spec.twin.queue_weight = queue_weight.value();
+  auto util_weight = r.f64();
+  if (!util_weight) return util_weight.error();
+  spec.twin.util_weight = util_weight.value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after dataset spec", r.remaining())};
+  }
+  if (spec.horizon <= 0 || spec.base_rate_per_hour <= 0.0 ||
+      spec.snapshot_check == 0) {
+    return Error{format("dataset spec {}: bad workload shape", spec.label)};
+  }
+  if (spec.twin.horizon <= 0 || spec.twin.metric_check_interval <= 0) {
+    return Error{format("dataset spec {}: bad twin config", spec.label)};
+  }
+  return spec;
+}
+
+std::string encode_reload_ack(const ReloadAck& ack) {
+  ByteWriter w;
+  w.u64(ack.version);
+  w.str(ack.label);
+  return std::move(w).take();
+}
+
+Result<ReloadAck> decode_reload_ack(std::string_view body) {
+  ByteReader r(body);
+  ReloadAck ack;
+  auto version = r.u64();
+  if (!version) return version.error();
+  ack.version = version.value();
+  auto label = r.str();
+  if (!label) return label.error();
+  ack.label = std::move(label).value();
+  if (!r.exhausted()) {
+    return Error{format("{} trailing bytes after reload ack", r.remaining())};
+  }
+  return ack;
+}
+
+}  // namespace amjs::svc

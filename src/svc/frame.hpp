@@ -1,0 +1,135 @@
+// svc.v1 payload codecs — the scheduler service's kSvcRequest /
+// kSvcReply / kSvcBusy frame family.
+//
+// svc frames ride the twinsvc.v1 framing layer unchanged (same
+// "AMJSTWSV" magic, version, 21-byte header, trailing CRC; see
+// twinsvc/frame.hpp), so the socket layer, corruption guarantees, and
+// acceptor loop are shared with the twin worker. A request names a
+// plugin and carries an opaque, length-prefixed body the plugin decodes;
+// the reply echoes the request id and plugin and stamps the world
+// version it was served against:
+//
+//   kSvcRequest payload:  u64 request_id | u32 plugin | i64 deadline_ms
+//                         | str body
+//   kSvcReply payload:    u64 request_id | u32 plugin | u64 world_version
+//                         | str body
+//   kSvcBusy payload:     u64 request_id
+//
+// deadline_ms is the client's remaining budget at send time: 0 means no
+// deadline, a negative value is already expired (the server rejects it
+// without executing — mirroring the socket layer's non-positive-budget
+// rule). Errors travel as the existing kError frame.
+//
+// Plugin bodies reuse the shared twinsvc field codecs (candidate specs,
+// fork results) and campaign payload codecs, so a service reply is
+// byte-identical to the equivalent locally-encoded result — the property
+// the conformance suite in tests/svc pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/twin_backend.hpp"
+#include "svc/facade.hpp"
+#include "twin/twin.hpp"
+#include "twinsvc/frame.hpp"
+#include "util/result.hpp"
+#include "workload/job.hpp"
+
+namespace amjs::svc {
+
+inline constexpr std::string_view kSvcProtocolName = "svc.v1";
+
+/// Request plugins. The id travels as a raw u32 so an unknown id decodes
+/// cleanly and is rejected at dispatch (svc.rejected.plugin), not as a
+/// frame error.
+enum class Plugin : std::uint32_t {
+  kSubmitJob = 1,     // projected start/wait from the calendar plan
+  kWhatIf = 2,        // twin consult against the resident snapshot
+  kTraceExplain = 3,  // run-diff of two JSONL traces
+  kCampaign = 4,      // one campaign cell, delegated to run_cell
+  kReload = 100,      // admin: hot-swap the resident dataset
+};
+
+[[nodiscard]] const char* to_string(Plugin plugin);
+
+struct SvcRequest {
+  std::uint64_t request_id = 0;
+  /// Raw plugin id (may name no known plugin — the server decides).
+  std::uint32_t plugin = 0;
+  /// Remaining client budget in ms: 0 = none, negative = already expired.
+  std::int64_t deadline_ms = 0;
+  std::string body;
+};
+
+struct SvcReply {
+  std::uint64_t request_id = 0;
+  std::uint32_t plugin = 0;
+  /// Version of the World the request was served against.
+  std::uint64_t world_version = 0;
+  std::string body;
+};
+
+// --- Frame encode/decode (sealed frames ready for send_frame). ---------
+
+[[nodiscard]] std::string encode_svc_request(const SvcRequest& request);
+[[nodiscard]] std::string encode_svc_reply(const SvcReply& reply);
+[[nodiscard]] std::string encode_svc_busy(std::uint64_t request_id);
+
+[[nodiscard]] Result<SvcRequest> decode_svc_request(std::string_view payload);
+[[nodiscard]] Result<SvcReply> decode_svc_reply(std::string_view payload);
+[[nodiscard]] Result<std::uint64_t> decode_svc_busy(std::string_view payload);
+
+// --- Plugin bodies. ----------------------------------------------------
+
+/// kSubmitJob request: the job to project.
+[[nodiscard]] std::string encode_submit_job(const Job& job);
+[[nodiscard]] Result<Job> decode_submit_job(std::string_view body);
+
+/// kSubmitJob reply: the calendar projection.
+[[nodiscard]] std::string encode_start_projection(const StartProjection& p);
+[[nodiscard]] Result<StartProjection> decode_start_projection(
+    std::string_view body);
+
+/// kWhatIf request: candidate batch (shared twinsvc field codec).
+[[nodiscard]] std::string encode_candidates(
+    const std::vector<TwinCandidateSpec>& candidates);
+[[nodiscard]] Result<std::vector<TwinCandidateSpec>> decode_candidates(
+    std::string_view body);
+
+/// kWhatIf reply: one verdict per candidate, in order. The server zeroes
+/// wall_ms (the one nondeterministic field) before encoding, so the body
+/// is byte-identical to a locally-encoded LocalTwinBackend result.
+[[nodiscard]] std::string encode_verdicts(
+    const std::vector<TwinForkResult>& verdicts);
+[[nodiscard]] Result<std::vector<TwinForkResult>> decode_verdicts(
+    std::string_view body);
+
+/// kTraceExplain request: the two wall-stripped JSONL traces to diff.
+struct TracePair {
+  std::string a;
+  std::string b;
+};
+[[nodiscard]] std::string encode_trace_pair(const TracePair& pair);
+[[nodiscard]] Result<TracePair> decode_trace_pair(std::string_view body);
+// (The reply body is the deterministic diff-report JSON, carried as-is.)
+
+// kCampaign bodies are the bare campaign.v1 payloads —
+// campaign::encode_run_cell_payload / decode_run_cell on the way in,
+// encode_cell_result_payload / decode_cell_result on the way out.
+
+/// kReload request: the recipe for the next generation.
+[[nodiscard]] std::string encode_dataset_spec(const DatasetSpec& spec);
+[[nodiscard]] Result<DatasetSpec> decode_dataset_spec(std::string_view body);
+
+/// kReload reply.
+struct ReloadAck {
+  std::uint64_t version = 0;
+  std::string label;
+};
+[[nodiscard]] std::string encode_reload_ack(const ReloadAck& ack);
+[[nodiscard]] Result<ReloadAck> decode_reload_ack(std::string_view body);
+
+}  // namespace amjs::svc

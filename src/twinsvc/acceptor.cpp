@@ -1,0 +1,85 @@
+#include "twinsvc/acceptor.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace amjs::twinsvc {
+
+ConnectionAcceptor::ConnectionAcceptor(Listener listener, ServeFn serve,
+                                       std::string name)
+    : listener_(std::move(listener)),
+      serve_(std::move(serve)),
+      name_(std::move(name)) {}
+
+ConnectionAcceptor::~ConnectionAcceptor() { stop(); }
+
+void ConnectionAcceptor::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ConnectionAcceptor::run() { accept_loop(); }
+
+void ConnectionAcceptor::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::pair<std::uint64_t, std::thread>> connections;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    connections.swap(connection_threads_);
+    finished_connections_.clear();
+  }
+  for (auto& [id, thread] : connections) {
+    if (thread.joinable()) thread.join();
+  }
+  listener_.close();
+}
+
+void ConnectionAcceptor::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    reap_finished_connections();
+    auto accepted = listener_.accept(/*timeout_ms=*/100);
+    if (!accepted) {
+      log::warn("{}: accept failed: {}", name_, accepted.error().to_string());
+      return;
+    }
+    if (!accepted.value().has_value()) continue;  // timeout: re-check stop flag
+    Socket socket = std::move(*accepted.value());
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    const std::uint64_t id = next_connection_id_++;
+    connection_threads_.emplace_back(
+        id, std::thread([this, id, s = std::move(socket)]() mutable {
+          serve_(std::move(s));
+          const std::lock_guard<std::mutex> done_lock(threads_mutex_);
+          finished_connections_.push_back(id);
+        }));
+  }
+}
+
+void ConnectionAcceptor::reap_finished_connections() {
+  std::vector<std::thread> done;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    if (finished_connections_.empty()) return;
+    auto it = connection_threads_.begin();
+    while (it != connection_threads_.end()) {
+      const bool finished =
+          std::find(finished_connections_.begin(), finished_connections_.end(),
+                    it->first) != finished_connections_.end();
+      if (finished) {
+        done.push_back(std::move(it->second));
+        it = connection_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    finished_connections_.clear();
+  }
+  // The thread marked itself finished as its last statement, so these
+  // joins return (almost) immediately.
+  for (auto& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+}  // namespace amjs::twinsvc

@@ -263,6 +263,9 @@ Result<std::vector<TwinForkResult>> RemoteTwinEngine::attempt(
       case FrameType::kCellResult:
       case FrameType::kStatsRequest:
       case FrameType::kStatsReply:
+      case FrameType::kSvcRequest:
+      case FrameType::kSvcReply:
+      case FrameType::kSvcBusy:
         return Error{format("unexpected frame type {} on a verdict stream",
                             static_cast<int>(frame.value().type))};
     }

@@ -172,9 +172,7 @@ Result<JobTrace> read_job_trace(ByteReader& r) {
   return JobTrace::from_jobs(std::move(jobs));
 }
 
-namespace {
-
-void write_candidate(ByteWriter& w, const TwinCandidateSpec& spec) {
+void write_candidate_spec(ByteWriter& w, const TwinCandidateSpec& spec) {
   w.str(kCandidateFamilyMetricAware);
   w.str(spec.label);
   w.f64(spec.config.policy.balance_factor);
@@ -185,7 +183,7 @@ void write_candidate(ByteWriter& w, const TwinCandidateSpec& spec) {
   w.i64(spec.config.max_window);
 }
 
-Result<TwinCandidateSpec> read_candidate(ByteReader& r) {
+Result<TwinCandidateSpec> read_candidate_spec(ByteReader& r) {
   auto family = r.str();
   if (!family) return family.error();
   if (family.value() != kCandidateFamilyMetricAware) {
@@ -256,8 +254,6 @@ Result<TwinForkResult> read_fork_result(ByteReader& r) {
   return result;
 }
 
-}  // namespace
-
 Result<std::string> encode_eval_request(const EvalRequest& request) {
   auto snapshot_bytes = snapshot_io::write_snapshot(request.snapshot);
   if (!snapshot_bytes) return snapshot_bytes.error();
@@ -272,7 +268,7 @@ Result<std::string> encode_eval_request(const EvalRequest& request) {
   write_job_trace(w, request.trace);
   w.str(snapshot_bytes.value());
   w.u64(request.candidates.size());
-  for (const auto& candidate : request.candidates) write_candidate(w, candidate);
+  for (const auto& candidate : request.candidates) write_candidate_spec(w, candidate);
   return seal_frame(FrameType::kEvalRequest, w.data());
 }
 
@@ -344,7 +340,7 @@ Result<FrameHeader> decode_frame_header(std::string_view bytes) {
   auto type = r.u8();
   if (!type) return type.error();
   if (type.value() < static_cast<std::uint8_t>(FrameType::kEvalRequest) ||
-      type.value() > static_cast<std::uint8_t>(FrameType::kStatsReply)) {
+      type.value() > static_cast<std::uint8_t>(FrameType::kSvcBusy)) {
     return Error{format("unknown frame type {}", type.value())};
   }
   auto length = r.u64();
@@ -435,15 +431,14 @@ Result<EvalRequest> decode_eval_request(std::string_view payload) {
     return Error{snapshot.error().message, "request snapshot"};
   }
   request.snapshot = std::move(snapshot).value();
-  // Two string length prefixes, three 8-byte numeric fields, the mode
-  // byte and two bools: the smallest candidate encoding. Caps reserve()
-  // by received bytes, like read_trace.
-  constexpr std::uint64_t kMinEncodedCandidateBytes = 5 * 8 + 3;
+  // kMinEncodedCandidateBytes (two string length prefixes, three 8-byte
+  // numeric fields, the mode byte and two bools) caps reserve() by
+  // received bytes, like read_trace.
   auto n = r.count(r.remaining() / kMinEncodedCandidateBytes);
   if (!n) return n.error();
   request.candidates.reserve(n.value());
   for (std::uint64_t i = 0; i < n.value(); ++i) {
-    auto candidate = read_candidate(r);
+    auto candidate = read_candidate_spec(r);
     if (!candidate) return candidate.error();
     request.candidates.push_back(std::move(candidate).value());
   }

@@ -78,6 +78,12 @@ enum class FrameType : std::uint8_t {
   // exactly what the worker itself writes via --obs-stats at exit.
   kStatsRequest = 7,  // driver -> worker, empty payload
   kStatsReply = 8,    // worker -> driver, encoded StatsSnapshot
+  // The svc.v1 frame family (src/svc/frame.hpp): plugin requests against
+  // the scheduler service's resident dataset. Same framing/CRC; a
+  // pre-svc peer rejects the type byte cleanly.
+  kSvcRequest = 9,    // client -> server, plugin id + body
+  kSvcReply = 10,     // server -> client, one reply per request
+  kSvcBusy = 11,      // server -> client, shed by admission control
 };
 
 /// Candidate family tag carried per candidate; v1 ships the metric-aware
@@ -212,5 +218,18 @@ void write_machine_spec(snapshot_io::ByteWriter& w, const MachineSpec& spec);
 
 void write_job_trace(snapshot_io::ByteWriter& w, const JobTrace& trace);
 [[nodiscard]] Result<JobTrace> read_job_trace(snapshot_io::ByteReader& r);
+
+/// Candidate spec and fork-result field codecs, shared with the svc.v1
+/// what-if plugin so a service reply is byte-compatible with the eval
+/// request's candidate / verdict encoding.
+void write_candidate_spec(snapshot_io::ByteWriter& w,
+                          const TwinCandidateSpec& spec);
+[[nodiscard]] Result<TwinCandidateSpec> read_candidate_spec(
+    snapshot_io::ByteReader& r);
+/// Smallest possible encoded candidate, for reserve() caps on counts.
+inline constexpr std::uint64_t kMinEncodedCandidateBytes = 5 * 8 + 3;
+
+void write_fork_result(snapshot_io::ByteWriter& w, const TwinForkResult& result);
+[[nodiscard]] Result<TwinForkResult> read_fork_result(snapshot_io::ByteReader& r);
 
 }  // namespace amjs::twinsvc

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "util/fmt.hpp"
 #include "util/strings.hpp"
@@ -287,7 +288,11 @@ Result<std::optional<Socket>> Listener::accept(int timeout_ms) {
   if (!ready.value()) return std::optional<Socket>{};
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) {
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+    // ECONNABORTED/EPROTO: the peer connected and hung up before we got
+    // here. That is the peer's failure, not the listener's — surfacing it
+    // as an error would let one rude client kill the accept loop.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED || errno == EPROTO) {
       return std::optional<Socket>{};
     }
     return errno_error("accept");
@@ -323,6 +328,27 @@ Result<Frame> recv_frame(Socket& socket, int timeout_ms) {
     return Error{"connection closed before a frame"};
   }
   return std::move(*frame.value());
+}
+
+Result<Listener> bind_listener(const Endpoint& endpoint,
+                               const ListenOptions& options) {
+  auto listener = Listener::bind(endpoint, options.backlog);
+  if (!listener) return listener.error();
+  if (!options.ready_file.empty()) {
+    std::ofstream out(options.ready_file);
+    out << listener.value().endpoint().to_string() << "\n";
+    if (!out) {
+      return Error{format("cannot write ready file {}", options.ready_file)};
+    }
+  }
+  return listener;
+}
+
+Result<Listener> bind_listener(std::string_view listen_text,
+                               const ListenOptions& options) {
+  auto endpoint = Endpoint::parse(listen_text);
+  if (!endpoint) return endpoint.error();
+  return bind_listener(endpoint.value(), options);
 }
 
 }  // namespace amjs::twinsvc

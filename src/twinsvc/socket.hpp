@@ -96,6 +96,25 @@ class Listener {
   Endpoint endpoint_;
 };
 
+// --- Listener setup shared by every server binary. ---------------------
+
+struct ListenOptions {
+  int backlog = 16;
+  /// When non-empty, the resolved endpoint (ephemeral tcp ports included)
+  /// is written here once the listener is bound — the "accepting now"
+  /// handshake scripts and CI wait on.
+  std::string ready_file;
+};
+
+/// Parse `listen_text` ("unix:/path" or "tcp:host:port"), bind + listen,
+/// and announce the resolved endpoint through `options.ready_file`. The
+/// one bind/listen/ready-file path TwinWorker-style binaries and the
+/// scheduler service share.
+[[nodiscard]] Result<Listener> bind_listener(std::string_view listen_text,
+                                             const ListenOptions& options = {});
+[[nodiscard]] Result<Listener> bind_listener(const Endpoint& endpoint,
+                                             const ListenOptions& options = {});
+
 // --- Frame I/O over a socket. ------------------------------------------
 
 [[nodiscard]] Status send_frame(Socket& socket, std::string_view frame_bytes,

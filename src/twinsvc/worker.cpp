@@ -1,8 +1,9 @@
 #include "twinsvc/worker.hpp"
 
-#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "obs/context.hpp"
 #include "obs/registry.hpp"
@@ -21,82 +22,23 @@ std::string corrupt_crc(std::string frame_bytes) {
 }  // namespace
 
 TwinWorker::TwinWorker(Listener listener, WorkerConfig config)
-    : listener_(std::move(listener)), config_(config) {}
+    : config_(config),
+      acceptor_(std::move(listener),
+                [this](Socket socket) { serve_connection(std::move(socket)); },
+                "twin_worker") {}
 
 TwinWorker::~TwinWorker() { stop(); }
 
-void TwinWorker::start() {
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
+void TwinWorker::start() { acceptor_.start(); }
 
-void TwinWorker::run() { accept_loop(); }
+void TwinWorker::run() { acceptor_.run(); }
 
-void TwinWorker::stop() {
-  stop_.store(true, std::memory_order_relaxed);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::pair<std::uint64_t, std::thread>> connections;
-  {
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    connections.swap(connection_threads_);
-    finished_connections_.clear();
-  }
-  for (auto& [id, thread] : connections) {
-    if (thread.joinable()) thread.join();
-  }
-  listener_.close();
-}
-
-void TwinWorker::accept_loop() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    reap_finished_connections();
-    auto accepted = listener_.accept(/*timeout_ms=*/100);
-    if (!accepted) {
-      log::warn("twin_worker: accept failed: {}", accepted.error().to_string());
-      return;
-    }
-    if (!accepted.value().has_value()) continue;  // timeout: re-check stop flag
-    Socket socket = std::move(*accepted.value());
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    const std::uint64_t id = next_connection_id_++;
-    connection_threads_.emplace_back(
-        id, std::thread([this, id, s = std::move(socket)]() mutable {
-          serve_connection(std::move(s));
-          const std::lock_guard<std::mutex> done_lock(threads_mutex_);
-          finished_connections_.push_back(id);
-        }));
-  }
-}
-
-void TwinWorker::reap_finished_connections() {
-  std::vector<std::thread> done;
-  {
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    if (finished_connections_.empty()) return;
-    auto it = connection_threads_.begin();
-    while (it != connection_threads_.end()) {
-      const bool finished =
-          std::find(finished_connections_.begin(), finished_connections_.end(),
-                    it->first) != finished_connections_.end();
-      if (finished) {
-        done.push_back(std::move(it->second));
-        it = connection_threads_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    finished_connections_.clear();
-  }
-  // The thread marked itself finished as its last statement, so these
-  // joins return (almost) immediately.
-  for (auto& thread : done) {
-    if (thread.joinable()) thread.join();
-  }
-}
+void TwinWorker::stop() { acceptor_.stop(); }
 
 void TwinWorker::serve_connection(Socket socket) {
   // A connection carries a sequence of requests; it ends on client EOF,
   // an I/O error, or a fault-injected abort.
-  while (!stop_.load(std::memory_order_relaxed)) {
+  while (!acceptor_.stopping()) {
     auto frame = recv_frame_or_eof(socket, config_.io_timeout_ms);
     if (!frame) {
       // Malformed header/body (includes a stale protocol version): tell

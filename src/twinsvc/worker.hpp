@@ -23,11 +23,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "obs/trace.hpp"
+#include "twinsvc/acceptor.hpp"
 #include "twinsvc/socket.hpp"
 #include "util/result.hpp"
 
@@ -108,7 +106,7 @@ class TwinWorker {
   TwinWorker& operator=(const TwinWorker&) = delete;
 
   /// Where the worker is reachable (tcp ephemeral ports resolved).
-  [[nodiscard]] const Endpoint& endpoint() const { return listener_.endpoint(); }
+  [[nodiscard]] const Endpoint& endpoint() const { return acceptor_.endpoint(); }
 
   /// Spawn the accept loop on a background thread (tests, --selfcheck).
   void start();
@@ -130,7 +128,6 @@ class TwinWorker {
   }
 
  private:
-  void accept_loop();
   void serve_connection(Socket socket);
   /// One request: decode, evaluate, stream verdicts. False = drop the
   /// connection (fault-injected abort or I/O failure).
@@ -138,26 +135,17 @@ class TwinWorker {
   /// kStatsRequest: snapshot the registry and reply. Out-of-band — no
   /// counters, no fault schedule, no request ordinal.
   [[nodiscard]] bool serve_stats_request(Socket& socket);
-  /// Join connection threads that have finished serving, so a long-running
-  /// worker does not accumulate one dead thread handle per connection.
-  void reap_finished_connections();
 
-  Listener listener_;
   WorkerConfig config_;
   std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();
-  std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::int64_t> request_ordinal_{0};
-  std::thread accept_thread_;
-  std::mutex threads_mutex_;
-  // All three guarded by threads_mutex_. Each connection thread pushes its
-  // own id onto finished_connections_ as its last act; the accept loop
-  // joins and erases those entries before every accept.
-  std::uint64_t next_connection_id_ = 0;
-  std::vector<std::pair<std::uint64_t, std::thread>> connection_threads_;
-  std::vector<std::uint64_t> finished_connections_;
+  /// Owns the listener and connection threads; declared last so its
+  /// destructor joins serve_connection threads before the members they
+  /// touch go away.
+  ConnectionAcceptor acceptor_;
 };
 
 }  // namespace amjs::twinsvc

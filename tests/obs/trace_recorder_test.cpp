@@ -169,6 +169,8 @@ TEST(TraceRecorderTest, ChromeTraceGolden) {
       "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 6, \"args\": {\"name\": \"twin\"}},\n"
       "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 7, \"args\": {\"name\": \"campaign\"}},\n"
       "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 7, \"args\": {\"name\": \"campaign\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 8, \"args\": {\"name\": \"svc\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 8, \"args\": {\"name\": \"svc\"}},\n"
       "  {\"name\": \"submit\", \"cat\": \"job\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 1, \"pid\": 1, \"tid\": 1, \"args\": {\"job\": 1}},\n"
       "  {\"name\": \"pass\", \"cat\": \"sched\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 2, \"pid\": 1, \"tid\": 2, \"args\": {\"queued\": 2}},\n"
       "  {\"name\": \"pass\", \"cat\": \"sched\", \"ph\": \"X\", \"ts\": 1500.000, \"dur\": 250.000, \"pid\": 2, \"tid\": 2, \"args\": {\"queued\": 2}}\n"

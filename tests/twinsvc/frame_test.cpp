@@ -195,7 +195,7 @@ TEST(TwinsvcFrame, StaleProtocolVersionNamesBothVersions) {
 
 TEST(TwinsvcFrame, UnknownFrameTypeRejected) {
   std::string bytes = encode_done(DoneFrame{9, 4});
-  bytes[kFrameMagic.size() + 4] = 9;  // type byte past kError
+  bytes[kFrameMagic.size() + 4] = 12;  // type byte past every known family
   EXPECT_FALSE(decode_frame(bytes).ok());
 }
 
